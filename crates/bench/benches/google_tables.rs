@@ -1,0 +1,96 @@
+//! One benchmark per Google experiment (§5.2.2 and Tables 16–21), plus
+//! the end-to-end study protocol.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fbox_core::algo::{compare, compare_sets, Entity, RankOrder, Restriction};
+use fbox_core::index::Dimension;
+use fbox_repro::{calibrate, scenario, util};
+use fbox_search::{run_study, ExtensionRunner, NoiseModel, SearchEngine, StudyDesign};
+use std::hint::black_box;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("google_pipeline");
+    group.sample_size(10);
+    group.bench_function("run_full_study", |b| {
+        let engine = SearchEngine::new(
+            calibrate::google_personalization(),
+            NoiseModel::default(),
+            calibrate::SEED,
+        );
+        let design = StudyDesign { participants_per_group: 3, seed: calibrate::SEED };
+        let runner = ExtensionRunner::default();
+        b.iter(|| run_study(black_box(&design), black_box(&engine), black_box(&runner)))
+    });
+    group.bench_function("build_scenario_end_to_end", |b| {
+        b.iter(scenario::google)
+    });
+    group.finish();
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let s = scenario::google();
+    let mut group = c.benchmark_group("google_tables");
+
+    group.bench_function("quant_groups_kendall", |b| {
+        b.iter(|| util::group_ranking(black_box(&s.kendall)))
+    });
+    group.bench_function("quant_groups_jaccard", |b| {
+        b.iter(|| util::group_ranking(black_box(&s.jaccard)))
+    });
+    group.bench_function("quant_locations_kendall", |b| {
+        b.iter(|| s.kendall.top_k_locations(11, RankOrder::MostUnfair, &Restriction::none()))
+    });
+
+    let u = s.kendall.universe();
+    let males = util::gender_full_ids(u, "Male");
+    let females = util::gender_full_ids(u, "Female");
+    group.bench_function("table16_17_gender_comparison", |b| {
+        b.iter(|| {
+            compare_sets(
+                s.kendall.indices(),
+                Dimension::Group,
+                black_box(&males),
+                black_box(&females),
+                Dimension::Location,
+                None,
+                &Restriction::none(),
+            )
+        })
+    });
+
+    let re = u.query_id("run errand").unwrap();
+    let gc = u.query_id("general cleaning").unwrap();
+    let eth = util::ethnicity_ids(u);
+    group.bench_function("table18_19_query_comparison", |b| {
+        b.iter(|| {
+            compare(
+                s.kendall.indices(),
+                Entity::Query(re),
+                Entity::Query(gc),
+                Dimension::Group,
+                Some(black_box(&eth)),
+                &Restriction::none(),
+            )
+        })
+    });
+
+    let bos = u.location_id("Boston, MA").unwrap();
+    let bri = u.location_id("Bristol, UK").unwrap();
+    let gcq: Vec<u32> = u.queries_in_category("General Cleaning").iter().map(|q| q.0).collect();
+    group.bench_function("table20_21_location_comparison", |b| {
+        b.iter(|| {
+            compare(
+                s.kendall.indices(),
+                Entity::Location(bos),
+                Entity::Location(bri),
+                Dimension::Query,
+                Some(black_box(&gcq)),
+                &Restriction::none(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline, bench_tables);
+criterion_main!(benches);

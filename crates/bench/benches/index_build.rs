@@ -1,0 +1,24 @@
+//! Cost of pre-computing the three index families of Table 5.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fbox_bench::synthetic_cube;
+use fbox_core::IndexSet;
+use std::hint::black_box;
+
+fn bench_index_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_build");
+    group.sample_size(20);
+    // (groups, queries, locations): the two study shapes, plus larger.
+    for &(g, q, l) in &[(11usize, 96usize, 56usize), (11, 20, 11), (100, 100, 50)] {
+        let cube = synthetic_cube(g, q, l);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{g}x{q}x{l}")),
+            &cube,
+            |b, cube| b.iter(|| IndexSet::build(black_box(cube))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_index_build);
+criterion_main!(benches);

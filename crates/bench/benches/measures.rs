@@ -1,0 +1,77 @@
+//! Micro-benchmarks of the distance measures behind Eq. 1–2: Kendall Tau
+//! (full and top-k), Jaccard, EMD (closed-form vs general solver), and
+//! exposure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fbox_core::measures::{self, BinConfig, DiscountModel, Histogram};
+use std::hint::black_box;
+
+fn ranked_list(n: usize, seed: u64) -> Vec<u64> {
+    // Deterministic pseudo-shuffle of 0..n*2 truncated to n (partial
+    // overlap between differently-seeded lists).
+    let mut items: Vec<u64> = (0..(n as u64) * 2).collect();
+    let mut state = seed | 1;
+    for i in (1..items.len()).rev() {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        items.swap(i, (state % (i as u64 + 1)) as usize);
+    }
+    items.truncate(n);
+    items
+}
+
+fn bench_kendall(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kendall");
+    for &n in &[10usize, 50] {
+        let a = ranked_list(n, 7);
+        let b = ranked_list(n, 9);
+        group.bench_with_input(BenchmarkId::new("top_k_distance", n), &n, |bch, _| {
+            bch.iter(|| measures::kendall::top_k_distance(black_box(&a), black_box(&b), 0.5))
+        });
+        // Same item set → the classic permutation distance.
+        let mut b_perm = a.clone();
+        b_perm.reverse();
+        group.bench_with_input(BenchmarkId::new("tau_distance", n), &n, |bch, _| {
+            bch.iter(|| measures::kendall::tau_distance(black_box(&a), black_box(&b_perm)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_jaccard(c: &mut Criterion) {
+    let mut group = c.benchmark_group("jaccard");
+    for &n in &[10usize, 50] {
+        let a = ranked_list(n, 7);
+        let b = ranked_list(n, 9);
+        group.bench_with_input(BenchmarkId::new("distance", n), &n, |bch, _| {
+            bch.iter(|| measures::jaccard::distance(black_box(&a), black_box(&b)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_emd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("emd");
+    for &bins in &[10usize, 50] {
+        let cfg = BinConfig::unit(bins);
+        let a = Histogram::from_values(cfg, (0..100).map(|i| (i as f64 * 0.37) % 1.0));
+        let b = Histogram::from_values(cfg, (0..100).map(|i| (i as f64 * 0.61) % 1.0));
+        group.bench_with_input(BenchmarkId::new("closed_form", bins), &bins, |bch, _| {
+            bch.iter(|| measures::emd_1d_normalized(black_box(&a), black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("general_mcmf", bins), &bins, |bch, _| {
+            bch.iter(|| measures::emd_general_1d(black_box(&a), black_box(&b)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_exposure(c: &mut Criterion) {
+    c.bench_function("exposure/total_50_ranks", |b| {
+        b.iter(|| measures::total_exposure(DiscountModel::NaturalLog, black_box(1..=50)))
+    });
+}
+
+criterion_group!(benches, bench_kendall, bench_jaccard, bench_emd, bench_exposure);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! One benchmark per TaskRabbit table (Tables 8–15): the cost of
+//! regenerating each result from the pre-built F-Box, plus the end-to-end
+//! crawl + cube construction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fbox_core::algo::{compare, compare_sets, Entity, RankOrder, Restriction};
+use fbox_core::index::Dimension;
+use fbox_marketplace::{crawl, Marketplace, Population, ScoringModel};
+use fbox_repro::{calibrate, scenario, util};
+use std::hint::black_box;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("taskrabbit_pipeline");
+    group.sample_size(10);
+    group.bench_function("crawl_5361_queries", |b| {
+        let marketplace = Marketplace::new(
+            Population::paper(calibrate::SEED),
+            ScoringModel::default(),
+            calibrate::taskrabbit_bias(),
+            calibrate::SEED,
+        );
+        b.iter(|| crawl(black_box(&marketplace)))
+    });
+    group.bench_function("build_scenario_end_to_end", |b| {
+        b.iter(scenario::taskrabbit)
+    });
+    group.finish();
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let s = scenario::taskrabbit();
+    let mut group = c.benchmark_group("taskrabbit_tables");
+
+    group.bench_function("table8_groups_emd", |b| {
+        b.iter(|| util::group_ranking(black_box(&s.emd)))
+    });
+    group.bench_function("table8_groups_exposure", |b| {
+        b.iter(|| util::group_ranking(black_box(&s.exposure)))
+    });
+    let categories: Vec<&str> = fbox_repro::paper::TABLE9_EMD.iter().map(|&(n, _)| n).collect();
+    group.bench_function("table9_categories_emd", |b| {
+        b.iter(|| util::category_ranking(black_box(&s.emd), &categories))
+    });
+    group.bench_function("table10_unfairest_cities", |b| {
+        b.iter(|| s.emd.top_k_locations(10, RankOrder::MostUnfair, &Restriction::none()))
+    });
+    group.bench_function("table11_fairest_cities", |b| {
+        b.iter(|| s.emd.top_k_locations(10, RankOrder::LeastUnfair, &Restriction::none()))
+    });
+
+    let u = s.exposure.universe();
+    let males = util::gender_full_ids(u, "Male");
+    let females = util::gender_full_ids(u, "Female");
+    group.bench_function("table12_gender_comparison", |b| {
+        b.iter(|| {
+            compare_sets(
+                s.exposure.indices(),
+                Dimension::Group,
+                black_box(&males),
+                black_box(&females),
+                Dimension::Location,
+                None,
+                &Restriction::none(),
+            )
+        })
+    });
+
+    let lm = u.query_id("Lawn Mowing").unwrap();
+    let ed = u.query_id("Event Decorating").unwrap();
+    let eth = util::ethnicity_ids(u);
+    group.bench_function("table13_14_query_comparison", |b| {
+        b.iter(|| {
+            compare(
+                s.emd.indices(),
+                Entity::Query(lm),
+                Entity::Query(ed),
+                Dimension::Group,
+                Some(black_box(&eth)),
+                &Restriction::none(),
+            )
+        })
+    });
+
+    let sf = u.location_id("San Francisco Bay Area, CA").unwrap();
+    let chi = u.location_id("Chicago, IL").unwrap();
+    let gc: Vec<u32> = u.queries_in_category("General Cleaning").iter().map(|q| q.0).collect();
+    group.bench_function("table15_location_comparison", |b| {
+        b.iter(|| {
+            compare(
+                s.emd.indices(),
+                Entity::Location(sf),
+                Entity::Location(chi),
+                Dimension::Query,
+                Some(black_box(&gc)),
+                &Restriction::none(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline, bench_tables);
+criterion_main!(benches);

@@ -1,0 +1,123 @@
+//! Problem formulations and algorithms (paper §4).
+//!
+//! - [`topk`]: the Fagin-Threshold-Algorithm adaptation of Algorithm 1
+//!   solving **Problem 1 (Fairness Quantification)** for any dimension;
+//! - [`nra`]: the No-Random-Access variant (Fagin et al.'s second
+//!   algorithm) for streamed or random-access-hostile indices;
+//! - [`naive`]: the full-scan baseline both are benchmarked against;
+//! - [`compare`]: Algorithms 2–3 solving **Problem 2 (Fairness
+//!   Comparison)**.
+
+pub mod compare;
+pub mod naive;
+pub mod nra;
+pub mod topk;
+
+pub use compare::{compare, compare_sets, BreakdownRow, ComparisonOutcome, Entity};
+pub use naive::naive_top_k;
+pub use nra::nra_top_k;
+pub use topk::{top_k, RankOrder, TopKResult, TopKStats};
+
+use crate::index::Dimension;
+
+/// Optional subsets of each dimension to restrict a problem to (e.g. "the
+/// 2 queries black males are most likely to get *in the West Coast*",
+/// §4.1).
+///
+/// `None` means the whole dimension. Ids are raw `u32`s of the respective
+/// dimension.
+#[derive(Debug, Clone, Default)]
+pub struct Restriction {
+    /// Subset of group ids, or all groups.
+    pub groups: Option<Vec<u32>>,
+    /// Subset of query ids, or all queries.
+    pub queries: Option<Vec<u32>>,
+    /// Subset of location ids, or all locations.
+    pub locations: Option<Vec<u32>>,
+}
+
+impl Restriction {
+    /// No restriction: aggregate over everything.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Restricts one dimension, leaving the others unrestricted.
+    pub fn on(dim: Dimension, ids: Vec<u32>) -> Self {
+        let mut r = Self::default();
+        match dim {
+            Dimension::Group => r.groups = Some(ids),
+            Dimension::Query => r.queries = Some(ids),
+            Dimension::Location => r.locations = Some(ids),
+        }
+        r
+    }
+
+    /// The subset for a dimension, if restricted.
+    pub fn subset(&self, dim: Dimension) -> Option<&[u32]> {
+        match dim {
+            Dimension::Group => self.groups.as_deref(),
+            Dimension::Query => self.queries.as_deref(),
+            Dimension::Location => self.locations.as_deref(),
+        }
+    }
+
+    /// Resolves a dimension to the concrete id list: the subset if
+    /// restricted, else `0..total`.
+    pub fn resolve(&self, dim: Dimension, total: usize) -> Vec<u32> {
+        match self.subset(dim) {
+            Some(ids) => {
+                for &id in ids {
+                    assert!((id as usize) < total, "{dim:?} id {id} out of range (< {total})");
+                }
+                ids.to_vec()
+            }
+            None => (0..total as u32).collect(),
+        }
+    }
+}
+
+/// Total-order wrapper for the non-NaN `f64` unfairness values, so they can
+/// live in heaps and be sorted.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct OrdF64(pub f64);
+
+impl Eq for OrdF64 {}
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0
+            .partial_cmp(&other.0)
+            .expect("unfairness values are never NaN")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn restriction_resolution() {
+        let r = Restriction::on(Dimension::Query, vec![2, 0]);
+        assert_eq!(r.resolve(Dimension::Query, 3), vec![2, 0]);
+        assert_eq!(r.resolve(Dimension::Group, 2), vec![0, 1]);
+        assert_eq!(r.subset(Dimension::Location), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn restriction_rejects_out_of_range() {
+        Restriction::on(Dimension::Group, vec![5]).resolve(Dimension::Group, 3);
+    }
+
+    #[test]
+    fn ordf64_orders() {
+        let mut v = vec![OrdF64(0.3), OrdF64(0.1), OrdF64(0.2)];
+        v.sort();
+        assert_eq!(v, vec![OrdF64(0.1), OrdF64(0.2), OrdF64(0.3)]);
+    }
+}

@@ -1,0 +1,139 @@
+//! Full-scan baseline for Fairness Quantification.
+//!
+//! Computes every candidate entity's aggregate by scanning the cube, then
+//! partially sorts. This is the O(|G|·|Q|·|L|) comparator the paper's
+//! threshold algorithm is designed to beat; it also handles *incomplete*
+//! cubes (averaging over present cells), which the TA cannot.
+
+use super::{topk::RankOrder, OrdF64, Restriction, TopKResult, TopKStats};
+use crate::cube::UnfairnessCube;
+use crate::index::Dimension;
+use crate::model::{GroupId, LocationId, QueryId};
+
+/// Full-scan top-k over a cube: the `k` entities of `dim` with the highest
+/// (or lowest) average unfairness over the other two (restricted)
+/// dimensions. Entities with no present cells are omitted. Ties are broken
+/// by ascending entity id.
+pub fn naive_top_k(
+    cube: &UnfairnessCube,
+    dim: Dimension,
+    k: usize,
+    order: RankOrder,
+    restrict: &Restriction,
+) -> TopKResult {
+    let mut stats = TopKStats::default();
+    let entities = restrict.resolve(dim, dim_len(cube, dim));
+    let (da, db) = dim.others();
+    let ents_a = restrict.resolve(da, dim_len(cube, da));
+    let ents_b = restrict.resolve(db, dim_len(cube, db));
+
+    let mut aggregates: Vec<(u32, f64)> = Vec::with_capacity(entities.len());
+    for &e in &entities {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for &a in &ents_a {
+            for &b in &ents_b {
+                stats.random_accesses += 1;
+                if let Some(v) = cell(cube, dim, e, a, b) {
+                    sum += v;
+                    n += 1;
+                }
+            }
+        }
+        if n > 0 {
+            aggregates.push((e, sum / n as f64));
+        }
+    }
+
+    match order {
+        RankOrder::MostUnfair => aggregates
+            .sort_by(|x, y| OrdF64(y.1).cmp(&OrdF64(x.1)).then(x.0.cmp(&y.0))),
+        RankOrder::LeastUnfair => aggregates
+            .sort_by(|x, y| OrdF64(x.1).cmp(&OrdF64(y.1)).then(x.0.cmp(&y.0))),
+    }
+    aggregates.truncate(k);
+    TopKResult { entries: aggregates, stats }
+}
+
+fn dim_len(cube: &UnfairnessCube, dim: Dimension) -> usize {
+    match dim {
+        Dimension::Group => cube.n_groups(),
+        Dimension::Query => cube.n_queries(),
+        Dimension::Location => cube.n_locations(),
+    }
+}
+
+/// Reads `d⟨·⟩` with `e` in dimension `dim` and `(a, b)` the other two
+/// dimensions in canonical order.
+fn cell(cube: &UnfairnessCube, dim: Dimension, e: u32, a: u32, b: u32) -> Option<f64> {
+    match dim {
+        Dimension::Group => cube.get(GroupId(e), QueryId(a), LocationId(b)),
+        Dimension::Query => cube.get(GroupId(a), QueryId(e), LocationId(b)),
+        Dimension::Location => cube.get(GroupId(a), QueryId(b), LocationId(e)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cube() -> UnfairnessCube {
+        let mut c = UnfairnessCube::with_dims(3, 2, 2);
+        for g in 0..3u32 {
+            for q in 0..2u32 {
+                for l in 0..2u32 {
+                    let v = (g as f64 + 1.0) / 10.0 + (q as f64) * 0.01 + (l as f64) * 0.001;
+                    c.set(GroupId(g), QueryId(q), LocationId(l), v);
+                }
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn orders_both_ways() {
+        let c = cube();
+        let most = naive_top_k(&c, Dimension::Group, 3, RankOrder::MostUnfair, &Restriction::none());
+        assert_eq!(most.entries[0].0, 2);
+        assert_eq!(most.entries[2].0, 0);
+        let least = naive_top_k(&c, Dimension::Group, 3, RankOrder::LeastUnfair, &Restriction::none());
+        assert_eq!(least.entries[0].0, 0);
+        assert_eq!(least.entries[2].0, 2);
+    }
+
+    #[test]
+    fn handles_missing_cells() {
+        let mut c = UnfairnessCube::with_dims(2, 2, 1);
+        c.set(GroupId(0), QueryId(0), LocationId(0), 0.9);
+        // Group 0 has one present cell (0.9); group 1 none.
+        let r = naive_top_k(&c, Dimension::Group, 5, RankOrder::MostUnfair, &Restriction::none());
+        assert_eq!(r.entries, vec![(0, 0.9)]);
+    }
+
+    #[test]
+    fn ties_break_by_id() {
+        let mut c = UnfairnessCube::with_dims(3, 1, 1);
+        for g in 0..3u32 {
+            c.set(GroupId(g), QueryId(0), LocationId(0), 0.5);
+        }
+        let r = naive_top_k(&c, Dimension::Group, 2, RankOrder::MostUnfair, &Restriction::none());
+        assert_eq!(r.entries[0].0, 0);
+        assert_eq!(r.entries[1].0, 1);
+    }
+
+    #[test]
+    fn respects_restrictions() {
+        let c = cube();
+        let restrict = Restriction {
+            groups: Some(vec![0, 1]),
+            queries: Some(vec![1]),
+            locations: None,
+        };
+        let r = naive_top_k(&c, Dimension::Group, 5, RankOrder::MostUnfair, &restrict);
+        assert_eq!(r.entries.len(), 2);
+        assert_eq!(r.entries[0].0, 1);
+        // Aggregate = mean over q=1, l∈{0,1}.
+        let expected = (0.2 + 0.01 + 0.2 + 0.011) / 2.0;
+        assert!((r.entries[0].1 - expected).abs() < 1e-12);
+    }
+}

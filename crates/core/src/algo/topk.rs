@@ -1,0 +1,328 @@
+//! Fairness Quantification (Problem 1) via an adaptation of Fagin's
+//! Threshold Algorithm — the paper's Algorithm 1, generalized to all three
+//! dimension instances (group-, query-, and location-fairness) and to both
+//! the most- and least-unfair variants.
+//!
+//! For a returned dimension `R` and the two aggregated dimensions, the
+//! aggregate of entity `r` is `avg` of `d⟨·⟩` over all pairs of the
+//! aggregated dimensions. The TA walks every pair's posting list in
+//! parallel (one sorted access per pair per round), completes each newly
+//! seen entity's aggregate by random accesses to the other lists, and
+//! maintains the threshold `τ` = average of the values at the current
+//! cursors — an upper (resp. lower) bound on any unseen entity's
+//! aggregate. Once the k-th best result passes `τ`, no unseen entity can
+//! enter the top-k and the algorithm stops without exhausting the lists.
+
+use super::{OrdF64, Restriction};
+use crate::index::{Dimension, IndexSet};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Whether to return the *most* or *least* unfair entities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RankOrder {
+    /// Top-k by descending unfairness (paper: "most unfair").
+    MostUnfair,
+    /// Top-k by ascending unfairness (paper: "least unfair" / "fairest").
+    LeastUnfair,
+}
+
+/// Instrumentation counters, used by the benchmarks to contrast TA with
+/// the naive full scan.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TopKStats {
+    /// Number of sorted accesses performed.
+    pub sorted_accesses: u64,
+    /// Number of random accesses performed.
+    pub random_accesses: u64,
+    /// Number of round-robin rounds executed.
+    pub rounds: u64,
+}
+
+/// Result of a top-k run: entities with their aggregated unfairness, best
+/// first, plus access counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopKResult {
+    /// `(entity id, aggregate unfairness)`, ordered best-first (descending
+    /// for [`RankOrder::MostUnfair`], ascending for
+    /// [`RankOrder::LeastUnfair`]; ties by ascending id).
+    pub entries: Vec<(u32, f64)>,
+    /// Access counters.
+    pub stats: TopKStats,
+}
+
+/// Runs Algorithm 1: the `k` entities of `dim` for which the site is most
+/// (or least) unfair, aggregating over the other two dimensions, subject to
+/// a [`Restriction`].
+///
+/// # Panics
+///
+/// Panics if the index was built from an incomplete cube. The threshold
+/// bound assumes every entity appears in every list; for incomplete data
+/// use [`naive_top_k`](super::naive_top_k), which averages over present
+/// cells.
+pub fn top_k(
+    indices: &IndexSet,
+    dim: Dimension,
+    k: usize,
+    order: RankOrder,
+    restrict: &Restriction,
+) -> TopKResult {
+    assert!(
+        indices.is_complete(),
+        "threshold algorithm requires a complete unfairness cube; use naive_top_k for incomplete data"
+    );
+    let mut stats = TopKStats::default();
+
+    let (da, db) = dim.others();
+    let ents_a = restrict.resolve(da, indices.dim_len(da));
+    let ents_b = restrict.resolve(db, indices.dim_len(db));
+    let mut pairs = Vec::with_capacity(ents_a.len() * ents_b.len());
+    for &a in &ents_a {
+        for &b in &ents_b {
+            pairs.push((a, b));
+        }
+    }
+
+    let candidates: Option<Vec<bool>> = restrict.subset(dim).map(|ids| {
+        let mut mask = vec![false; indices.dim_len(dim)];
+        for &id in ids {
+            mask[id as usize] = true;
+        }
+        mask
+    });
+    let is_candidate =
+        |e: u32| candidates.as_ref().map_or(true, |m| m[e as usize]);
+
+    if k == 0 || pairs.is_empty() {
+        return TopKResult { entries: Vec::new(), stats };
+    }
+
+    // `heap` keeps the k best aggregates seen so far; for MostUnfair it is
+    // a min-heap (worst of the best on top), for LeastUnfair a max-heap.
+    // Entries are keyed so that pop() always removes the entry that should
+    // leave first, with ties resolved against larger ids (so smaller ids
+    // win ties, matching the naive baseline's ordering).
+    let mut heap: BinaryHeap<(Reverse<OrdF64>, u32)> = BinaryHeap::new();
+    let sign = match order {
+        RankOrder::MostUnfair => 1.0,
+        RankOrder::LeastUnfair => -1.0,
+    };
+    // Heap key: Reverse(sign * value) so the heap's top is the *weakest*
+    // member of the current top-k; ties put the larger id on top so it is
+    // evicted first.
+    let key = |v: f64, e: u32| (Reverse(OrdF64(sign * v)), e);
+
+    let mut cursors = vec![0usize; pairs.len()];
+    let mut last_seen = vec![0.0f64; pairs.len()];
+    let mut seen = vec![false; indices.dim_len(dim)];
+
+    loop {
+        stats.rounds += 1;
+        let mut progressed = false;
+        for (pi, &pair) in pairs.iter().enumerate() {
+            let list = indices.list_for(dim, pair);
+            let accessed = match order {
+                RankOrder::MostUnfair => list.sorted_desc(cursors[pi]),
+                RankOrder::LeastUnfair => list.sorted_asc(cursors[pi]),
+            };
+            stats.sorted_accesses += 1;
+            let Some((e, v)) = accessed else {
+                // List exhausted; its last value keeps bounding τ.
+                continue;
+            };
+            cursors[pi] += 1;
+            last_seen[pi] = v;
+            progressed = true;
+            if !is_candidate(e) || seen[e as usize] {
+                continue;
+            }
+            seen[e as usize] = true;
+
+            // Complete the aggregate with random accesses to the other
+            // pairs (the paper's lines 11–18).
+            let mut sum = v;
+            for (pj, &other) in pairs.iter().enumerate() {
+                if pj == pi {
+                    continue;
+                }
+                let val = indices
+                    .list_for(dim, other)
+                    .random_access(e)
+                    .expect("complete index has every entity in every list");
+                stats.random_accesses += 1;
+                sum += val;
+            }
+            let aggregate = sum / pairs.len() as f64;
+
+            if heap.len() < k {
+                heap.push(key(aggregate, e));
+            } else if let Some(&(Reverse(OrdF64(worst)), worst_e)) = heap.peek() {
+                let cand = key(aggregate, e);
+                if cand < (Reverse(OrdF64(worst)), worst_e) {
+                    heap.pop();
+                    heap.push(cand);
+                }
+            }
+        }
+
+        // Threshold: the average of the values at the current cursor
+        // positions bounds any unseen entity's aggregate (from above for
+        // MostUnfair, below for LeastUnfair, once mapped through `sign`).
+        let tau = sign * last_seen.iter().sum::<f64>() / pairs.len() as f64;
+        if heap.len() >= k {
+            let &(Reverse(OrdF64(worst)), _) = heap.peek().expect("heap non-empty");
+            // `worst` and `tau` are both in sign-adjusted space, where
+            // bigger is better.
+            if worst >= tau {
+                break;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+
+    // Drain the heap into best-first order.
+    let mut entries: Vec<(u32, f64)> = heap
+        .into_iter()
+        .map(|(Reverse(OrdF64(sv)), e)| (e, sign * sv))
+        .collect();
+    entries.sort_by(|a, b| {
+        let va = OrdF64(sign * a.1);
+        let vb = OrdF64(sign * b.1);
+        vb.cmp(&va).then(a.0.cmp(&b.0))
+    });
+    TopKResult { entries, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cube::UnfairnessCube;
+    use crate::model::{GroupId, LocationId, QueryId};
+
+    /// 4 groups × 2 queries × 2 locations with group aggregates
+    /// 0.2, 0.4, 0.6, 0.8.
+    fn cube() -> UnfairnessCube {
+        let mut c = UnfairnessCube::with_dims(4, 2, 2);
+        for g in 0..4u32 {
+            let base = 0.2 * (g + 1) as f64;
+            for q in 0..2u32 {
+                for l in 0..2u32 {
+                    // Spread around the base but keep the mean at base.
+                    let delta = match (q, l) {
+                        (0, 0) => 0.05,
+                        (0, 1) => -0.05,
+                        (1, 0) => 0.02,
+                        _ => -0.02,
+                    };
+                    c.set(GroupId(g), QueryId(q), LocationId(l), base + delta);
+                }
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn most_unfair_groups() {
+        let idx = crate::index::IndexSet::build(&cube());
+        let r = top_k(&idx, Dimension::Group, 2, RankOrder::MostUnfair, &Restriction::none());
+        assert_eq!(r.entries.len(), 2);
+        assert_eq!(r.entries[0].0, 3);
+        assert!((r.entries[0].1 - 0.8).abs() < 1e-12);
+        assert_eq!(r.entries[1].0, 2);
+        assert!((r.entries[1].1 - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn least_unfair_groups() {
+        let idx = crate::index::IndexSet::build(&cube());
+        let r = top_k(&idx, Dimension::Group, 2, RankOrder::LeastUnfair, &Restriction::none());
+        assert_eq!(r.entries[0].0, 0);
+        assert!((r.entries[0].1 - 0.2).abs() < 1e-12);
+        assert_eq!(r.entries[1].0, 1);
+    }
+
+    #[test]
+    fn k_larger_than_dimension_returns_all() {
+        let idx = crate::index::IndexSet::build(&cube());
+        let r = top_k(&idx, Dimension::Group, 10, RankOrder::MostUnfair, &Restriction::none());
+        assert_eq!(r.entries.len(), 4);
+        // Best-first order.
+        for w in r.entries.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn k_zero_returns_empty() {
+        let idx = crate::index::IndexSet::build(&cube());
+        let r = top_k(&idx, Dimension::Group, 0, RankOrder::MostUnfair, &Restriction::none());
+        assert!(r.entries.is_empty());
+    }
+
+    #[test]
+    fn restriction_on_returned_dimension() {
+        let idx = crate::index::IndexSet::build(&cube());
+        let restrict = Restriction::on(Dimension::Group, vec![0, 1]);
+        let r = top_k(&idx, Dimension::Group, 1, RankOrder::MostUnfair, &restrict);
+        assert_eq!(r.entries[0].0, 1); // best among {0, 1}
+    }
+
+    #[test]
+    fn restriction_on_aggregated_dimension() {
+        // Restrict to q=0 only: aggregates become base ± 0.05 averaged →
+        // base, ordering unchanged, but τ math must still terminate.
+        let idx = crate::index::IndexSet::build(&cube());
+        let restrict = Restriction::on(Dimension::Query, vec![0]);
+        let r = top_k(&idx, Dimension::Group, 4, RankOrder::MostUnfair, &restrict);
+        assert_eq!(r.entries.len(), 4);
+        assert_eq!(r.entries[0].0, 3);
+    }
+
+    #[test]
+    fn query_and_location_dimensions_work() {
+        let idx = crate::index::IndexSet::build(&cube());
+        let rq = top_k(&idx, Dimension::Query, 2, RankOrder::MostUnfair, &Restriction::none());
+        assert_eq!(rq.entries.len(), 2);
+        let rl = top_k(&idx, Dimension::Location, 2, RankOrder::LeastUnfair, &Restriction::none());
+        assert_eq!(rl.entries.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "complete")]
+    fn incomplete_cube_rejected() {
+        let mut c = UnfairnessCube::with_dims(2, 1, 1);
+        c.set(GroupId(0), QueryId(0), LocationId(0), 0.5);
+        let idx = crate::index::IndexSet::build(&c);
+        top_k(&idx, Dimension::Group, 1, RankOrder::MostUnfair, &Restriction::none());
+    }
+
+    #[test]
+    fn early_termination_saves_accesses() {
+        // Many groups, one clearly dominant: TA should stop long before
+        // scanning everything.
+        let n = 200u32;
+        let mut c = UnfairnessCube::with_dims(n as usize, 2, 2);
+        for g in 0..n {
+            // Group 0 dominates with 0.99 everywhere; the rest are low.
+            let v = if g == 0 { 0.99 } else { 0.1 + (g as f64) * 0.001 };
+            for q in 0..2u32 {
+                for l in 0..2u32 {
+                    c.set(GroupId(g), QueryId(q), LocationId(l), v);
+                }
+            }
+        }
+        let idx = crate::index::IndexSet::build(&c);
+        let r = top_k(&idx, Dimension::Group, 1, RankOrder::MostUnfair, &Restriction::none());
+        assert_eq!(r.entries[0].0, 0);
+        // Full scan would need n sorted accesses per list; TA stops after
+        // a handful of rounds.
+        assert!(
+            r.stats.sorted_accesses < (n as u64) * 4 / 2,
+            "expected early termination, did {} sorted accesses",
+            r.stats.sorted_accesses
+        );
+    }
+}

@@ -1,0 +1,246 @@
+//! The three index families of Table 5: group-based `I(q,l)`, query-based
+//! `I(g,l)`, and location-based `I(g,q)` inverted indices, pre-computed
+//! from the unfairness cube for fast top-k processing.
+
+mod posting;
+
+pub use posting::PostingList;
+
+use crate::cube::UnfairnessCube;
+use crate::model::{GroupId, LocationId, QueryId};
+use serde::{Deserialize, Serialize};
+
+/// One of the three dimensions of the unfairness cube.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Dimension {
+    /// Demographic groups.
+    Group,
+    /// Job-related queries.
+    Query,
+    /// Geographic locations.
+    Location,
+}
+
+impl Dimension {
+    /// The other two dimensions, in canonical (Group, Query, Location)
+    /// order.
+    pub fn others(self) -> (Dimension, Dimension) {
+        match self {
+            Dimension::Group => (Dimension::Query, Dimension::Location),
+            Dimension::Query => (Dimension::Group, Dimension::Location),
+            Dimension::Location => (Dimension::Group, Dimension::Query),
+        }
+    }
+}
+
+/// All three index families over one unfairness cube.
+///
+/// For each pair of the *other* two dimensions there is one
+/// [`PostingList`] ranking the indexed dimension's entities by descending
+/// unfairness. Building is O(cells · log) once; every subsequent top-k
+/// query runs Fagin-style on the pre-sorted lists.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IndexSet {
+    n_groups: usize,
+    n_queries: usize,
+    n_locations: usize,
+    /// `I(q,l)` — groups ranked; indexed by `q * n_locations + l`.
+    group_lists: Vec<PostingList>,
+    /// `I(g,l)` — queries ranked; indexed by `g * n_locations + l`.
+    query_lists: Vec<PostingList>,
+    /// `I(g,q)` — locations ranked; indexed by `g * n_queries + q`.
+    location_lists: Vec<PostingList>,
+    complete: bool,
+}
+
+impl IndexSet {
+    /// Builds all three families from a cube.
+    pub fn build(cube: &UnfairnessCube) -> Self {
+        let (ng, nq, nl) = (cube.n_groups(), cube.n_queries(), cube.n_locations());
+
+        let mut group_lists = Vec::with_capacity(nq * nl);
+        for q in 0..nq as u32 {
+            for l in 0..nl as u32 {
+                let values = (0..ng as u32)
+                    .map(|g| cube.get(GroupId(g), QueryId(q), LocationId(l)))
+                    .collect();
+                group_lists.push(PostingList::from_values(values));
+            }
+        }
+
+        let mut query_lists = Vec::with_capacity(ng * nl);
+        for g in 0..ng as u32 {
+            for l in 0..nl as u32 {
+                let values = (0..nq as u32)
+                    .map(|q| cube.get(GroupId(g), QueryId(q), LocationId(l)))
+                    .collect();
+                query_lists.push(PostingList::from_values(values));
+            }
+        }
+
+        let mut location_lists = Vec::with_capacity(ng * nq);
+        for g in 0..ng as u32 {
+            for q in 0..nq as u32 {
+                let values = (0..nl as u32)
+                    .map(|l| cube.get(GroupId(g), QueryId(q), LocationId(l)))
+                    .collect();
+                location_lists.push(PostingList::from_values(values));
+            }
+        }
+
+        Self {
+            n_groups: ng,
+            n_queries: nq,
+            n_locations: nl,
+            group_lists,
+            query_lists,
+            location_lists,
+            complete: cube.is_complete(),
+        }
+    }
+
+    /// Number of groups.
+    pub fn n_groups(&self) -> usize {
+        self.n_groups
+    }
+
+    /// Number of queries.
+    pub fn n_queries(&self) -> usize {
+        self.n_queries
+    }
+
+    /// Number of locations.
+    pub fn n_locations(&self) -> usize {
+        self.n_locations
+    }
+
+    /// Whether the underlying cube had every cell present.
+    pub fn is_complete(&self) -> bool {
+        self.complete
+    }
+
+    /// Size of the indexed dimension.
+    pub fn dim_len(&self, dim: Dimension) -> usize {
+        match dim {
+            Dimension::Group => self.n_groups,
+            Dimension::Query => self.n_queries,
+            Dimension::Location => self.n_locations,
+        }
+    }
+
+    /// `I(q,l)`: groups ranked by unfairness for one query/location pair.
+    pub fn group_list(&self, q: QueryId, l: LocationId) -> &PostingList {
+        &self.group_lists[q.0 as usize * self.n_locations + l.0 as usize]
+    }
+
+    /// `I(g,l)`: queries ranked for one group/location pair.
+    pub fn query_list(&self, g: GroupId, l: LocationId) -> &PostingList {
+        &self.query_lists[g.0 as usize * self.n_locations + l.0 as usize]
+    }
+
+    /// `I(g,q)`: locations ranked for one group/query pair.
+    pub fn location_list(&self, g: GroupId, q: QueryId) -> &PostingList {
+        &self.location_lists[g.0 as usize * self.n_queries + q.0 as usize]
+    }
+
+    /// The posting list ranking dimension `dim` for one pair of entities of
+    /// the other two dimensions, given in canonical (Group, Query,
+    /// Location) order of the *remaining* dimensions:
+    ///
+    /// - `dim = Group` → `pair = (query, location)`
+    /// - `dim = Query` → `pair = (group, location)`
+    /// - `dim = Location` → `pair = (group, query)`
+    pub fn list_for(&self, dim: Dimension, pair: (u32, u32)) -> &PostingList {
+        match dim {
+            Dimension::Group => self.group_list(QueryId(pair.0), LocationId(pair.1)),
+            Dimension::Query => self.query_list(GroupId(pair.0), LocationId(pair.1)),
+            Dimension::Location => self.location_list(GroupId(pair.0), QueryId(pair.1)),
+        }
+    }
+
+    /// Direct cube lookup through the indices: `d⟨g,q,l⟩` via a random
+    /// access on the group list (all three families agree by
+    /// construction).
+    pub fn value(&self, g: GroupId, q: QueryId, l: LocationId) -> Option<f64> {
+        self.group_list(q, l).random_access(g.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cube() -> UnfairnessCube {
+        // 2 groups × 2 queries × 2 locations with distinct values.
+        let mut c = UnfairnessCube::with_dims(2, 2, 2);
+        let mut v = 0.0;
+        for g in 0..2u32 {
+            for q in 0..2u32 {
+                for l in 0..2u32 {
+                    v += 0.1;
+                    c.set(GroupId(g), QueryId(q), LocationId(l), v);
+                }
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn three_families_agree_with_cube() {
+        let cube = small_cube();
+        let idx = IndexSet::build(&cube);
+        assert!(idx.is_complete());
+        for g in 0..2u32 {
+            for q in 0..2u32 {
+                for l in 0..2u32 {
+                    let expected = cube.get(GroupId(g), QueryId(q), LocationId(l));
+                    assert_eq!(idx.group_list(QueryId(q), LocationId(l)).random_access(g), expected);
+                    assert_eq!(idx.query_list(GroupId(g), LocationId(l)).random_access(q), expected);
+                    assert_eq!(idx.location_list(GroupId(g), QueryId(q)).random_access(l), expected);
+                    assert_eq!(idx.value(GroupId(g), QueryId(q), LocationId(l)), expected);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sorted_access_descends() {
+        let cube = small_cube();
+        let idx = IndexSet::build(&cube);
+        for q in 0..2u32 {
+            for l in 0..2u32 {
+                let list = idx.group_list(QueryId(q), LocationId(l));
+                let (_, top) = list.sorted_desc(0).unwrap();
+                let (_, bottom) = list.sorted_desc(1).unwrap();
+                assert!(top >= bottom);
+            }
+        }
+    }
+
+    #[test]
+    fn incomplete_cube_flagged() {
+        let mut c = UnfairnessCube::with_dims(1, 1, 2);
+        c.set(GroupId(0), QueryId(0), LocationId(0), 0.5);
+        let idx = IndexSet::build(&c);
+        assert!(!idx.is_complete());
+        assert_eq!(idx.group_list(QueryId(0), LocationId(1)).len(), 0);
+    }
+
+    #[test]
+    fn list_for_dispatches() {
+        let cube = small_cube();
+        let idx = IndexSet::build(&cube);
+        assert_eq!(
+            idx.list_for(Dimension::Group, (1, 1)).random_access(0),
+            cube.get(GroupId(0), QueryId(1), LocationId(1))
+        );
+        assert_eq!(
+            idx.list_for(Dimension::Query, (1, 0)).random_access(1),
+            cube.get(GroupId(1), QueryId(1), LocationId(0))
+        );
+        assert_eq!(
+            idx.list_for(Dimension::Location, (0, 1)).random_access(1),
+            cube.get(GroupId(0), QueryId(1), LocationId(1))
+        );
+    }
+}

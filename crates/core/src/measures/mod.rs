@@ -1,0 +1,14 @@
+//! Distance and exposure measures used by the unfairness definitions
+//! (paper §3.2–3.3).
+
+pub mod emd;
+pub mod exposure;
+pub mod histogram;
+pub mod jaccard;
+pub mod kendall;
+pub mod relevance;
+
+pub use emd::{emd_1d, emd_1d_normalized, emd_general, emd_general_1d};
+pub use exposure::{exposure_unfairness, total_exposure, DiscountModel};
+pub use histogram::{BinConfig, Histogram};
+pub use relevance::{relevance_from_rank, relevance_vector};

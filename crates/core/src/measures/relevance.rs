@@ -1,0 +1,72 @@
+//! Rank-derived relevance scores (paper §3.3.1).
+//!
+//! Marketplaces rarely publish the internal score `f_q^l(w)` that produced
+//! a ranking, but the rank itself is observable. The paper therefore
+//! derives a relevance score from the rank:
+//!
+//! `rel_q^l(w) = 1 − rank(w, q, l) / N`
+//!
+//! where `N` is the result-set size. With ranks 1-based this maps rank 1 to
+//! `1 − 1/N` (0.9 in the paper's Table 3 with `N = 10`) and rank `N` to 0.
+
+/// Relevance of the worker at 1-based `rank` within a result set of `n`
+/// workers: `1 − rank/n`.
+///
+/// # Panics
+///
+/// Panics if `rank` is 0 or exceeds `n`.
+pub fn relevance_from_rank(rank: usize, n: usize) -> f64 {
+    assert!(rank >= 1, "ranks are 1-based");
+    assert!(rank <= n, "rank {rank} exceeds result-set size {n}");
+    1.0 - rank as f64 / n as f64
+}
+
+/// Relevance scores for a full result set of size `n`, indexed by rank − 1.
+pub fn relevance_vector(n: usize) -> Vec<f64> {
+    (1..=n).map(|r| relevance_from_rank(r, n)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_table3() {
+        // Table 3: N = 10; rank 1 → 0.9, rank 2 → 0.8, …, rank 10 → 0.0.
+        for rank in 1..=10 {
+            let expected = (10 - rank) as f64 / 10.0;
+            assert!((relevance_from_rank(rank, 10) - expected).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn top_rank_never_reaches_one() {
+        assert!(relevance_from_rank(1, 50) < 1.0);
+    }
+
+    #[test]
+    fn bottom_rank_is_zero() {
+        assert_eq!(relevance_from_rank(50, 50), 0.0);
+    }
+
+    #[test]
+    fn vector_is_strictly_decreasing() {
+        let v = relevance_vector(50);
+        assert_eq!(v.len(), 50);
+        for w in v.windows(2) {
+            assert!(w[0] > w[1]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds result-set size")]
+    fn rank_beyond_n_rejected() {
+        relevance_from_rank(11, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn rank_zero_rejected() {
+        relevance_from_rank(0, 10);
+    }
+}

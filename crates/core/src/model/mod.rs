@@ -1,0 +1,10 @@
+//! Data model: protected attributes, group labels, and the study universe
+//! (paper §3.1).
+
+mod attribute;
+mod group;
+mod universe;
+
+pub use attribute::{AttrId, Attribute, Schema, ValueId};
+pub use group::{all_groups, full_groups, GroupLabel};
+pub use universe::{GroupId, LocationDef, LocationId, QueryDef, QueryId, Universe};

@@ -1,0 +1,221 @@
+//! Raw observations collected from a platform, before any unfairness is
+//! computed.
+//!
+//! The F-Box consumes exactly what the paper's crawls produced:
+//!
+//! - from a **search engine** (Google job search): for each `(query,
+//!   location)`, one ranked result list per study participant, plus the
+//!   participant's protected-attribute assignment (§3.2, Table 1);
+//! - from a **marketplace** (TaskRabbit): for each `(query, location)`, one
+//!   ranked list of workers with their protected-attribute assignments and
+//!   optionally the platform's scores `f_q^l(w)` (§3.3, Tables 2–3).
+//!
+//! Attribute assignments are *full* assignments over the study
+//! [`Schema`](crate::model::Schema): `assignment[a]` holds the individual's
+//! value for attribute id `a`. Group membership for any [`GroupLabel`]
+//! (including single-attribute groups like "Male") is decided by
+//! [`GroupLabel::matches`].
+//!
+//! [`GroupLabel`]: crate::model::GroupLabel
+//! [`GroupLabel::matches`]: crate::model::GroupLabel::matches
+
+use crate::model::{LocationId, QueryId, ValueId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One study participant's observed result list for one `(query, location)`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UserList {
+    /// The participant's full protected-attribute assignment.
+    pub assignment: Vec<ValueId>,
+    /// Result items (e.g. job-posting ids) in rank order, best first.
+    pub results: Vec<u64>,
+}
+
+/// One ranked worker in a marketplace result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RankedWorker {
+    /// The worker's full protected-attribute assignment.
+    pub assignment: Vec<ValueId>,
+    /// 1-based rank within the result set.
+    pub rank: usize,
+    /// The platform's score `f_q^l(w)`, when observable. `None` triggers
+    /// the rank-derived relevance fallback (`1 − rank/N`, §3.3.1).
+    pub score: Option<f64>,
+}
+
+/// The ranked worker list returned by a marketplace for one
+/// `(query, location)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct MarketRanking {
+    workers: Vec<RankedWorker>,
+}
+
+impl MarketRanking {
+    /// Builds a ranking, sorting by rank and validating that ranks are the
+    /// contiguous sequence `1..=N`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate or gapped ranks — a crawled result page always
+    /// yields a contiguous ranking, so anything else is a data bug.
+    pub fn new(mut workers: Vec<RankedWorker>) -> Self {
+        workers.sort_by_key(|w| w.rank);
+        for (i, w) in workers.iter().enumerate() {
+            assert_eq!(
+                w.rank,
+                i + 1,
+                "ranks must be the contiguous sequence 1..=N (got {} at position {})",
+                w.rank,
+                i
+            );
+        }
+        Self { workers }
+    }
+
+    /// The workers, sorted by rank.
+    pub fn workers(&self) -> &[RankedWorker] {
+        &self.workers
+    }
+
+    /// Result-set size `N`.
+    pub fn len(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Whether the result set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.workers.is_empty()
+    }
+
+    /// The relevance of the worker at `index` (0-based): the platform score
+    /// if present, else the rank-derived `1 − rank/N`.
+    pub fn relevance(&self, index: usize) -> f64 {
+        let w = &self.workers[index];
+        w.score
+            .unwrap_or_else(|| crate::measures::relevance_from_rank(w.rank, self.len()))
+    }
+}
+
+/// All search-engine observations of a study, keyed by `(query, location)`.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SearchObservations {
+    samples: HashMap<(QueryId, LocationId), Vec<UserList>>,
+}
+
+impl SearchObservations {
+    /// An empty observation set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a participant's list for `(q, l)`.
+    pub fn push(&mut self, q: QueryId, l: LocationId, list: UserList) {
+        self.samples.entry((q, l)).or_default().push(list);
+    }
+
+    /// The participant lists observed for `(q, l)`, if any.
+    pub fn get(&self, q: QueryId, l: LocationId) -> Option<&[UserList]> {
+        self.samples.get(&(q, l)).map(Vec::as_slice)
+    }
+
+    /// Number of `(q, l)` cells with data.
+    pub fn n_cells(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Iterates over all `(q, l)` cells.
+    pub fn cells(&self) -> impl Iterator<Item = ((QueryId, LocationId), &[UserList])> {
+        self.samples.iter().map(|(&k, v)| (k, v.as_slice()))
+    }
+}
+
+/// All marketplace observations of a study, keyed by `(query, location)`.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MarketObservations {
+    rankings: HashMap<(QueryId, LocationId), MarketRanking>,
+}
+
+impl MarketObservations {
+    /// An empty observation set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the ranking crawled for `(q, l)`. Replaces any previous
+    /// ranking for the same cell (a re-crawl supersedes the old page).
+    pub fn insert(&mut self, q: QueryId, l: LocationId, ranking: MarketRanking) {
+        self.rankings.insert((q, l), ranking);
+    }
+
+    /// The ranking observed for `(q, l)`, if any.
+    pub fn get(&self, q: QueryId, l: LocationId) -> Option<&MarketRanking> {
+        self.rankings.get(&(q, l))
+    }
+
+    /// Number of `(q, l)` cells with data.
+    pub fn n_cells(&self) -> usize {
+        self.rankings.len()
+    }
+
+    /// Iterates over all `(q, l)` cells.
+    pub fn cells(&self) -> impl Iterator<Item = ((QueryId, LocationId), &MarketRanking)> {
+        self.rankings.iter().map(|(&k, v)| (k, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vid(v: u16) -> ValueId {
+        ValueId(v)
+    }
+
+    #[test]
+    fn market_ranking_sorts_and_validates() {
+        let r = MarketRanking::new(vec![
+            RankedWorker { assignment: vec![vid(0)], rank: 2, score: None },
+            RankedWorker { assignment: vec![vid(1)], rank: 1, score: Some(0.9) },
+        ]);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.workers()[0].rank, 1);
+        assert_eq!(r.relevance(0), 0.9); // provided score wins
+        assert_eq!(r.relevance(1), 0.0); // 1 − 2/2 fallback
+    }
+
+    #[test]
+    #[should_panic(expected = "contiguous")]
+    fn market_ranking_rejects_gaps() {
+        MarketRanking::new(vec![
+            RankedWorker { assignment: vec![], rank: 1, score: None },
+            RankedWorker { assignment: vec![], rank: 3, score: None },
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "contiguous")]
+    fn market_ranking_rejects_duplicates() {
+        MarketRanking::new(vec![
+            RankedWorker { assignment: vec![], rank: 1, score: None },
+            RankedWorker { assignment: vec![], rank: 1, score: None },
+        ]);
+    }
+
+    #[test]
+    fn observation_stores_roundtrip() {
+        let q = QueryId(0);
+        let l = LocationId(0);
+        let mut s = SearchObservations::new();
+        s.push(q, l, UserList { assignment: vec![vid(0)], results: vec![1, 2, 3] });
+        s.push(q, l, UserList { assignment: vec![vid(1)], results: vec![3, 2, 1] });
+        assert_eq!(s.get(q, l).unwrap().len(), 2);
+        assert_eq!(s.get(q, LocationId(9)), None);
+        assert_eq!(s.n_cells(), 1);
+
+        let mut m = MarketObservations::new();
+        m.insert(q, l, MarketRanking::new(vec![]));
+        assert!(m.get(q, l).unwrap().is_empty());
+        assert_eq!(m.n_cells(), 1);
+    }
+}

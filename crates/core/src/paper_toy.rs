@@ -1,0 +1,158 @@
+//! The paper's running toy examples (Tables 1–3, Figures 1–5), as reusable
+//! fixtures.
+//!
+//! These are used by unit tests, the `quickstart` example, and the
+//! `repro-figures` binary to pin the framework's arithmetic to the numbers
+//! printed in the paper (most precisely Figure 5's exposure computation:
+//! `0.94 / (0.94 + 4.0) = 0.19`, `0.5 / (0.5 + 2.9) = 0.15`,
+//! `|0.19 − 0.15| = 0.04`).
+
+use crate::model::{Schema, Universe, ValueId};
+use crate::observations::{MarketRanking, RankedWorker, UserList};
+
+/// Gender values of the toy schema, in [`Schema::gender_ethnicity`] order.
+pub const MALE: ValueId = ValueId(0);
+/// Female gender value.
+pub const FEMALE: ValueId = ValueId(1);
+/// Asian ethnicity value.
+pub const ASIAN: ValueId = ValueId(0);
+/// Black ethnicity value.
+pub const BLACK: ValueId = ValueId(1);
+/// White ethnicity value.
+pub const WHITE: ValueId = ValueId(2);
+
+/// Builds `[gender, ethnicity]` assignments tersely.
+pub fn person(gender: ValueId, ethnicity: ValueId) -> Vec<ValueId> {
+    vec![gender, ethnicity]
+}
+
+/// The universe shared by the toy examples: the gender × ethnicity schema
+/// with the full 11-group lattice.
+pub fn toy_universe() -> Universe {
+    Universe::with_all_groups(Schema::gender_ethnicity())
+}
+
+/// Table 2's demographic assignments for workers w1…w10.
+///
+/// `(gender, ethnicity)` per worker; the paper also lists a nationality
+/// column, which its own unfairness computations ignore (groups are built
+/// from gender and ethnicity only), so it is omitted here.
+pub fn table2_demographics() -> Vec<Vec<ValueId>> {
+    vec![
+        person(FEMALE, ASIAN), // w1
+        person(MALE, WHITE),   // w2
+        person(FEMALE, WHITE), // w3
+        person(MALE, ASIAN),   // w4
+        person(FEMALE, BLACK), // w5
+        person(MALE, BLACK),   // w6
+        person(FEMALE, BLACK), // w7
+        person(MALE, BLACK),   // w8
+        person(MALE, WHITE),   // w9
+        person(FEMALE, WHITE), // w10
+    ]
+}
+
+/// Table 3's ranking of the ten workers for "Home Cleaning" in San
+/// Francisco, with the paper's scores `f_q^l(w)`:
+/// w3 (0.9), w8 (0.8), w6 (0.7), w2 (0.6), w1 (0.5), w4 (0.4), w7 (0.3),
+/// w5 (0.2), w9 (0.1), w10 (0.0).
+///
+/// Returns the toy universe alongside the ranking. Note the scores equal
+/// the rank-derived relevance `1 − rank/10`, so Figure 4/5 arithmetic is
+/// identical whether scores are taken as given or derived.
+pub fn table3_ranking() -> (Universe, MarketRanking) {
+    let universe = toy_universe();
+    let demo = table2_demographics();
+    // (worker index 0-based, rank, score)
+    let rows = [
+        (2usize, 1usize, 0.9), // w3
+        (7, 2, 0.8),           // w8
+        (5, 3, 0.7),           // w6
+        (1, 4, 0.6),           // w2
+        (0, 5, 0.5),           // w1
+        (3, 6, 0.4),           // w4
+        (6, 7, 0.3),           // w7
+        (4, 8, 0.2),           // w5
+        (8, 9, 0.1),           // w9
+        (9, 10, 0.0),          // w10
+    ];
+    let workers = rows
+        .iter()
+        .map(|&(w, rank, score)| RankedWorker {
+            assignment: demo[w].clone(),
+            rank,
+            score: Some(score),
+        })
+        .collect();
+    (universe, MarketRanking::new(workers))
+}
+
+/// Table 1's top-3 search results for ten users of a search engine for
+/// "Home Cleaning" in San Francisco. Result items a…e are encoded as 0…4.
+///
+/// The users carry the same demographic assignments as Table 2's workers,
+/// which is how Figure 3 pairs "Black Female" users with "Asian Female"
+/// users.
+pub fn table1_lists() -> (Universe, Vec<UserList>) {
+    let universe = toy_universe();
+    let demo = table2_demographics();
+    const A: u64 = 0;
+    const B: u64 = 1;
+    const C: u64 = 2;
+    const D: u64 = 3;
+    const E: u64 = 4;
+    let tops: [[u64; 3]; 10] = [
+        [B, D, E], // w1
+        [D, B, E], // w2
+        [A, B, C], // w3
+        [B, A, C], // w4
+        [A, B, C], // w5
+        [D, A, B], // w6
+        [A, B, D], // w7
+        [D, A, B], // w8
+        [A, B, C], // w9
+        [A, B, C], // w10
+    ];
+    let lists = demo
+        .into_iter()
+        .zip(tops)
+        .map(|(assignment, results)| UserList {
+            assignment,
+            results: results.to_vec(),
+        })
+        .collect();
+    (universe, lists)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_scores_equal_rank_relevance() {
+        let (_, ranking) = table3_ranking();
+        assert_eq!(ranking.len(), 10);
+        for (i, w) in ranking.workers().iter().enumerate() {
+            let derived = crate::measures::relevance_from_rank(w.rank, 10);
+            assert!((w.score.unwrap() - derived).abs() < 1e-12);
+            assert!((ranking.relevance(i) - derived).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn table2_black_females_are_w5_w7() {
+        let u = toy_universe();
+        let bf = u.group_id_by_text("gender=Female & ethnicity=Black").unwrap();
+        let label = u.group(bf).clone();
+        let demo = table2_demographics();
+        let members: Vec<usize> = (0..10).filter(|&i| label.matches(&demo[i])).collect();
+        assert_eq!(members, vec![4, 6]); // w5, w7 (0-based)
+    }
+
+    #[test]
+    fn table1_lists_are_top3() {
+        let (_, lists) = table1_lists();
+        assert_eq!(lists.len(), 10);
+        assert!(lists.iter().all(|l| l.results.len() == 3));
+    }
+}

@@ -1,0 +1,356 @@
+//! The unfairness value `d⟨g,q,l⟩` for one cell, for both site types
+//! (paper §3.2–3.3).
+//!
+//! Both drivers follow Eq. 1/2: contrast group `g` against each of its
+//! *comparable groups* and average. Cells where `g` or every comparable
+//! group lacks data yield `None` — unfairness against nobody is undefined,
+//! and the aggregation layer treats such cells as missing.
+
+use crate::measures::{
+    self, exposure_unfairness, BinConfig, DiscountModel, Histogram,
+};
+use crate::model::{GroupId, Universe};
+use crate::observations::{MarketRanking, UserList};
+use serde::{Deserialize, Serialize};
+
+/// List-distance choice for search-engine unfairness (Eq. 1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SearchMeasure {
+    /// Fagin `K^(p)` Kendall-Tau distance between top-k lists.
+    KendallTopK {
+        /// Penalty for pairs whose relative order is unknowable; the
+        /// framework defaults to the neutral `0.5`.
+        penalty: f64,
+    },
+    /// Jaccard distance (1 − Jaccard index) between result sets.
+    JaccardDistance,
+}
+
+impl SearchMeasure {
+    /// The default Kendall variant (`p = 0.5`).
+    pub fn kendall() -> Self {
+        SearchMeasure::KendallTopK { penalty: 0.5 }
+    }
+
+    /// Distance between two users' result lists.
+    pub fn distance(&self, a: &[u64], b: &[u64]) -> f64 {
+        match *self {
+            SearchMeasure::KendallTopK { penalty } => {
+                measures::kendall::top_k_distance(a, b, penalty)
+            }
+            SearchMeasure::JaccardDistance => measures::jaccard::distance(a, b),
+        }
+    }
+}
+
+/// Distribution-distance choice for marketplace unfairness (Eq. 2 /
+/// §3.3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum MarketMeasure {
+    /// Earth Mover's Distance between relevance histograms, normalized to
+    /// `[0, 1]`.
+    Emd {
+        /// Number of histogram bins over the `[0, 1]` relevance range.
+        bins: usize,
+    },
+    /// Exposure-vs-relevance share deviation.
+    Exposure {
+        /// Position-discount model (the paper uses natural log).
+        model: DiscountModel,
+    },
+}
+
+impl MarketMeasure {
+    /// The paper's EMD configuration: ten bins over `[0, 1]`.
+    pub fn emd() -> Self {
+        MarketMeasure::Emd { bins: 10 }
+    }
+
+    /// The paper's exposure configuration: natural-log discount.
+    pub fn exposure() -> Self {
+        MarketMeasure::Exposure { model: DiscountModel::NaturalLog }
+    }
+}
+
+/// Search-engine unfairness `d⟨g,q,l⟩` (Eq. 1): for each comparable group
+/// `g'`, average the list distance over all user pairs `(u ∈ g, u' ∈ g')`,
+/// then average over comparable groups.
+///
+/// Returns `None` when `g` has no users in the sample or no comparable
+/// group does.
+pub fn search_cell_unfairness(
+    universe: &Universe,
+    lists: &[UserList],
+    g: GroupId,
+    measure: SearchMeasure,
+) -> Option<f64> {
+    let g_label = universe.group(g);
+    let members: Vec<&UserList> = lists
+        .iter()
+        .filter(|u| g_label.matches(&u.assignment))
+        .collect();
+    if members.is_empty() {
+        return None;
+    }
+
+    let mut per_group = Vec::new();
+    for g_cmp in universe.comparable_group_ids(g) {
+        let cmp_label = universe.group(g_cmp);
+        let others: Vec<&UserList> = lists
+            .iter()
+            .filter(|u| cmp_label.matches(&u.assignment))
+            .collect();
+        if others.is_empty() {
+            continue;
+        }
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for u in &members {
+            for v in &others {
+                sum += measure.distance(&u.results, &v.results);
+                n += 1;
+            }
+        }
+        per_group.push(sum / n as f64);
+    }
+    average(&per_group)
+}
+
+/// Marketplace unfairness `d⟨g,q,l⟩` for one crawled ranking.
+///
+/// - [`MarketMeasure::Emd`] (Eq. 2): normalized EMD between the relevance
+///   histogram of `g` and each comparable group's, averaged.
+/// - [`MarketMeasure::Exposure`] (§3.3.2): deviation between `g`'s exposure
+///   share and relevance share over the pool `g ∪ comparables(g)`.
+///
+/// Returns `None` when `g` has no workers in the ranking or no comparable
+/// group does.
+pub fn market_cell_unfairness(
+    universe: &Universe,
+    ranking: &MarketRanking,
+    g: GroupId,
+    measure: MarketMeasure,
+) -> Option<f64> {
+    match measure {
+        MarketMeasure::Emd { bins } => market_emd(universe, ranking, g, bins),
+        MarketMeasure::Exposure { model } => market_exposure(universe, ranking, g, model),
+    }
+}
+
+fn market_emd(
+    universe: &Universe,
+    ranking: &MarketRanking,
+    g: GroupId,
+    bins: usize,
+) -> Option<f64> {
+    let cfg = BinConfig::unit(bins);
+    let g_hist = group_histogram(universe, ranking, g, cfg);
+    if g_hist.is_empty() {
+        return None;
+    }
+    let mut dists = Vec::new();
+    for g_cmp in universe.comparable_group_ids(g) {
+        let h = group_histogram(universe, ranking, g_cmp, cfg);
+        if let Some(d) = measures::emd_1d_normalized(&g_hist, &h) {
+            dists.push(d);
+        }
+    }
+    average(&dists)
+}
+
+fn group_histogram(
+    universe: &Universe,
+    ranking: &MarketRanking,
+    g: GroupId,
+    cfg: BinConfig,
+) -> Histogram {
+    let label = universe.group(g);
+    let mut h = Histogram::empty(cfg);
+    for (i, w) in ranking.workers().iter().enumerate() {
+        if label.matches(&w.assignment) {
+            h.add(ranking.relevance(i));
+        }
+    }
+    h
+}
+
+fn market_exposure(
+    universe: &Universe,
+    ranking: &MarketRanking,
+    g: GroupId,
+    model: DiscountModel,
+) -> Option<f64> {
+    let g_label = universe.group(g);
+    let comparables: Vec<_> = universe
+        .comparable_group_ids(g)
+        .into_iter()
+        .map(|c| universe.group(c).clone())
+        .collect();
+    if comparables.is_empty() {
+        return None;
+    }
+
+    let (mut g_exp, mut g_rel) = (0.0f64, 0.0f64);
+    let (mut pool_exp, mut pool_rel) = (0.0f64, 0.0f64);
+    let mut g_seen = false;
+    let mut cmp_seen = false;
+    for (i, w) in ranking.workers().iter().enumerate() {
+        let in_g = g_label.matches(&w.assignment);
+        let in_cmp = comparables.iter().any(|c| c.matches(&w.assignment));
+        if !in_g && !in_cmp {
+            continue;
+        }
+        let exp = model.exposure(w.rank);
+        let rel = ranking.relevance(i);
+        pool_exp += exp;
+        pool_rel += rel;
+        if in_g {
+            g_exp += exp;
+            g_rel += rel;
+            g_seen = true;
+        }
+        if in_cmp {
+            cmp_seen = true;
+        }
+    }
+    if !g_seen || !cmp_seen {
+        return None;
+    }
+    exposure_unfairness(g_exp, pool_exp, g_rel, pool_rel)
+}
+
+fn average(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        None
+    } else {
+        Some(values.iter().sum::<f64>() / values.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Schema;
+    use crate::observations::RankedWorker;
+    use crate::paper_toy;
+
+    /// Search sample with two distinguishable groups.
+    fn two_group_lists(identical: bool) -> (Universe, Vec<UserList>) {
+        let universe = Universe::with_all_groups(Schema::gender_ethnicity());
+        // assignment = [gender, ethnicity]; Male=0/Female=1; Asian=0.
+        let male = vec![crate::model::ValueId(0), crate::model::ValueId(0)];
+        let female = vec![crate::model::ValueId(1), crate::model::ValueId(0)];
+        let list_a = vec![1, 2, 3];
+        let list_b = if identical { vec![1, 2, 3] } else { vec![7, 8, 9] };
+        let lists = vec![
+            UserList { assignment: male.clone(), results: list_a.clone() },
+            UserList { assignment: male, results: list_a.clone() },
+            UserList { assignment: female.clone(), results: list_b.clone() },
+            UserList { assignment: female, results: list_b },
+        ];
+        (universe, lists)
+    }
+
+    #[test]
+    fn identical_lists_are_perfectly_fair() {
+        let (u, lists) = two_group_lists(true);
+        let male = u.group_id_by_text("gender=Male").unwrap();
+        for m in [SearchMeasure::kendall(), SearchMeasure::JaccardDistance] {
+            let d = search_cell_unfairness(&u, &lists, male, m).unwrap();
+            assert!(d.abs() < 1e-12, "{m:?} gave {d}");
+        }
+    }
+
+    #[test]
+    fn disjoint_lists_are_maximally_unfair() {
+        let (u, lists) = two_group_lists(false);
+        let male = u.group_id_by_text("gender=Male").unwrap();
+        for m in [SearchMeasure::kendall(), SearchMeasure::JaccardDistance] {
+            let d = search_cell_unfairness(&u, &lists, male, m).unwrap();
+            assert!((d - 1.0).abs() < 1e-12, "{m:?} gave {d}");
+        }
+    }
+
+    #[test]
+    fn missing_group_yields_none() {
+        let (u, lists) = two_group_lists(true);
+        // No Black users in the sample.
+        let black = u.group_id_by_text("ethnicity=Black").unwrap();
+        assert_eq!(
+            search_cell_unfairness(&u, &lists, black, SearchMeasure::JaccardDistance),
+            None
+        );
+    }
+
+    #[test]
+    fn figure5_exposure_value_reproduced() {
+        // The paper's Figure 5: Black Females in the Table 3 ranking have
+        // exposure unfairness ≈ 0.04.
+        let (universe, ranking) = paper_toy::table3_ranking();
+        let bf = universe
+            .group_id_by_text("gender=Female & ethnicity=Black")
+            .unwrap();
+        let d = market_cell_unfairness(&universe, &ranking, bf, MarketMeasure::exposure())
+            .unwrap();
+        assert!((d - 0.04).abs() < 0.005, "got {d}");
+    }
+
+    #[test]
+    fn emd_zero_for_interleaved_groups() {
+        // Alternating Male/Female down the ranking → near-identical
+        // relevance histograms → EMD ≈ 0.
+        let universe = Universe::with_all_groups(Schema::gender_ethnicity());
+        let workers: Vec<RankedWorker> = (1..=10)
+            .map(|rank| RankedWorker {
+                assignment: vec![
+                    crate::model::ValueId((rank % 2) as u16),
+                    crate::model::ValueId(0),
+                ],
+                rank,
+                score: None,
+            })
+            .collect();
+        let ranking = MarketRanking::new(workers);
+        let male = universe.group_id_by_text("gender=Male").unwrap();
+        let d =
+            market_cell_unfairness(&universe, &ranking, male, MarketMeasure::emd()).unwrap();
+        assert!(d < 0.15, "interleaved groups should be nearly fair, got {d}");
+    }
+
+    #[test]
+    fn emd_large_for_segregated_groups() {
+        // All Males on top, all Females at the bottom.
+        let universe = Universe::with_all_groups(Schema::gender_ethnicity());
+        let workers: Vec<RankedWorker> = (1..=10)
+            .map(|rank| RankedWorker {
+                assignment: vec![
+                    crate::model::ValueId(if rank <= 5 { 0 } else { 1 }),
+                    crate::model::ValueId(0),
+                ],
+                rank,
+                score: None,
+            })
+            .collect();
+        let ranking = MarketRanking::new(workers);
+        let male = universe.group_id_by_text("gender=Male").unwrap();
+        let d =
+            market_cell_unfairness(&universe, &ranking, male, MarketMeasure::emd()).unwrap();
+        assert!(d > 0.4, "segregated groups should be clearly unfair, got {d}");
+    }
+
+    #[test]
+    fn exposure_none_when_group_absent() {
+        let universe = Universe::with_all_groups(Schema::gender_ethnicity());
+        let workers = vec![RankedWorker {
+            assignment: vec![crate::model::ValueId(0), crate::model::ValueId(0)],
+            rank: 1,
+            score: None,
+        }];
+        let ranking = MarketRanking::new(workers);
+        let female = universe.group_id_by_text("gender=Female").unwrap();
+        assert_eq!(
+            market_cell_unfairness(&universe, &ranking, female, MarketMeasure::exposure()),
+            None
+        );
+    }
+}

@@ -1,0 +1,227 @@
+//! Property-based tests for the core invariants.
+//!
+//! The load-bearing one is `ta_equals_naive_*`: on any complete cube the
+//! threshold algorithm must return exactly the same top-k values as the
+//! full scan — that is the correctness claim behind the paper's §4.2.
+
+use fbox_core::algo::{compare, naive_top_k, nra_top_k, top_k, Entity, RankOrder, Restriction};
+use fbox_core::index::{Dimension, IndexSet};
+use fbox_core::measures::{self, BinConfig, DiscountModel, Histogram};
+use fbox_core::model::{GroupId, LocationId, QueryId};
+use fbox_core::UnfairnessCube;
+use proptest::prelude::*;
+
+/// Strategy: a complete cube with the given dimension bounds and values in
+/// [0, 1].
+fn complete_cube(
+    max_g: usize,
+    max_q: usize,
+    max_l: usize,
+) -> impl Strategy<Value = UnfairnessCube> {
+    (1..=max_g, 1..=max_q, 1..=max_l)
+        .prop_flat_map(|(ng, nq, nl)| {
+            proptest::collection::vec(0.0f64..=1.0, ng * nq * nl)
+                .prop_map(move |vals| {
+                    let mut c = UnfairnessCube::with_dims(ng, nq, nl);
+                    let mut it = vals.into_iter();
+                    for g in 0..ng as u32 {
+                        for q in 0..nq as u32 {
+                            for l in 0..nl as u32 {
+                                c.set(GroupId(g), QueryId(q), LocationId(l), it.next().unwrap());
+                            }
+                        }
+                    }
+                    c
+                })
+        })
+}
+
+/// Values of a top-k result (the comparable part under ties).
+fn values(entries: &[(u32, f64)]) -> Vec<f64> {
+    entries.iter().map(|&(_, v)| v).collect()
+}
+
+fn assert_close(a: &[f64], b: &[f64]) {
+    assert_eq!(a.len(), b.len(), "result lengths differ: {a:?} vs {b:?}");
+    for (x, y) in a.iter().zip(b) {
+        assert!((x - y).abs() < 1e-9, "{a:?} vs {b:?}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ta_equals_naive_most_unfair(cube in complete_cube(12, 5, 5), k in 1usize..8) {
+        let idx = IndexSet::build(&cube);
+        for dim in [Dimension::Group, Dimension::Query, Dimension::Location] {
+            let ta = top_k(&idx, dim, k, RankOrder::MostUnfair, &Restriction::none());
+            let nv = naive_top_k(&cube, dim, k, RankOrder::MostUnfair, &Restriction::none());
+            assert_close(&values(&ta.entries), &values(&nv.entries));
+        }
+    }
+
+    #[test]
+    fn ta_equals_naive_least_unfair(cube in complete_cube(12, 5, 5), k in 1usize..8) {
+        let idx = IndexSet::build(&cube);
+        for dim in [Dimension::Group, Dimension::Query, Dimension::Location] {
+            let ta = top_k(&idx, dim, k, RankOrder::LeastUnfair, &Restriction::none());
+            let nv = naive_top_k(&cube, dim, k, RankOrder::LeastUnfair, &Restriction::none());
+            assert_close(&values(&ta.entries), &values(&nv.entries));
+        }
+    }
+
+    #[test]
+    fn nra_equals_naive(cube in complete_cube(12, 4, 4), k in 1usize..8) {
+        let idx = IndexSet::build(&cube);
+        for dim in [Dimension::Group, Dimension::Query, Dimension::Location] {
+            for order in [RankOrder::MostUnfair, RankOrder::LeastUnfair] {
+                let nra = nra_top_k(&idx, dim, k, order, &Restriction::none());
+                let nv = naive_top_k(&cube, dim, k, order, &Restriction::none());
+                assert_close(&values(&nra.entries), &values(&nv.entries));
+            }
+        }
+    }
+
+    #[test]
+    fn ta_equals_naive_under_restriction(cube in complete_cube(8, 4, 4), k in 1usize..5) {
+        let idx = IndexSet::build(&cube);
+        // Restrict the aggregated dimensions to a prefix subset.
+        let restrict = Restriction {
+            groups: None,
+            queries: Some((0..cube.n_queries().max(1) as u32 / 2 + 1).collect()),
+            locations: Some((0..cube.n_locations().max(1) as u32 / 2 + 1).collect()),
+        };
+        let ta = top_k(&idx, Dimension::Group, k, RankOrder::MostUnfair, &restrict);
+        let nv = naive_top_k(&cube, Dimension::Group, k, RankOrder::MostUnfair, &restrict);
+        assert_close(&values(&ta.entries), &values(&nv.entries));
+    }
+
+    #[test]
+    fn topk_reported_aggregates_are_correct(cube in complete_cube(10, 4, 4), k in 1usize..6) {
+        let idx = IndexSet::build(&cube);
+        let queries: Vec<QueryId> = (0..cube.n_queries() as u32).map(QueryId).collect();
+        let locations: Vec<LocationId> = (0..cube.n_locations() as u32).map(LocationId).collect();
+        let ta = top_k(&idx, Dimension::Group, k, RankOrder::MostUnfair, &Restriction::none());
+        for (id, v) in &ta.entries {
+            let expected = cube.avg_group(GroupId(*id), &queries, &locations).unwrap();
+            prop_assert!((v - expected).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn comparison_rows_consistent_with_cube(cube in complete_cube(6, 4, 4)) {
+        prop_assume!(cube.n_groups() >= 2);
+        let idx = IndexSet::build(&cube);
+        let out = compare(
+            &idx,
+            Entity::Group(GroupId(0)),
+            Entity::Group(GroupId(1)),
+            Dimension::Location,
+            None,
+            &Restriction::none(),
+        ).unwrap();
+        let queries: Vec<QueryId> = (0..cube.n_queries() as u32).map(QueryId).collect();
+        let overall_order = out.overall1.partial_cmp(&out.overall2).unwrap();
+        for row in &out.rows {
+            // Row values match direct cube aggregation.
+            let d1 = cube.avg_group(GroupId(0), &queries, &[LocationId(row.entity)]).unwrap();
+            let d2 = cube.avg_group(GroupId(1), &queries, &[LocationId(row.entity)]).unwrap();
+            prop_assert!((row.d1 - d1).abs() < 1e-9);
+            prop_assert!((row.d2 - d2).abs() < 1e-9);
+            // The reversal flag is exactly "strict order differs".
+            let row_order = row.d1.partial_cmp(&row.d2).unwrap();
+            prop_assert_eq!(row.reversed, row_order != overall_order);
+        }
+    }
+
+    #[test]
+    fn kendall_top_k_is_a_bounded_symmetric_distance(
+        a in proptest::collection::vec(0u64..30, 0..10),
+        b in proptest::collection::vec(0u64..30, 0..10),
+        p in 0.0f64..=1.0,
+    ) {
+        let mut da = a.clone();
+        da.sort_unstable();
+        da.dedup();
+        let mut db = b.clone();
+        db.sort_unstable();
+        db.dedup();
+        let d_ab = measures::kendall::top_k_distance(&da, &db, p);
+        let d_ba = measures::kendall::top_k_distance(&db, &da, p);
+        prop_assert!((0.0..=1.0).contains(&d_ab));
+        prop_assert!((d_ab - d_ba).abs() < 1e-12);
+        prop_assert!(measures::kendall::top_k_distance(&da, &da, p).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaccard_is_a_bounded_symmetric_distance(
+        a in proptest::collection::vec(0u64..20, 0..12),
+        b in proptest::collection::vec(0u64..20, 0..12),
+    ) {
+        let d_ab = measures::jaccard::distance(&a, &b);
+        let d_ba = measures::jaccard::distance(&b, &a);
+        prop_assert!((0.0..=1.0).contains(&d_ab));
+        prop_assert!((d_ab - d_ba).abs() < 1e-12);
+        prop_assert!(measures::jaccard::distance(&a, &a).abs() < 1e-12);
+    }
+
+    #[test]
+    fn emd_metric_properties(
+        va in proptest::collection::vec(0.0f64..=1.0, 1..20),
+        vb in proptest::collection::vec(0.0f64..=1.0, 1..20),
+        vc in proptest::collection::vec(0.0f64..=1.0, 1..20),
+    ) {
+        let cfg = BinConfig::unit(8);
+        let a = Histogram::from_values(cfg, va.iter().copied());
+        let b = Histogram::from_values(cfg, vb.iter().copied());
+        let c = Histogram::from_values(cfg, vc.iter().copied());
+        let ab = measures::emd_1d(&a, &b).unwrap();
+        let ba = measures::emd_1d(&b, &a).unwrap();
+        let bc = measures::emd_1d(&b, &c).unwrap();
+        let ac = measures::emd_1d(&a, &c).unwrap();
+        // Non-negativity, symmetry, identity, triangle inequality.
+        prop_assert!(ab >= 0.0);
+        prop_assert!((ab - ba).abs() < 1e-12);
+        prop_assert!(measures::emd_1d(&a, &a).unwrap().abs() < 1e-12);
+        prop_assert!(ac <= ab + bc + 1e-9);
+    }
+
+    #[test]
+    fn emd_general_matches_closed_form(
+        va in proptest::collection::vec(0.0f64..=1.0, 1..16),
+        vb in proptest::collection::vec(0.0f64..=1.0, 1..16),
+    ) {
+        let cfg = BinConfig::unit(6);
+        let a = Histogram::from_values(cfg, va.iter().copied());
+        let b = Histogram::from_values(cfg, vb.iter().copied());
+        let closed = measures::emd_1d(&a, &b).unwrap();
+        let general = measures::emd_general_1d(&a, &b).unwrap();
+        prop_assert!((closed - general).abs() < 1e-6, "closed={closed}, general={general}");
+    }
+
+    #[test]
+    fn exposure_shares_sum_to_one(ranks in proptest::collection::vec(1usize..100, 1..30)) {
+        // Split arbitrary ranks into two pools; shares must sum to 1.
+        let model = DiscountModel::NaturalLog;
+        let mid = ranks.len() / 2;
+        let g: f64 = measures::total_exposure(model, ranks[..mid].iter().copied());
+        let rest: f64 = measures::total_exposure(model, ranks[mid..].iter().copied());
+        let pool = g + rest;
+        prop_assume!(pool > 0.0);
+        let share_g = g / pool;
+        let share_rest = rest / pool;
+        prop_assert!((share_g + share_rest - 1.0).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&share_g));
+    }
+
+    #[test]
+    fn tau_distance_bounds_and_symmetry(perm in proptest::sample::subsequence((0u32..12).collect::<Vec<_>>(), 2..12).prop_shuffle()) {
+        let mut sorted = perm.clone();
+        sorted.sort_unstable();
+        let d = measures::kendall::tau_distance(&sorted, &perm);
+        prop_assert!((0.0..=1.0).contains(&d));
+        let d_rev = measures::kendall::tau_distance(&perm, &sorted);
+        prop_assert!((d - d_rev).abs() < 1e-12);
+    }
+}

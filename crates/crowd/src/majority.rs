@@ -1,0 +1,157 @@
+//! Majority-vote aggregation (paper §5.1.1: "Each profile picture was
+//! labeled by three different contributors on AMT and a majority vote
+//! determined the final label").
+//!
+//! Gender and ethnicity are voted per attribute. With three voters and
+//! three ethnicity classes a 1-1-1 tie is possible; [`Vote`] then escalates
+//! to extra voters (as real labeling pipelines do) up to a budget, falling
+//! back to the first-cast label if the tie persists.
+
+use fbox_marketplace::demographics::{Demographic, Ethnicity, Gender};
+
+/// Outcome of aggregating votes for one worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Vote {
+    /// The winning label.
+    pub label: Demographic,
+    /// Total voters consulted (3 unless ties forced escalation).
+    pub voters: usize,
+    /// Whether any tie-break fallback (rather than a strict majority) was
+    /// used for either attribute.
+    pub tie_broken: bool,
+}
+
+/// Aggregates labels by per-attribute majority. `labels` must be in voting
+/// order (first three are the standard panel; the rest are escalation
+/// voters consumed only on ties).
+///
+/// # Panics
+///
+/// Panics if fewer than one label is supplied.
+pub fn majority_vote(labels: &[Demographic]) -> Vote {
+    assert!(!labels.is_empty(), "majority vote needs at least one label");
+    let (gender, g_voters, g_tie) =
+        vote_attribute(labels, |d| d.gender as usize, &Gender::ALL);
+    let (ethnicity, e_voters, e_tie) =
+        vote_attribute(labels, |d| d.ethnicity as usize, &Ethnicity::ALL);
+    Vote {
+        label: Demographic { gender, ethnicity },
+        voters: g_voters.max(e_voters),
+        tie_broken: g_tie || e_tie,
+    }
+}
+
+/// Majority over one attribute with escalation: start with the first
+/// `min(3, len)` voters; while tied and voters remain, add one more.
+fn vote_attribute<T: Copy + PartialEq>(
+    labels: &[Demographic],
+    key: impl Fn(&Demographic) -> usize,
+    domain: &[T],
+) -> (T, usize, bool) {
+    let mut n = labels.len().min(3);
+    loop {
+        let mut counts = vec![0usize; domain.len()];
+        for d in &labels[..n] {
+            counts[key(d)] += 1;
+        }
+        let best = *counts.iter().max().expect("non-empty domain");
+        let winners: Vec<usize> = (0..domain.len()).filter(|&i| counts[i] == best).collect();
+        if winners.len() == 1 {
+            return (domain[winners[0]], n, false);
+        }
+        if n < labels.len() {
+            n += 1;
+            continue;
+        }
+        // Tie persists with all voters consumed: fall back to the first
+        // cast label among the tied classes.
+        let first = labels
+            .iter()
+            .map(|d| key(d))
+            .find(|i| winners.contains(i))
+            .expect("some label exists");
+        return (domain[first], n, true);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(g: Gender, e: Ethnicity) -> Demographic {
+        Demographic { gender: g, ethnicity: e }
+    }
+
+    #[test]
+    fn unanimous() {
+        let v = majority_vote(&[
+            d(Gender::Female, Ethnicity::Black),
+            d(Gender::Female, Ethnicity::Black),
+            d(Gender::Female, Ethnicity::Black),
+        ]);
+        assert_eq!(v.label, d(Gender::Female, Ethnicity::Black));
+        assert_eq!(v.voters, 3);
+        assert!(!v.tie_broken);
+    }
+
+    #[test]
+    fn two_to_one() {
+        let v = majority_vote(&[
+            d(Gender::Female, Ethnicity::Black),
+            d(Gender::Male, Ethnicity::Black),
+            d(Gender::Female, Ethnicity::White),
+        ]);
+        assert_eq!(v.label, d(Gender::Female, Ethnicity::Black));
+        assert!(!v.tie_broken);
+    }
+
+    #[test]
+    fn three_way_ethnicity_tie_escalates() {
+        // 1-1-1 on ethnicity; fourth voter settles it.
+        let v = majority_vote(&[
+            d(Gender::Male, Ethnicity::Asian),
+            d(Gender::Male, Ethnicity::Black),
+            d(Gender::Male, Ethnicity::White),
+            d(Gender::Male, Ethnicity::White),
+        ]);
+        assert_eq!(v.label.ethnicity, Ethnicity::White);
+        assert_eq!(v.voters, 4);
+        assert!(!v.tie_broken);
+    }
+
+    #[test]
+    fn unresolvable_tie_falls_back_to_first() {
+        let v = majority_vote(&[
+            d(Gender::Male, Ethnicity::Asian),
+            d(Gender::Male, Ethnicity::Black),
+            d(Gender::Male, Ethnicity::White),
+        ]);
+        assert_eq!(v.label.ethnicity, Ethnicity::Asian);
+        assert!(v.tie_broken);
+    }
+
+    #[test]
+    fn single_label_wins() {
+        let v = majority_vote(&[d(Gender::Female, Ethnicity::White)]);
+        assert_eq!(v.label, d(Gender::Female, Ethnicity::White));
+        assert_eq!(v.voters, 1);
+    }
+
+    #[test]
+    fn attributes_vote_independently() {
+        // Gender majority female, ethnicity majority white, even though no
+        // single voter said (Female, White).
+        let v = majority_vote(&[
+            d(Gender::Female, Ethnicity::Black),
+            d(Gender::Female, Ethnicity::White),
+            d(Gender::Male, Ethnicity::White),
+        ]);
+        assert_eq!(v.label, d(Gender::Female, Ethnicity::White));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one label")]
+    fn empty_rejected() {
+        majority_vote(&[]);
+    }
+}

@@ -1,0 +1,103 @@
+//! The crawl of Figure 6: run every offered (sub-query, city) pair, record
+//! the ranked pages, and assemble the F-Box inputs.
+
+use crate::engine::Marketplace;
+use crate::{city, jobs};
+use fbox_core::model::{Schema, Universe};
+use fbox_core::observations::MarketObservations;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a crawl — the data behind the paper's setup
+/// figures (Figures 7–8) and the 5,361-query count of §5.1.1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrawlStats {
+    /// Number of (sub-query, city) result pages retrieved.
+    pub n_queries: usize,
+    /// Number of workers in the population.
+    pub n_workers: usize,
+    /// Share of male workers (Figure 7).
+    pub male_share: f64,
+    /// Shares per ethnicity in `[Asian, Black, White]` order (Figure 8).
+    pub ethnicity_shares: [f64; 3],
+}
+
+/// The universe of a TaskRabbit study: the 11-group lattice over
+/// gender × ethnicity, all 96 sub-queries (tagged with their categories),
+/// and all 56 cities (tagged with regions).
+pub fn taskrabbit_universe() -> Universe {
+    let mut u = Universe::with_all_groups(Schema::gender_ethnicity());
+    for (_, _, name) in jobs::all_queries() {
+        u.add_query(name, Some(jobs::category_of(jobs::query_index(name).unwrap()).name));
+    }
+    for c in city::CITIES.iter() {
+        u.add_location(c.name, Some(c.region));
+    }
+    u
+}
+
+/// Crawls the whole grid: every offered (sub-query, city) pair once.
+///
+/// Returns the universe, the observations keyed by the universe's ids, and
+/// summary statistics.
+pub fn crawl(marketplace: &Marketplace) -> (Universe, MarketObservations, CrawlStats) {
+    let universe = taskrabbit_universe();
+    let mut observations = MarketObservations::new();
+    let mut n_queries = 0usize;
+    for (flat_q, (_, _, name)) in jobs::all_queries().enumerate() {
+        let q = universe.query_id(name).expect("universe registered all sub-queries");
+        for (ci, c) in city::CITIES.iter().enumerate() {
+            let Some(ranking) = marketplace.run_query(flat_q, ci) else {
+                continue;
+            };
+            let l = universe.location_id(c.name).expect("universe registered all cities");
+            observations.insert(q, l, ranking);
+            n_queries += 1;
+        }
+    }
+    let (male_share, ethnicity_shares) = marketplace.population().breakdown();
+    let stats = CrawlStats {
+        n_queries,
+        n_workers: marketplace.population().len(),
+        male_share,
+        ethnicity_shares,
+    };
+    (universe, observations, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bias::BiasProfile;
+    use crate::population::Population;
+    use crate::scoring::ScoringModel;
+
+    #[test]
+    fn universe_dimensions() {
+        let u = taskrabbit_universe();
+        assert_eq!(u.n_groups(), 11);
+        assert_eq!(u.n_queries(), 96);
+        assert_eq!(u.n_locations(), 56);
+        // Category tags flow through.
+        let q = u.query_id("Lawn Mowing").unwrap();
+        assert_eq!(u.query(q).category.as_deref(), Some("Yard Work"));
+        assert_eq!(u.queries_in_category("General Cleaning").len(), 12);
+        // Region tags flow through.
+        assert!(!u.locations_in_region("UK").is_empty());
+    }
+
+    #[test]
+    fn crawl_covers_the_paper_grid() {
+        let m = Marketplace::new(
+            Population::paper(5),
+            ScoringModel::default(),
+            BiasProfile::neutral(),
+            5,
+        );
+        let (_, obs, stats) = crawl(&m);
+        assert_eq!(stats.n_queries, 5361, "paper §5.1.1 query count");
+        assert_eq!(obs.n_cells(), 5361);
+        assert_eq!(stats.n_workers, 3311);
+        assert!((stats.male_share - 0.72).abs() < 0.03);
+        assert!((stats.ethnicity_shares[2] - 0.66).abs() < 0.03);
+    }
+}

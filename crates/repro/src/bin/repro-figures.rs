@@ -1,0 +1,7 @@
+//! Regenerates the worked examples (Figures 1–5) and setup statistics
+//! (Figures 7–8, Tables 6–7).
+fn main() {
+    let s = fbox_repro::scenario::taskrabbit();
+    let r = fbox_repro::experiments::figures::run(&s);
+    print!("{}", r.report);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Tables 16–21.
+fn main() {
+    let s = fbox_repro::scenario::google();
+    let r = fbox_repro::experiments::google_compare::run(&s);
+    print!("{}", r.report);
+}

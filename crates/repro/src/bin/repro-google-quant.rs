@@ -1,0 +1,6 @@
+//! Regenerates the §5.2.2 Google quantification results.
+fn main() {
+    let s = fbox_repro::scenario::google();
+    let r = fbox_repro::experiments::google_quant::run(&s);
+    print!("{}", r.report);
+}

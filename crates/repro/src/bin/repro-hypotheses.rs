@@ -1,0 +1,8 @@
+//! Regenerates the paper's §6 workflow: hypotheses generated on the
+//! TaskRabbit study, verified against the Google study.
+fn main() {
+    let tr = fbox_repro::scenario::taskrabbit();
+    let gg = fbox_repro::scenario::google();
+    let r = fbox_repro::experiments::hypotheses::run(&tr, &gg);
+    print!("{}", r.report);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Tables 12–15.
+fn main() {
+    let s = fbox_repro::scenario::taskrabbit();
+    let r = fbox_repro::experiments::taskrabbit_compare::run(&s);
+    print!("{}", r.report);
+}

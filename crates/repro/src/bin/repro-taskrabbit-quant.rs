@@ -1,0 +1,6 @@
+//! Regenerates Tables 8–11 and the §5.2.1 narrative results.
+fn main() {
+    let s = fbox_repro::scenario::taskrabbit();
+    let r = fbox_repro::experiments::taskrabbit_quant::run(&s);
+    print!("{}", r.report);
+}

@@ -1,0 +1,383 @@
+//! Calibrated bias/personalization profiles.
+//!
+//! These are the *inputs* of the reproduction: instead of hard-coding the
+//! paper's result tables, we encode a plausible discrimination pattern —
+//! how strongly each demographic group, city, and job category is
+//! affected — and let every number emerge from the ranked results through
+//! the F-Box. The parameters below were tuned (by running the pipeline,
+//! not by construction) until the *orderings* of the paper's Tables 8–21
+//! and §5.2 narrative reproduce; EXPERIMENTS.md records the residual
+//! differences.
+
+use fbox_marketplace::demographics::{Ethnicity, Gender};
+use fbox_marketplace::{BiasOverride, BiasProfile, OverrideAction};
+use fbox_search::{PersonalizationOverride, PersonalizationProfile};
+
+/// Seed used by every repro scenario (population, noise, corpus).
+pub const SEED: u64 = 0xEDB7_2020;
+
+/// The TaskRabbit bias profile.
+///
+/// - Group penalties: Asians penalized most, then Blacks, then Whites;
+///   within each ethnicity women fare worse, with the gender gap widest
+///   for Asians (drives Table 8's AF > AM > BF > BM > WF > WM ladder).
+/// - City amplifiers: UK cities and Oklahoma City most biased; Chicago,
+///   San Francisco, Washington and the large coastal markets least
+///   (Tables 10–11).
+/// - Category amplifiers: Handyman and Yard Work most biased; Furniture
+///   Assembly, Run Errands and Delivery least (Table 9).
+/// - Overrides: the sign exceptions behind the comparison findings
+///   (Tables 12–15) — cities where women are treated *better* than men,
+///   query × ethnicity quirks for Lawn Mowing vs Event Decorating, and
+///   the San Francisco Bay Area vs Chicago organizing sub-queries.
+pub fn taskrabbit_bias() -> BiasProfile {
+    let mut p = BiasProfile::neutral()
+        // Penalty ladder (score units; clean scores span [0, 1]). Asian
+        // workers are displaced most — females down, males *up* (positive
+        // discrimination, §2) — so both Asian groups sit far from every
+        // comparable group while the Black/White cluster stays tight.
+        // That is what puts Asian Females and Asian Males on top of
+        // Table 8 under a distribution distance without dragging White
+        // Males (everyone's "far" comparable otherwise) up with them.
+        .with_penalty(Gender::Female, Ethnicity::Asian, 0.42)
+        .with_penalty(Gender::Male, Ethnicity::Asian, -0.12)
+        .with_penalty(Gender::Female, Ethnicity::Black, 0.18)
+        .with_penalty(Gender::Male, Ethnicity::Black, 0.05)
+        .with_penalty(Gender::Female, Ethnicity::White, 0.09)
+        .with_penalty(Gender::Male, Ethnicity::White, 0.07);
+    // The EMD response to the amplifier is steep roughly over [0.2, 0.9]
+    // and saturates above; all amplifiers live in the steep region so that
+    // city orderings are driven by the profile, not by saturation.
+    p.default_location_amp = 0.28;
+    p.default_category_amp = 1.0;
+
+    // Cities, unfairest → fairest (Tables 10–11).
+    for (city, amp) in [
+        ("Birmingham, UK", 0.6),
+        ("Oklahoma City, OK", 0.57),
+        ("Bristol, UK", 0.54),
+        ("Manchester, UK", 0.51),
+        ("New Haven, CT", 0.49),
+        ("Milwaukee, WI", 0.47),
+        ("Memphis, TN", 0.455),
+        ("Indianapolis, IN", 0.44),
+        ("Nashville, TN", 0.50),
+        ("Detroit, MI", 0.42),
+        ("London, UK", 0.37),
+        ("Salt Lake City, UT", 0.36),
+        ("Norfolk, VA", 0.335),
+        ("Charlotte, NC", 0.33),
+        ("St. Louis, MO", 0.325),
+        ("San Diego, CA", 0.26),
+        ("Philadelphia, PA", 0.25),
+        ("Orlando, FL", 0.245),
+        ("Houston, TX", 0.24),
+        ("Atlanta, GA", 0.23),
+        ("Boston, MA", 0.225),
+        ("Los Angeles, CA", 0.22),
+        ("Washington, DC", 0.21),
+        ("San Francisco Bay Area, CA", 0.2),
+        ("San Francisco, CA", 0.18),
+        ("Chicago, IL", 0.10),
+    ] {
+        p = p.with_location_amp(city, amp);
+    }
+
+    // Categories, unfairest → fairest (Table 9).
+    for (category, amp) in [
+        ("Handyman", 1.25),
+        ("Yard Work", 1.22),
+        ("Event Staffing", 1.04),
+        ("General Cleaning", 1.00),
+        ("Moving", 0.95),
+        ("Furniture Assembly", 0.76),
+        ("Run Errands", 0.70),
+        ("Delivery", 0.64),
+    ] {
+        p = p.with_category_amp(category, amp);
+    }
+
+    // Table 12: cities where females are treated more fairly than males,
+    // inverting the overall trend. Female penalties are damped well below
+    // the male ones there (rather than swapping genders outright, which
+    // would shift the much larger male population and inflate the city's
+    // total unfairness).
+    for city in [
+        "Charlotte, NC",
+        "Chicago, IL",
+        "Nashville, TN",
+        "Norfolk, VA",
+        "San Francisco Bay Area, CA",
+        "St. Louis, MO",
+    ] {
+        p = p.with_override(BiasOverride {
+            location: Some(city.to_string()),
+            query: None,
+            category: None,
+            gender: Some(Gender::Female),
+            ethnicity: None,
+            action: OverrideAction::Scale(0.0),
+        });
+        // Scale only the *penalized* male groups up; amplifying the Asian
+        // males' boost would inflate the whole city's unfairness and
+        // corrupt the Table 10/11 location ordering.
+        for ethnicity in [Ethnicity::Black, Ethnicity::White] {
+            p = p.with_override(BiasOverride {
+                location: Some(city.to_string()),
+                query: None,
+                category: None,
+                gender: Some(Gender::Male),
+                ethnicity: Some(ethnicity),
+                action: OverrideAction::Scale(2.4),
+            });
+        }
+    }
+
+    // Tables 13–14: Lawn Mowing vs Event Decorating quirks. Event
+    // Decorating hits White workers unusually hard (EMD reversal for
+    // Whites) while Lawn Mowing goes easy on Black workers (exposure
+    // reversal for Blacks).
+    // The cross-measure split (Tables 13 vs 14 flag different
+    // ethnicities) works because the two measures see different things:
+    // exposure reacts to a group's *net* displacement, EMD to its
+    // *distribution shape*. A gender-split displacement inside an
+    // ethnicity (women pushed down, men up, with population-weighted
+    // shares balancing out) is huge under EMD but nearly invisible to
+    // exposure — and a mild uniform displacement is the opposite.
+    let quirk = |query: &str, gender: Option<Gender>, ethnicity, scale| BiasOverride {
+        location: None,
+        query: Some(query.to_string()),
+        category: None,
+        gender,
+        ethnicity: Some(ethnicity),
+        action: OverrideAction::Scale(scale),
+    };
+    p = p
+        // White: Event Decorating gender-splits (EMD-reversal for White,
+        // Table 13); Lawn Mowing demotes mildly and uniformly.
+        .with_override(quirk("Lawn Mowing", None, Ethnicity::White, 0.9))
+        .with_override(quirk("Event Decorating", Some(Gender::Female), Ethnicity::White, 9.0))
+        .with_override(quirk("Event Decorating", Some(Gender::Male), Ethnicity::White, -4.5))
+        // Black: Lawn Mowing gender-splits (exposure-reversal for Black,
+        // Table 14); Event Decorating demotes mildly and uniformly.
+        .with_override(quirk("Lawn Mowing", Some(Gender::Female), Ethnicity::Black, 3.4))
+        .with_override(quirk("Lawn Mowing", Some(Gender::Male), Ethnicity::Black, -3.6))
+        .with_override(quirk("Event Decorating", None, Ethnicity::Black, 0.6))
+        // Asian: keep Lawn Mowing slightly hotter so the overall
+        // Lawn Mowing > Event Decorating order holds under both measures.
+        .with_override(quirk("Lawn Mowing", None, Ethnicity::Asian, 1.8))
+        .with_override(quirk("Event Decorating", None, Ethnicity::Asian, 0.6));
+
+    // Table 15: within General Cleaning the Bay Area is fairer than
+    // Chicago overall — Chicago runs General Cleaning unusually hot —
+    // but Chicago wins on the three organizing sub-queries.
+    p = p.with_override(BiasOverride {
+        location: Some("Chicago, IL".to_string()),
+        query: None,
+        category: Some("General Cleaning".to_string()),
+        gender: None,
+        ethnicity: None,
+        action: OverrideAction::Scale(3.8),
+    });
+    for q in ["Back To Organized", "Organize & Declutter", "Organize Closet"] {
+        p = p.with_override(BiasOverride {
+            location: Some("Chicago, IL".to_string()),
+            query: Some(q.to_string()),
+            category: None,
+            gender: None,
+            ethnicity: None,
+            action: OverrideAction::Scale(0.21),
+        });
+    }
+    p
+}
+
+/// The Google personalization profile.
+///
+/// - Distinctiveness: White Females' profiles separate them most, Black
+///   Males least (§5.2.2's most/least discriminated groups).
+/// - Locations: London most personalized (unfairest), Washington DC
+///   essentially not at all (fairest).
+/// - Queries: Yard Work terms most personalized, Furniture Assembly least.
+/// - Overrides: locations where the male/female trend inverts
+///   (Tables 16–17) and the Running-Errands-vs-General-Cleaning ethnicity
+///   quirks (Tables 18–19).
+pub fn google_personalization() -> PersonalizationProfile {
+    let mut p = PersonalizationProfile::uniform(0.17)
+        .with_distinctiveness(Gender::Female, Ethnicity::White, 1.00)
+        .with_distinctiveness(Gender::Male, Ethnicity::White, 0.78)
+        .with_distinctiveness(Gender::Female, Ethnicity::Asian, 0.62)
+        .with_distinctiveness(Gender::Male, Ethnicity::Asian, 0.50)
+        .with_distinctiveness(Gender::Female, Ethnicity::Black, 0.34)
+        .with_distinctiveness(Gender::Male, Ethnicity::Black, 0.16);
+    p.default_location_amp = 1.0;
+    p.default_query_amp = 1.0;
+
+    for (location, amp) in [
+        ("London, UK", 1.45),
+        ("Birmingham, UK", 1.22),
+        ("Manchester, UK", 1.12),
+        ("Bristol, UK", 1.6),
+        ("New York City, NY", 1.00),
+        ("Detroit, MI", 0.94),
+        ("Los Angeles, CA", 0.88),
+        ("Pittsburgh, PA", 0.82),
+        ("Charlotte, NC", 0.76),
+        ("Boston, MA", 0.70),
+        ("Washington, DC", 0.06),
+    ] {
+        p = p.with_location_amp(location, amp);
+    }
+
+    // Query amplifiers by study query (fbox_search::QUERIES), Yard Work
+    // hottest, Furniture Assembly coolest.
+    for (query, amp) in [
+        ("yard work", 1.75),
+        ("Lawn Mowing", 1.68),
+        ("Leaf Raking", 1.60),
+        ("Hedge Trimming", 1.55),
+        ("general cleaning", 1.02),
+        ("office cleaning jobs", 0.98),
+        ("private cleaning jobs", 0.95),
+        ("Home Cleaning", 1.00),
+        ("Deep Cleaning", 0.97),
+        ("event staffing", 1.10),
+        ("Event Decorating", 1.06),
+        ("moving job", 0.90),
+        ("Help Moving", 0.88),
+        ("run errand", 0.84),
+        ("Running Errands", 0.86),
+        ("Shopping Errand", 0.82),
+        ("Wait In Line", 0.80),
+        ("furniture assembly", 0.55),
+        ("IKEA Assembly", 0.52),
+        ("Bed Assembly", 0.50),
+    ] {
+        p = p.with_query_amp(query, amp);
+    }
+
+    // Tables 16–17: locations where females see *less* personalization
+    // than males, inverting the overall male/female comparison.
+    for location in ["Birmingham, UK", "Bristol, UK", "Detroit, MI", "New York City, NY"] {
+        p = p.with_override(PersonalizationOverride {
+            location: Some(location.to_string()),
+            query: None,
+            category: None,
+            gender: Some(Gender::Female),
+            ethnicity: None,
+            scale: 0.55,
+        });
+    }
+
+    // Tables 18–19: for Black and Asian users the "general cleaning"
+    // query is more personalized than "run errand", inverting the overall
+    // order of the two queries (which is carried by White users, for whom
+    // errand search personalizes hard). Scoped to the two compared
+    // queries so the global query rankings are untouched.
+    for (ethnicity, re_scale, gc_scale) in [
+        (Ethnicity::Black, 0.85, 4.2),
+        (Ethnicity::Asian, 0.38, 1.85),
+        (Ethnicity::White, 2.15, 0.07),
+    ] {
+        p = p.with_override(PersonalizationOverride {
+            location: None,
+            query: Some("run errand".to_string()),
+            category: None,
+            gender: None,
+            ethnicity: Some(ethnicity),
+            scale: re_scale,
+        });
+        p = p.with_override(PersonalizationOverride {
+            location: None,
+            query: Some("general cleaning".to_string()),
+            category: None,
+            gender: None,
+            ethnicity: Some(ethnicity),
+            scale: gc_scale,
+        });
+    }
+
+    // Tables 20–21: Bristol is less fair than Boston for General Cleaning
+    // overall, but Boston runs the office/private cleaning terms hotter.
+    for q in ["office cleaning jobs", "private cleaning jobs"] {
+        p = p.with_override(PersonalizationOverride {
+            location: Some("Boston, MA".to_string()),
+            query: Some(q.to_string()),
+            category: None,
+            gender: None,
+            ethnicity: None,
+            scale: 1.6,
+        });
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbox_marketplace::demographics::Demographic;
+
+    #[test]
+    fn taskrabbit_displacement_ladder() {
+        // |penalty| = displacement from merit. Asians most displaced
+        // (females down, males up), then Black/White females, then
+        // Black/White males.
+        let p = taskrabbit_bias();
+        let d = |g, e| p.base_penalty(Demographic { gender: g, ethnicity: e });
+        let af = d(Gender::Female, Ethnicity::Asian);
+        let am = d(Gender::Male, Ethnicity::Asian);
+        let bf = d(Gender::Female, Ethnicity::Black);
+        let bm = d(Gender::Male, Ethnicity::Black);
+        let wf = d(Gender::Female, Ethnicity::White);
+        let wm = d(Gender::Male, Ethnicity::White);
+        assert!(af > 0.0 && am < 0.0, "asian females penalized, males boosted");
+        assert!(af.abs() > am.abs(), "females displaced further than males");
+        assert!(af > bf, "asian females are the farthest displaced group");
+        // Within the Black/White cluster: women fare worse than men, and
+        // every base penalty is a (positive) disadvantage.
+        assert!(bf > wf && wf > wm && wm > bm && bm > 0.0, "{bf} {wf} {wm} {bm}");
+    }
+
+    #[test]
+    fn birmingham_is_the_most_amplified_city() {
+        let p = taskrabbit_bias();
+        let birmingham = p.location_amp["Birmingham, UK"];
+        for (city, amp) in &p.location_amp {
+            assert!(*amp <= birmingham, "{city} amp {amp} exceeds Birmingham");
+        }
+        assert!(p.default_location_amp < birmingham);
+    }
+
+    #[test]
+    fn chicago_swaps_genders() {
+        let p = taskrabbit_bias();
+        let wf = Demographic { gender: Gender::Female, ethnicity: Ethnicity::White };
+        let wm = Demographic { gender: Gender::Male, ethnicity: Ethnicity::White };
+        let f_chi = p.penalty(wf, "Home Cleaning", "General Cleaning", "Chicago, IL");
+        let m_chi = p.penalty(wm, "Home Cleaning", "General Cleaning", "Chicago, IL");
+        assert!(f_chi < m_chi, "Chicago should favor women: {f_chi} vs {m_chi}");
+        let f_bos = p.penalty(wf, "Home Cleaning", "General Cleaning", "Boston, MA");
+        let m_bos = p.penalty(wm, "Home Cleaning", "General Cleaning", "Boston, MA");
+        assert!(f_bos > m_bos, "Boston keeps the overall trend");
+    }
+
+    #[test]
+    fn google_dc_is_nearly_personalization_free() {
+        let p = google_personalization();
+        let wf = Demographic { gender: Gender::Female, ethnicity: Ethnicity::White };
+        let dc = p.strength(wf, "yard work", "Yard Work", "Washington, DC");
+        let london = p.strength(wf, "yard work", "Yard Work", "London, UK");
+        assert!(dc < london / 10.0, "DC {dc} vs London {london}");
+    }
+
+    #[test]
+    fn google_covers_every_study_query() {
+        let p = google_personalization();
+        for (query, _) in fbox_search::QUERIES {
+            assert!(
+                p.query_amp.contains_key(query),
+                "query {query:?} missing an amplifier"
+            );
+        }
+    }
+}

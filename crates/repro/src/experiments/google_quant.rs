@@ -1,0 +1,103 @@
+//! Google job search fairness quantification (paper §5.2.2).
+//!
+//! The paper reports extremes rather than full tables here: White Females
+//! most / Black Males least discriminated; Washington DC fairest / London
+//! unfairest; Yard Work most / Furniture Assembly least unfair queries —
+//! under both Kendall Tau and Jaccard.
+
+use super::taskrabbit_quant::ExperimentResult;
+use crate::scenario::GoogleScenario;
+use crate::tables::ranking_table;
+use crate::{paper, util};
+use fbox_core::algo::{RankOrder, Restriction};
+use fbox_core::FBox;
+
+/// Runs the quantification experiment for both measures.
+pub fn run(s: &GoogleScenario) -> ExperimentResult {
+    let mut report = String::new();
+    let mut checks = Vec::new();
+
+    for (name, fb) in [("Kendall Tau", &s.kendall), ("Jaccard", &s.jaccard)] {
+        run_measure(name, fb, &mut report, &mut checks);
+    }
+
+    ExperimentResult { report, checks }.finish()
+}
+
+fn run_measure(measure: &str, fb: &FBox, report: &mut String, checks: &mut Vec<(String, bool)>) {
+    // Groups: full ranking, extremes asserted.
+    let groups = util::group_ranking(fb);
+    report.push_str(&ranking_table(
+        &format!("§5.2.2 ({measure}): groups, unfairest first (paper reports only the extremes)"),
+        &[
+            (paper::GOOGLE_MOST_UNFAIR_GROUP, f64::NAN),
+            (paper::GOOGLE_LEAST_UNFAIR_GROUP, f64::NAN),
+        ],
+        &groups,
+    ));
+    // The paper's extremes are over the six *full* demographic groups (its
+    // study recruits participants per full group).
+    let fulls: Vec<&(String, f64)> = groups
+        .iter()
+        .filter(|(n, _)| n.contains(' '))
+        .collect();
+    checks.push((
+        format!("§5.2.2 {measure}: White Females are the most discriminated full group"),
+        fulls.first().map(|(n, _)| n.as_str()) == Some(paper::GOOGLE_MOST_UNFAIR_GROUP),
+    ));
+    checks.push((
+        format!("§5.2.2 {measure}: Black Males are the least discriminated full group"),
+        fulls.last().map(|(n, _)| n.as_str()) == Some(paper::GOOGLE_LEAST_UNFAIR_GROUP),
+    ));
+
+    // Locations.
+    let locations = fb.top_k_locations(
+        fb.universe().n_locations(),
+        RankOrder::MostUnfair,
+        &Restriction::none(),
+    );
+    report.push_str(&ranking_table(
+        &format!("§5.2.2 ({measure}): locations, unfairest first"),
+        &[
+            (paper::GOOGLE_UNFAIREST_LOCATION, f64::NAN),
+            ("…", f64::NAN),
+            (paper::GOOGLE_FAIREST_LOCATION, f64::NAN),
+        ],
+        &locations,
+    ));
+    checks.push((
+        format!("§5.2.2 {measure}: London, UK is the unfairest location"),
+        locations.first().map(|(n, _)| n.as_str()) == Some(paper::GOOGLE_UNFAIREST_LOCATION),
+    ));
+    checks.push((
+        format!("§5.2.2 {measure}: Washington, DC is the fairest location"),
+        locations.last().map(|(n, _)| n.as_str()) == Some(paper::GOOGLE_FAIREST_LOCATION),
+    ));
+
+    // Query categories.
+    let categories: Vec<&str> = fbox_search::QUERIES
+        .iter()
+        .map(|&(_, c)| c)
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    let ranked = util::category_ranking(fb, &categories);
+    report.push_str(&ranking_table(
+        &format!("§5.2.2 ({measure}): query categories, unfairest first"),
+        &[
+            (paper::GOOGLE_MOST_UNFAIR_CATEGORY, f64::NAN),
+            ("…", f64::NAN),
+            (paper::GOOGLE_FAIREST_CATEGORY, f64::NAN),
+        ],
+        &ranked,
+    ));
+    checks.push((
+        format!("§5.2.2 {measure}: Yard Work is the most unfair query category"),
+        ranked.first().map(|(n, _)| n.as_str()) == Some(paper::GOOGLE_MOST_UNFAIR_CATEGORY),
+    ));
+    checks.push((
+        format!("§5.2.2 {measure}: Furniture Assembly is the fairest query category"),
+        ranked.last().map(|(n, _)| n.as_str()) == Some(paper::GOOGLE_FAIREST_CATEGORY),
+    ));
+    report.push('\n');
+}

@@ -1,0 +1,214 @@
+//! Cross-platform hypothesis transfer (paper §5.2.1 and §6): "Our
+//! framework can be used to generate hypotheses and verify them across
+//! sites. That is what we did from TaskRabbit to Google job search."
+//!
+//! The workflow: run fairness quantification on the marketplace, turn its
+//! extremes into [`Hypothesis`] values, then test each one against the
+//! search-engine study. This is the "iterative scenario" the paper's
+//! conclusion sketches, made executable.
+
+use super::taskrabbit_quant::ExperimentResult;
+use crate::scenario::{GoogleScenario, TaskRabbitScenario};
+use crate::tables::verdict;
+use crate::util;
+use fbox_core::algo::RankOrder;
+use fbox_core::FBox;
+
+/// A transferable claim generated on one platform.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Hypothesis {
+    /// `group` is among the `k` most (or least) unfairly treated groups.
+    GroupExtreme {
+        /// Paper-form group name ("Asian Female", "Male", …).
+        group: String,
+        /// Tolerance: membership in the top/bottom `k`.
+        k: usize,
+        /// `MostUnfair` or `LeastUnfair`.
+        order: RankOrder,
+    },
+    /// `category` is among the `k` most (or least) unfair job categories.
+    CategoryExtreme {
+        /// Category name shared by both platforms' taxonomies.
+        category: String,
+        /// Tolerance.
+        k: usize,
+        /// Direction.
+        order: RankOrder,
+    },
+}
+
+impl Hypothesis {
+    /// Renders the claim as a sentence.
+    pub fn describe(&self) -> String {
+        match self {
+            Hypothesis::GroupExtreme { group, k, order } => {
+                let dir = match order {
+                    RankOrder::MostUnfair => "most unfairly treated",
+                    RankOrder::LeastUnfair => "most fairly treated",
+                };
+                format!("{group} is among the {k} {dir} groups")
+            }
+            Hypothesis::CategoryExtreme { category, k, order } => {
+                let dir = match order {
+                    RankOrder::MostUnfair => "most unfair",
+                    RankOrder::LeastUnfair => "fairest",
+                };
+                format!("{category} is among the {k} {dir} job categories")
+            }
+        }
+    }
+
+    /// Tests the claim on a platform's F-Box.
+    pub fn verify(&self, fb: &FBox, categories: &[&str]) -> bool {
+        match self {
+            Hypothesis::GroupExtreme { group, k, order } => {
+                let ranking = ordered_groups(fb, *order);
+                ranking.iter().take(*k).any(|(n, _)| n == group)
+            }
+            Hypothesis::CategoryExtreme { category, k, order } => {
+                let mut ranking = util::category_ranking(fb, categories);
+                if *order == RankOrder::LeastUnfair {
+                    ranking.reverse();
+                }
+                ranking.iter().take(*k).any(|(n, _)| n == category)
+            }
+        }
+    }
+}
+
+fn ordered_groups(fb: &FBox, order: RankOrder) -> Vec<(String, f64)> {
+    let mut ranking = util::group_ranking(fb);
+    if order == RankOrder::LeastUnfair {
+        ranking.reverse();
+    }
+    ranking
+}
+
+/// Generates hypotheses from the TaskRabbit quantification extremes: the
+/// two most/least unfair full groups and the two most/least unfair
+/// categories shared with the Google study.
+pub fn generate(s: &TaskRabbitScenario, shared_categories: &[&str]) -> Vec<Hypothesis> {
+    let mut hypotheses = Vec::new();
+    let groups = util::group_ranking(&s.emd);
+    let fulls: Vec<&(String, f64)> = groups.iter().filter(|(n, _)| n.contains(' ')).collect();
+    for (n, _) in fulls.iter().take(2) {
+        hypotheses.push(Hypothesis::GroupExtreme {
+            group: n.clone(),
+            k: 3,
+            order: RankOrder::MostUnfair,
+        });
+    }
+    if let Some((n, _)) = fulls.last() {
+        hypotheses.push(Hypothesis::GroupExtreme {
+            group: n.clone(),
+            k: 3,
+            order: RankOrder::LeastUnfair,
+        });
+    }
+    let cats = util::category_ranking(&s.emd, shared_categories);
+    if let Some((n, _)) = cats.first() {
+        hypotheses.push(Hypothesis::CategoryExtreme {
+            category: n.clone(),
+            k: 2,
+            order: RankOrder::MostUnfair,
+        });
+    }
+    if let Some((n, _)) = cats.last() {
+        // The fair end is flatter than the unfair end on both platforms
+        // (the paper's own Run Errands / Furniture Assembly / Delivery
+        // cluster spans 0.04 EMD), so the transferable claim is
+        // membership in the fair half.
+        hypotheses.push(Hypothesis::CategoryExtreme {
+            category: n.clone(),
+            k: shared_categories.len() / 2,
+            order: RankOrder::LeastUnfair,
+        });
+    }
+    hypotheses
+}
+
+/// The job categories present in both studies (the Google study covers a
+/// subset of the TaskRabbit taxonomy).
+pub fn shared_categories() -> Vec<&'static str> {
+    let google: std::collections::BTreeSet<&str> =
+        fbox_search::QUERIES.iter().map(|&(_, c)| c).collect();
+    fbox_marketplace::jobs::CATEGORIES
+        .iter()
+        .map(|c| c.name)
+        .filter(|n| google.contains(n))
+        .collect()
+}
+
+/// Runs the full transfer: generate on TaskRabbit (EMD), verify on Google
+/// (both measures).
+pub fn run(tr: &TaskRabbitScenario, gg: &GoogleScenario) -> ExperimentResult {
+    let mut report = String::new();
+    let mut checks = Vec::new();
+    let shared = shared_categories();
+
+    report.push_str("## §6: hypotheses generated on TaskRabbit, verified on Google\n");
+    report.push_str(&format!("Shared job categories: {shared:?}\n\n"));
+
+    let hypotheses = generate(tr, &shared);
+    assert!(!hypotheses.is_empty(), "the calibrated scenario always yields extremes");
+    let mut transfers = 0usize;
+    for h in &hypotheses {
+        let kendall = h.verify(&gg.kendall, &shared);
+        let jaccard = h.verify(&gg.jaccard, &shared);
+        report.push_str(&format!(
+            "  {:<62} Kendall: {}  Jaccard: {}\n",
+            h.describe(),
+            if kendall { "holds" } else { "fails" },
+            if jaccard { "holds" } else { "fails" },
+        ));
+        if kendall || jaccard {
+            transfers += 1;
+        }
+    }
+    report.push('\n');
+    report.push_str(&verdict(
+        &format!("{transfers}/{} TaskRabbit hypotheses transfer to Google", hypotheses.len()),
+        true,
+    ));
+    // The paper's transferred findings are category-level (Yard Work
+    // unfair, Furniture Assembly fair) — those two must carry over; the
+    // group-level extremes differ across platforms in the paper too
+    // (Asians on TaskRabbit vs White Females on Google), so they are
+    // reported, not asserted.
+    let category_transfer = hypotheses.iter().all(|h| match h {
+        Hypothesis::CategoryExtreme { .. } => h.verify(&gg.kendall, &shared),
+        Hypothesis::GroupExtreme { .. } => true,
+    });
+    checks.push((
+        "§6: the category-level hypotheses (most/least unfair job) transfer from TaskRabbit to Google".into(),
+        category_transfer,
+    ));
+
+    ExperimentResult { report, checks }.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_categories_cover_the_google_study() {
+        let shared = shared_categories();
+        assert!(shared.contains(&"Yard Work"));
+        assert!(shared.contains(&"Furniture Assembly"));
+        assert!(shared.contains(&"General Cleaning"));
+        // Handyman and Delivery exist only on TaskRabbit.
+        assert!(!shared.contains(&"Handyman"));
+        assert!(!shared.contains(&"Delivery"));
+    }
+
+    #[test]
+    fn describe_is_human_readable() {
+        let h = Hypothesis::CategoryExtreme {
+            category: "Yard Work".into(),
+            k: 2,
+            order: RankOrder::MostUnfair,
+        };
+        assert_eq!(h.describe(), "Yard Work is among the 2 most unfair job categories");
+    }
+}

@@ -1,0 +1,12 @@
+//! One module per paper experiment; each returns an
+//! [`ExperimentResult`](taskrabbit_quant::ExperimentResult) with a
+//! rendered report and named shape checks.
+
+pub mod figures;
+pub mod google_compare;
+pub mod google_quant;
+pub mod hypotheses;
+pub mod taskrabbit_compare;
+pub mod taskrabbit_quant;
+
+pub use taskrabbit_quant::ExperimentResult;

@@ -1,0 +1,196 @@
+//! TaskRabbit fairness comparison (paper §5.3.1): Tables 12–15.
+
+use super::taskrabbit_quant::ExperimentResult;
+use crate::scenario::TaskRabbitScenario;
+use crate::tables::comparison_table;
+use crate::{paper, util};
+use fbox_core::algo::{compare, compare_sets, Entity, Restriction};
+use fbox_core::index::Dimension;
+use fbox_core::model::{GroupId, LocationId, QueryId};
+use fbox_core::FBox;
+
+/// Runs Tables 12–15.
+pub fn run(s: &TaskRabbitScenario) -> ExperimentResult {
+    let mut report = String::new();
+    let mut checks = Vec::new();
+
+    table12(&s.exposure, &mut report, &mut checks);
+    table13_14(s, &mut report, &mut checks);
+    table15(&s.emd, &mut report, &mut checks);
+
+    ExperimentResult { report, checks }.finish()
+}
+
+/// Table 12: Males vs Females across cities, exposure. The comparison
+/// pools the full gender × ethnicity groups per side (see the crate docs
+/// on the two-group-partition symmetry of direct single-attribute
+/// exposure).
+fn table12(fb: &FBox, report: &mut String, checks: &mut Vec<(String, bool)>) {
+    let u = fb.universe();
+    let out = compare_sets(
+        fb.indices(),
+        Dimension::Group,
+        &util::gender_full_ids(u, "Male"),
+        &util::gender_full_ids(u, "Female"),
+        Dimension::Location,
+        None,
+        &Restriction::none(),
+    )
+    .expect("data present");
+    let rows: Vec<(String, f64, f64, bool)> = out
+        .rows
+        .iter()
+        .filter(|r| r.reversed)
+        .map(|r| {
+            (
+                u.location(LocationId(r.entity)).name.clone(),
+                r.d1,
+                r.d2,
+                r.reversed,
+            )
+        })
+        .collect();
+    report.push_str(&comparison_table(
+        &format!(
+            "Table 12 (Exposure): Males vs Females by city — paper overall ({:.3}, {:.3}), reversal cities listed",
+            paper::TABLE12_OVERALL.0,
+            paper::TABLE12_OVERALL.1
+        ),
+        "Males",
+        "Females",
+        (out.overall1, out.overall2),
+        &rows,
+    ));
+    checks.push((
+        "Table 12: overall, Females are treated less fairly than Males".into(),
+        out.overall2 > out.overall1,
+    ));
+    let reversed_names: Vec<&str> = rows.iter().map(|(n, _, _, _)| n.as_str()).collect();
+    let hits = paper::TABLE12_CITIES
+        .iter()
+        .filter(|c| reversed_names.contains(c))
+        .count();
+    report.push_str(&format!(
+        "Paper reversal cities reproduced: {hits}/{}\n\n",
+        paper::TABLE12_CITIES.len()
+    ));
+    checks.push((
+        "Table 12: at least two of the paper's reversal cities reproduce".into(),
+        hits >= 2,
+    ));
+}
+
+/// Tables 13–14: Lawn Mowing vs Event Decorating across ethnicities,
+/// under EMD and exposure respectively.
+fn table13_14(s: &TaskRabbitScenario, report: &mut String, checks: &mut Vec<(String, bool)>) {
+    for (fb, table, paper_vals, paper_reversal, check_reversal) in [
+        (&s.emd, "Table 13 (EMD)", paper::TABLE13, "White", true),
+        (&s.exposure, "Table 14 (Exposure)", paper::TABLE14, "Black", false),
+    ] {
+        let u = fb.universe();
+        let lm = u.query_id("Lawn Mowing").expect("query registered");
+        let ed = u.query_id("Event Decorating").expect("query registered");
+        let out = compare(
+            fb.indices(),
+            Entity::Query(lm),
+            Entity::Query(ed),
+            Dimension::Group,
+            Some(&util::ethnicity_ids(u)),
+            &Restriction::none(),
+        )
+        .expect("data present");
+        let rows: Vec<(String, f64, f64, bool)> = out
+            .rows
+            .iter()
+            .map(|r| {
+                (
+                    util::paper_group_name(u, GroupId(r.entity)),
+                    r.d1,
+                    r.d2,
+                    r.reversed,
+                )
+            })
+            .collect();
+        let ((p1, p2), _, _) = paper_vals;
+        report.push_str(&comparison_table(
+            &format!(
+                "{table}: Lawn Mowing vs Event Decorating by ethnicity — paper overall ({p1:.3}, {p2:.3}), paper reversal: {paper_reversal}"
+            ),
+            "Lawn Mowing",
+            "Event Decor.",
+            (out.overall1, out.overall2),
+            &rows,
+        ));
+        checks.push((
+            format!("{table}: overall, Lawn Mowing is less fair than Event Decorating"),
+            out.overall1 > out.overall2,
+        ));
+        if check_reversal {
+            let reversed: Vec<&str> = rows
+                .iter()
+                .filter(|(_, _, _, rev)| *rev)
+                .map(|(n, _, _, _)| n.as_str())
+                .collect();
+            checks.push((
+                format!("{table}: exactly {{{paper_reversal}}} reverses"),
+                reversed == [paper_reversal],
+            ));
+        } else {
+            // Table 14's Black exposure reversal sits below this
+            // simulator's exposure noise floor; report the row values
+            // instead of asserting (see EXPERIMENTS.md).
+            let black = rows.iter().find(|(n, _, _, _)| n == "Black");
+            if let Some((_, d1, d2, rev)) = black {
+                report.push_str(&format!(
+                    "Black row: Lawn Mowing {d1:.3} vs Event Decorating {d2:.3} (reversed: {rev}; paper: reversed)\n"
+                ));
+            }
+        }
+        report.push('\n');
+    }
+}
+
+/// Table 15: San Francisco Bay Area vs Chicago across General Cleaning
+/// sub-queries, EMD.
+fn table15(fb: &FBox, report: &mut String, checks: &mut Vec<(String, bool)>) {
+    let u = fb.universe();
+    let sf = u.location_id("San Francisco Bay Area, CA").expect("city registered");
+    let chi = u.location_id("Chicago, IL").expect("city registered");
+    let gc: Vec<u32> = u.queries_in_category("General Cleaning").iter().map(|q| q.0).collect();
+    let out = compare(
+        fb.indices(),
+        Entity::Location(sf),
+        Entity::Location(chi),
+        Dimension::Query,
+        Some(&gc),
+        &Restriction::none(),
+    )
+    .expect("data present");
+    let rows: Vec<(String, f64, f64, bool)> = out
+        .rows
+        .iter()
+        .filter(|r| r.reversed)
+        .map(|r| (u.query(QueryId(r.entity)).name.clone(), r.d1, r.d2, r.reversed))
+        .collect();
+    report.push_str(&comparison_table(
+        &format!(
+            "Table 15 (EMD): SF Bay Area vs Chicago over General Cleaning sub-queries — paper overall ({:.3}, {:.3})",
+            paper::TABLE15_OVERALL.0,
+            paper::TABLE15_OVERALL.1
+        ),
+        "SF Bay Area",
+        "Chicago",
+        (out.overall1, out.overall2),
+        &rows,
+    ));
+    checks.push((
+        "Table 15: overall, the Bay Area is fairer than Chicago for General Cleaning".into(),
+        out.overall1 < out.overall2,
+    ));
+    let reversed_names: Vec<&str> = rows.iter().map(|(n, _, _, _)| n.as_str()).collect();
+    checks.push((
+        "Table 15: all three organizing sub-queries reverse".into(),
+        paper::TABLE15_QUERIES.iter().all(|q| reversed_names.contains(q)),
+    ));
+    report.push('\n');
+}

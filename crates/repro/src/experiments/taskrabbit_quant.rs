@@ -1,0 +1,170 @@
+//! TaskRabbit fairness quantification (paper §5.2.1): Tables 8–11 plus
+//! the per-job/per-location narrative results.
+
+use crate::scenario::TaskRabbitScenario;
+use crate::tables::{ordering_agreement, ranking_table, verdict};
+use crate::{paper, util};
+use fbox_core::algo::{RankOrder, Restriction};
+use fbox_core::index::Dimension;
+use fbox_core::FBox;
+
+/// Rendered report plus named shape checks (true = the paper's claim
+/// reproduces).
+pub struct ExperimentResult {
+    /// Human-readable report (tables + verdicts).
+    pub report: String,
+    /// Shape checks: `(claim, reproduced?)`.
+    pub checks: Vec<(String, bool)>,
+}
+
+impl ExperimentResult {
+    /// Appends the verdict block to the report.
+    pub fn finish(mut self) -> Self {
+        self.report.push_str("### Shape checks\n");
+        let checks = std::mem::take(&mut self.checks);
+        for (name, ok) in &checks {
+            self.report.push_str(&verdict(name, *ok));
+        }
+        self.checks = checks;
+        self
+    }
+}
+
+/// Runs the full quantification experiment.
+pub fn run(s: &TaskRabbitScenario) -> ExperimentResult {
+    let mut report = String::new();
+    let mut checks = Vec::new();
+
+    // ---- Table 8: groups ------------------------------------------------
+    let emd_groups = util::group_ranking(&s.emd);
+    let exp_groups = util::group_ranking(&s.exposure);
+    report.push_str(&ranking_table("Table 8 (EMD): groups, unfairest first", &paper::TABLE8_EMD, &emd_groups));
+    report.push_str(&ranking_table(
+        "Table 8 (Exposure): groups, unfairest first",
+        &paper::TABLE8_EXPOSURE,
+        &exp_groups,
+    ));
+    let top3: Vec<&str> = emd_groups.iter().take(3).map(|(n, _)| n.as_str()).collect();
+    checks.push((
+        "Table 8 EMD: Asian Female, Asian Male, Black Female are the three most unfair groups".into(),
+        top3 == ["Asian Female", "Asian Male", "Black Female"],
+    ));
+    checks.push((
+        "Table 8 Exposure: Asian Female is the most unfair group".into(),
+        exp_groups.first().map(|(n, _)| n.as_str()) == Some("Asian Female"),
+    ));
+    let male = emd_groups.iter().find(|(n, _)| n == "Male").expect("male present").1;
+    let female = emd_groups.iter().find(|(n, _)| n == "Female").expect("female present").1;
+    checks.push((
+        "Table 8 EMD: Male and Female have identical values (structural, §3.3.1)".into(),
+        (male - female).abs() < 1e-12,
+    ));
+    let names: Vec<String> = emd_groups.iter().map(|(n, _)| n.clone()).collect();
+    let paper_names: Vec<&str> = paper::TABLE8_EMD.iter().map(|&(n, _)| n).collect();
+    report.push_str(&format!(
+        "Ordering agreement with the paper (Table 8 EMD): {:.0}%\n\n",
+        100.0 * ordering_agreement(&paper_names, &names)
+    ));
+
+    // ---- Table 9: job categories ----------------------------------------
+    let categories: Vec<&str> = paper::TABLE9_EMD.iter().map(|&(n, _)| n).collect();
+    let emd_cats = util::category_ranking(&s.emd, &categories);
+    let exp_cats = util::category_ranking(&s.exposure, &categories);
+    report.push_str(&ranking_table("Table 9 (EMD): job categories", &paper::TABLE9_EMD, &emd_cats));
+    report.push_str(&ranking_table("Table 9 (Exposure): job categories", &paper::TABLE9_EXPOSURE, &exp_cats));
+    let top2: Vec<&str> = emd_cats.iter().take(3).map(|(n, _)| n.as_str()).collect();
+    checks.push((
+        "Table 9 EMD: Handyman and Yard Work are among the three most unfair categories".into(),
+        top2.contains(&"Handyman") && top2.contains(&"Yard Work"),
+    ));
+    let bottom: Vec<&str> = emd_cats.iter().rev().take(3).map(|(n, _)| n.as_str()).collect();
+    checks.push((
+        "Table 9 EMD: Delivery and Run Errands are among the three fairest categories".into(),
+        bottom.contains(&"Delivery") && bottom.contains(&"Run Errands"),
+    ));
+
+    // ---- Tables 10–11: locations -----------------------------------------
+    let unfairest = s.emd.top_k_locations(10, RankOrder::MostUnfair, &Restriction::none());
+    let fairest = s.emd.top_k_locations(10, RankOrder::LeastUnfair, &Restriction::none());
+    report.push_str(&ranking_table("Table 10 (EMD): ten unfairest cities", &paper::TABLE10_EMD, &unfairest));
+    report.push_str(&ranking_table("Table 11 (EMD): ten fairest cities", &paper::TABLE11_EMD, &fairest));
+    let unfair_names: Vec<&str> = unfairest.iter().map(|(n, _)| n.as_str()).collect();
+    checks.push((
+        "Table 10: Birmingham UK, Oklahoma City and Bristol UK are among the ten unfairest cities".into(),
+        ["Birmingham, UK", "Oklahoma City, OK", "Bristol, UK"]
+            .iter()
+            .all(|c| unfair_names.contains(c)),
+    ));
+    let fair_names: Vec<&str> = fairest.iter().map(|(n, _)| n.as_str()).collect();
+    checks.push((
+        "Table 11: San Francisco and Chicago are among the ten fairest cities".into(),
+        ["San Francisco, CA", "Chicago, IL"].iter().all(|c| fair_names.contains(c)),
+    ));
+    checks.push((
+        "Table 11: San Francisco or Chicago is the single fairest city".into(),
+        matches!(fair_names.first(), Some(&"San Francisco, CA") | Some(&"Chicago, IL")),
+    ));
+
+    // ---- §5.2.1 narrative: extremes per job / per location ---------------
+    // Reported, not asserted: at single-(job, city) granularity a cell
+    // averages only 12 sub-queries over one city's worker pool, and the
+    // most-biased (city, category) combinations saturate the EMD — the
+    // extreme *names* are below the simulated crawl's resolution even
+    // though the coarser Tables 8–11 orderings are stable. EXPERIMENTS.md
+    // discusses this limit.
+    report.push_str("## §5.2.1 narrative: per-job and per-location extremes (reported, not asserted)\n");
+    for job in ["Handyman", "Run Errands"] {
+        let (fairest_loc, top_unfair) = job_location_extremes(&s.emd, job);
+        report.push_str(&format!(
+            "{job}: fairest location = {fairest_loc}, three unfairest = {top_unfair:?} (EMD; paper names Birmingham, UK)\n"
+        ));
+    }
+    for city in ["Birmingham, UK", "Detroit, MI", "Nashville, TN"] {
+        let (fairest_job, unfairest_job) = location_job_extremes(&s.emd, city);
+        report.push_str(&format!(
+            "{city}: fairest category = {fairest_job}, unfairest = {unfairest_job} (EMD; paper: Delivery/Furniture Assembly fairest)\n"
+        ));
+    }
+    report.push('\n');
+
+    ExperimentResult { report, checks }.finish()
+}
+
+/// The fairest location and the three unfairest locations for one job
+/// category.
+fn job_location_extremes(fb: &FBox, category: &str) -> (String, Vec<String>) {
+    let u = fb.universe();
+    let qs: Vec<u32> = u.queries_in_category(category).iter().map(|q| q.0).collect();
+    let restrict = Restriction { queries: Some(qs), ..Default::default() };
+    let fairest = fb.top_k_locations(1, RankOrder::LeastUnfair, &restrict);
+    let unfairest = fb.top_k_locations(3, RankOrder::MostUnfair, &restrict);
+    (
+        fairest[0].0.clone(),
+        unfairest.into_iter().map(|(n, _)| n).collect(),
+    )
+}
+
+/// (fairest, unfairest) category names for one city.
+fn location_job_extremes(fb: &FBox, city: &str) -> (String, String) {
+    let u = fb.universe();
+    let l = u.location_id(city).expect("known city");
+    let restrict = Restriction { locations: Some(vec![l.0]), ..Default::default() };
+    let _ = &restrict;
+    let categories: Vec<&str> = paper::TABLE9_EMD.iter().map(|&(n, _)| n).collect();
+    let mut ranked: Vec<(String, f64)> = categories
+        .iter()
+        .map(|&c| {
+            let qs: Vec<u32> = u.queries_in_category(c).iter().map(|q| q.0).collect();
+            let r = fb.top_k(
+                Dimension::Query,
+                qs.len(),
+                RankOrder::MostUnfair,
+                &Restriction { queries: Some(qs), locations: Some(vec![l.0]), ..Default::default() },
+            );
+            let avg = r.entries.iter().map(|e| e.1).sum::<f64>() / r.entries.len().max(1) as f64;
+            (c.to_string(), avg)
+        })
+        .collect();
+    ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+    (ranked.first().expect("categories").0.clone(), ranked.last().expect("categories").0.clone())
+}

@@ -1,0 +1,25 @@
+//! # fbox-repro — the experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation (§5) from
+//! the simulators, through the F-Box, with no hard-coded outputs:
+//!
+//! - [`calibrate`]: the bias/personalization profiles (the *inputs* of the
+//!   reproduction — tuned until the paper's orderings emerge, never the
+//!   outputs themselves);
+//! - [`scenario`]: simulator → crawl/study → F-Box assembly;
+//! - [`experiments`]: one module per table/figure group, each returning a
+//!   rendered report plus named shape checks;
+//! - [`paper`]: the paper's reported values, verbatim, for side-by-side
+//!   display;
+//! - [`tables`], [`util`]: rendering and id helpers.
+//!
+//! Binaries: `repro-taskrabbit-quant`, `repro-taskrabbit-compare`,
+//! `repro-google-quant`, `repro-google-compare`, `repro-figures`, and
+//! `repro-all`. See EXPERIMENTS.md for recorded paper-vs-measured results.
+
+pub mod calibrate;
+pub mod experiments;
+pub mod paper;
+pub mod scenario;
+pub mod tables;
+pub mod util;

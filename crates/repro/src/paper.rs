@@ -1,0 +1,220 @@
+//! The paper's reported numbers, verbatim, for side-by-side display.
+//!
+//! Group names are rendered in this crate's canonical "Ethnicity Gender"
+//! form (e.g. "Asian Female"), matching
+//! [`Demographic::name`](fbox_marketplace::Demographic::name); single-
+//! attribute groups keep their bare value name.
+
+/// Table 8 (EMD column): all 11 groups, unfairest → fairest.
+pub const TABLE8_EMD: [(&str, f64); 11] = [
+    ("Asian Female", 0.876),
+    ("Asian Male", 0.755),
+    ("Black Female", 0.726),
+    ("Asian", 0.694),
+    ("Black Male", 0.578),
+    ("White Female", 0.542),
+    ("Black", 0.498),
+    ("Male", 0.468),
+    ("Female", 0.468),
+    ("White", 0.448),
+    ("White Male", 0.421),
+];
+
+/// Table 8 (Exposure column).
+pub const TABLE8_EXPOSURE: [(&str, f64); 11] = [
+    ("Asian Female", 0.821),
+    ("Asian Male", 0.662),
+    ("Black Female", 0.615),
+    ("Asian", 0.594),
+    ("Black Male", 0.413),
+    ("White Female", 0.359),
+    ("Black", 0.341),
+    ("Female", 0.299),
+    ("White Male", 0.154),
+    ("Male", 0.117),
+    ("White", 0.104),
+];
+
+/// Table 9 (EMD column): job categories, unfairest → fairest.
+pub const TABLE9_EMD: [(&str, f64); 8] = [
+    ("Handyman", 0.692),
+    ("Yard Work", 0.672),
+    ("Event Staffing", 0.639),
+    ("General Cleaning", 0.611),
+    ("Moving", 0.604),
+    ("Furniture Assembly", 0.541),
+    ("Run Errands", 0.519),
+    ("Delivery", 0.499),
+];
+
+/// Table 9 (Exposure column).
+pub const TABLE9_EXPOSURE: [(&str, f64); 8] = [
+    ("Handyman", 0.515),
+    ("Event Staffing", 0.504),
+    ("Yard Work", 0.500),
+    ("General Cleaning", 0.456),
+    ("Moving", 0.418),
+    ("Furniture Assembly", 0.383),
+    ("Run Errands", 0.352),
+    ("Delivery", 0.331),
+];
+
+/// Table 10 (EMD column): the ten unfairest cities.
+pub const TABLE10_EMD: [(&str, f64); 10] = [
+    ("Birmingham, UK", 1.000),
+    ("Oklahoma City, OK", 0.998),
+    ("Bristol, UK", 0.910),
+    ("Manchester, UK", 0.851),
+    ("New Haven, CT", 0.838),
+    ("Milwaukee, WI", 0.824),
+    ("Indianapolis, IN", 0.815),
+    ("Nashville, TN", 0.808),
+    ("Detroit, MI", 0.806),
+    ("Memphis, TN", 0.800),
+];
+
+/// Table 11 (EMD column): the ten fairest cities.
+pub const TABLE11_EMD: [(&str, f64); 10] = [
+    ("Chicago, IL", 0.274),
+    ("San Francisco, CA", 0.286),
+    ("Washington, DC", 0.329),
+    ("Los Angeles, CA", 0.330),
+    ("Boston, MA", 0.353),
+    ("Atlanta, GA", 0.400),
+    ("Houston, TX", 0.417),
+    ("Orlando, FL", 0.431),
+    ("Philadelphia, PA", 0.450),
+    ("San Diego, CA", 0.454),
+];
+
+/// Table 12: overall Male/Female exposure plus the reversal cities.
+pub const TABLE12_OVERALL: (f64, f64) = (0.117, 0.299);
+
+/// Table 12's reversal cities (females treated more fairly than males).
+pub const TABLE12_CITIES: [&str; 7] = [
+    "Charlotte, NC",
+    "Chicago, IL",
+    "Nashville, TN",
+    "Norfolk, VA",
+    "San Francisco Bay Area, CA",
+    "St. Louis, MO",
+    // The paper's narrative (§1/§6) also names San Francisco among the
+    // cities where females fare better.
+    "San Francisco, CA",
+];
+
+/// Table 13 (EMD): Lawn Mowing vs Event Decorating; White reverses.
+pub const TABLE13: ((f64, f64), &str, (f64, f64)) =
+    ((0.674, 0.613), "White", (0.552, 0.569));
+
+/// Table 14 (Exposure): same comparison; Black reverses.
+pub const TABLE14: ((f64, f64), &str, (f64, f64)) =
+    ((0.500, 0.442), "Black", (0.445, 0.453));
+
+/// Table 15 (EMD): SF Bay Area vs Chicago within General Cleaning;
+/// organizing sub-queries reverse.
+pub const TABLE15_OVERALL: (f64, f64) = (0.213, 0.233);
+
+/// Table 15's reversal sub-queries.
+pub const TABLE15_QUERIES: [&str; 3] =
+    ["Back To Organized", "Organize & Declutter", "Organize Closet"];
+
+/// Table 16 (Kendall Tau): Google Male vs Female; reversal locations.
+pub const TABLE16_OVERALL: (f64, f64) = (0.537, 0.552);
+
+/// Table 16's reversal locations.
+pub const TABLE16_CITIES: [&str; 4] =
+    ["Birmingham, UK", "Bristol, UK", "Detroit, MI", "New York City, NY"];
+
+/// Table 17 (Jaccard): same comparison; different reversal set.
+pub const TABLE17_OVERALL: (f64, f64) = (0.395, 0.393);
+
+/// Table 17's reversal locations.
+pub const TABLE17_CITIES: [&str; 6] = [
+    "Boston, MA",
+    "Charlotte, NC",
+    "London, UK",
+    "Los Angeles, CA",
+    "Manchester, UK",
+    "Pittsburgh, PA",
+];
+
+/// Table 18 (Kendall): Running Errands vs General Cleaning; Black and
+/// Asian reverse.
+pub const TABLE18_OVERALL: (f64, f64) = (0.927, 0.926);
+
+/// Table 18's reversal ethnicities.
+pub const TABLE18_GROUPS: [&str; 2] = ["Black", "Asian"];
+
+/// Table 19 (Jaccard): same comparison; Black reverses.
+pub const TABLE19_OVERALL: (f64, f64) = (0.902, 0.887);
+
+/// Table 19's reversal ethnicities.
+pub const TABLE19_GROUPS: [&str; 1] = ["Black"];
+
+/// Table 20 (Kendall): Boston vs Bristol over General Cleaning terms.
+pub const TABLE20_OVERALL: (f64, f64) = (0.641, 0.689);
+
+/// Table 20's reversal terms.
+pub const TABLE20_QUERIES: [&str; 2] = ["office cleaning jobs", "private cleaning jobs"];
+
+/// Table 21 (Jaccard): same comparison.
+pub const TABLE21_OVERALL: (f64, f64) = (0.447, 0.603);
+
+/// Table 21's reversal terms.
+pub const TABLE21_QUERIES: [&str; 1] = ["private cleaning jobs"];
+
+/// §5.2.2 narrative: Google quantification extremes.
+pub const GOOGLE_MOST_UNFAIR_GROUP: &str = "White Female";
+/// Least unfair Google group.
+pub const GOOGLE_LEAST_UNFAIR_GROUP: &str = "Black Male";
+/// Fairest Google location.
+pub const GOOGLE_FAIREST_LOCATION: &str = "Washington, DC";
+/// Unfairest Google location.
+pub const GOOGLE_UNFAIREST_LOCATION: &str = "London, UK";
+/// Most unfair Google query category.
+pub const GOOGLE_MOST_UNFAIR_CATEGORY: &str = "Yard Work";
+/// Fairest Google query category.
+pub const GOOGLE_FAIREST_CATEGORY: &str = "Furniture Assembly";
+
+/// Figure 7: tasker gender breakdown (male share).
+pub const FIG7_MALE_SHARE: f64 = 0.72;
+/// Figure 8: tasker ethnic breakdown (white share).
+pub const FIG8_WHITE_SHARE: f64 = 0.66;
+/// §5.1.1: number of crawled queries.
+pub const N_CRAWL_QUERIES: usize = 5361;
+/// §5.1.1: number of unique taskers.
+pub const N_TASKERS: usize = 3311;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rankings_are_sorted_descending() {
+        for table in [TABLE8_EMD.as_slice(), TABLE8_EXPOSURE.as_slice()] {
+            for w in table.windows(2) {
+                assert!(w[0].1 >= w[1].1, "{} before {}", w[0].0, w[1].0);
+            }
+        }
+        for table in [TABLE9_EMD.as_slice(), TABLE9_EXPOSURE.as_slice(), TABLE10_EMD.as_slice()] {
+            for w in table.windows(2) {
+                assert!(w[0].1 >= w[1].1);
+            }
+        }
+        // Table 11 is fairest-first (ascending).
+        for w in TABLE11_EMD.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn emd_male_female_equality_in_table8() {
+        // The structural check §3.3.1 implies: single-attribute gender
+        // groups have identical EMD unfairness — and the paper's Table 8
+        // indeed reports Male = Female = 0.468.
+        let male = TABLE8_EMD.iter().find(|&&(n, _)| n == "Male").unwrap().1;
+        let female = TABLE8_EMD.iter().find(|&&(n, _)| n == "Female").unwrap().1;
+        assert_eq!(male, female);
+    }
+}

@@ -1,0 +1,64 @@
+//! Fully assembled study scenarios: simulator → crawl/study → F-Box,
+//! under both measures of each platform.
+
+use crate::calibrate;
+use fbox_core::unfairness::{MarketMeasure, SearchMeasure};
+use fbox_core::FBox;
+use fbox_marketplace::{crawl, BiasProfile, CrawlStats, Marketplace, Population, ScoringModel};
+use fbox_search::{
+    run_study, ExtensionRunner, NoiseModel, PersonalizationProfile, SearchEngine, StudyDesign,
+    StudyStats,
+};
+
+/// The assembled TaskRabbit study.
+pub struct TaskRabbitScenario {
+    /// F-Box under the EMD measure.
+    pub emd: FBox,
+    /// F-Box under the exposure measure.
+    pub exposure: FBox,
+    /// Crawl statistics (Figures 7–8, §5.1.1 counts).
+    pub stats: CrawlStats,
+}
+
+/// Builds the calibrated TaskRabbit scenario with the shared repro seed.
+pub fn taskrabbit() -> TaskRabbitScenario {
+    taskrabbit_with(calibrate::taskrabbit_bias(), calibrate::SEED)
+}
+
+/// Builds a TaskRabbit scenario with an explicit bias profile and seed
+/// (used by ablations and tests).
+pub fn taskrabbit_with(bias: BiasProfile, seed: u64) -> TaskRabbitScenario {
+    let population = Population::paper(seed);
+    let marketplace = Marketplace::new(population, ScoringModel::default(), bias, seed);
+    let (universe, observations, stats) = crawl(&marketplace);
+    let emd = FBox::from_market(universe.clone(), &observations, MarketMeasure::emd());
+    let exposure = FBox::from_market(universe, &observations, MarketMeasure::exposure());
+    TaskRabbitScenario { emd, exposure, stats }
+}
+
+/// The assembled Google job search study.
+pub struct GoogleScenario {
+    /// F-Box under the Kendall-Tau measure.
+    pub kendall: FBox,
+    /// F-Box under the Jaccard measure.
+    pub jaccard: FBox,
+    /// Study statistics (§5.1.2 counts).
+    pub stats: StudyStats,
+}
+
+/// Builds the calibrated Google scenario with the shared repro seed.
+pub fn google() -> GoogleScenario {
+    google_with(calibrate::google_personalization(), calibrate::SEED)
+}
+
+/// Builds a Google scenario with an explicit personalization profile and
+/// seed.
+pub fn google_with(personalization: PersonalizationProfile, seed: u64) -> GoogleScenario {
+    let engine = SearchEngine::new(personalization, NoiseModel::default(), seed);
+    let design = StudyDesign { participants_per_group: 3, seed };
+    let runner = ExtensionRunner::default();
+    let (universe, observations, stats) = run_study(&design, &engine, &runner);
+    let kendall = FBox::from_search(universe.clone(), &observations, SearchMeasure::kendall());
+    let jaccard = FBox::from_search(universe, &observations, SearchMeasure::JaccardDistance);
+    GoogleScenario { kendall, jaccard, stats }
+}

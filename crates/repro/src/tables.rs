@@ -1,0 +1,139 @@
+//! Plain-text table rendering for the experiment runners.
+//!
+//! Every runner prints paper-reported values next to measured ones, so a
+//! reader can check the *shape* claims (orderings, reversals) at a glance.
+
+/// Renders a two-column ranking comparison: the paper's ordering (with its
+/// reported values) next to the measured ordering.
+pub fn ranking_table(
+    title: &str,
+    paper: &[(&str, f64)],
+    measured: &[(String, f64)],
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("## {title}\n"));
+    out.push_str(&format!(
+        "{:<4} {:<34} {:>7}   {:<34} {:>7}\n",
+        "#", "paper", "value", "measured", "value"
+    ));
+    let rows = paper.len().max(measured.len());
+    for i in 0..rows {
+        let (pn, pv) = paper
+            .get(i)
+            .map(|&(n, v)| (n, format!("{v:.3}")))
+            .unwrap_or(("", String::new()));
+        let (mn, mv) = measured
+            .get(i)
+            .map(|(n, v)| (n.as_str(), format!("{v:.3}")))
+            .unwrap_or(("", String::new()));
+        out.push_str(&format!("{:<4} {pn:<34} {pv:>7}   {mn:<34} {mv:>7}\n", i + 1));
+    }
+    out
+}
+
+/// Renders a comparison table (Problem 2): overall row plus breakdown
+/// rows, flagging reversals.
+pub fn comparison_table(
+    title: &str,
+    label1: &str,
+    label2: &str,
+    overall: (f64, f64),
+    rows: &[(String, f64, f64, bool)],
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("## {title}\n"));
+    out.push_str(&format!(
+        "{:<34} {:>10} {:>10}   {}\n",
+        "breakdown", label1, label2, "reversed?"
+    ));
+    out.push_str(&format!(
+        "{:<34} {:>10.3} {:>10.3}\n",
+        "All", overall.0, overall.1
+    ));
+    for (name, d1, d2, reversed) in rows {
+        out.push_str(&format!(
+            "{name:<34} {d1:>10.3} {d2:>10.3}   {}\n",
+            if *reversed { "<-- reversed" } else { "" }
+        ));
+    }
+    out
+}
+
+/// A one-line PASS/MISS verdict used in the runners' shape-check section.
+pub fn verdict(name: &str, ok: bool) -> String {
+    format!("  [{}] {name}\n", if ok { "PASS" } else { "MISS" })
+}
+
+/// How well a measured ordering agrees with the paper's, as the fraction
+/// of concordant pairs (Kendall-style agreement between two rankings of
+/// the same names). Names present in only one list are ignored.
+pub fn ordering_agreement(paper: &[&str], measured: &[String]) -> f64 {
+    let common: Vec<&str> = paper
+        .iter()
+        .copied()
+        .filter(|p| measured.iter().any(|m| m == p))
+        .collect();
+    if common.len() < 2 {
+        return 1.0;
+    }
+    let pos = |name: &str| measured.iter().position(|m| m == name).expect("filtered");
+    let mut concordant = 0usize;
+    let mut total = 0usize;
+    for i in 0..common.len() {
+        for j in (i + 1)..common.len() {
+            total += 1;
+            if pos(common[i]) < pos(common[j]) {
+                concordant += 1;
+            }
+        }
+    }
+    concordant as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranking_table_renders_both_sides() {
+        let t = ranking_table(
+            "Table X",
+            &[("Asian Female", 0.876), ("Asian Male", 0.755)],
+            &[("Asian Female".to_string(), 0.41), ("Asian Male".to_string(), 0.34)],
+        );
+        assert!(t.contains("Table X"));
+        assert!(t.contains("0.876"));
+        assert!(t.contains("0.410"));
+        assert_eq!(t.lines().count(), 4);
+    }
+
+    #[test]
+    fn ranking_table_handles_unequal_lengths() {
+        let t = ranking_table("T", &[("a", 1.0)], &[]);
+        assert!(t.contains('a'));
+    }
+
+    #[test]
+    fn comparison_table_flags_reversals() {
+        let t = comparison_table(
+            "Table 12",
+            "Males",
+            "Females",
+            (0.117, 0.299),
+            &[("Chicago, IL".to_string(), 0.062, 0.062, true)],
+        );
+        assert!(t.contains("<-- reversed"));
+        assert!(t.contains("All"));
+    }
+
+    #[test]
+    fn ordering_agreement_bounds() {
+        let measured: Vec<String> = ["a", "b", "c"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(ordering_agreement(&["a", "b", "c"], &measured), 1.0);
+        assert_eq!(ordering_agreement(&["c", "b", "a"], &measured), 0.0);
+        let half = ordering_agreement(&["b", "a", "c"], &measured);
+        assert!((half - 2.0 / 3.0).abs() < 1e-12);
+        // Disjoint names → trivially 1.
+        assert_eq!(ordering_agreement(&["x", "y"], &measured), 1.0);
+    }
+}

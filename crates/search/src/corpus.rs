@@ -1,0 +1,84 @@
+//! The job-posting corpus: for each (query, location) a pool of postings
+//! with base relevance scores shared by all users.
+//!
+//! Postings are generated deterministically from hashes, so the corpus
+//! needs no storage: two engines with the same seed see the same postings.
+
+use crate::hash::{mix, mix_str, unit};
+
+/// Number of candidate postings per (query, location) pool.
+pub const POOL_SIZE: usize = 40;
+
+/// Number of results a search returns (one page).
+pub const RESULT_SIZE: usize = 10;
+
+/// A deterministic posting pool for one (query, location).
+#[derive(Debug, Clone)]
+pub struct PostingPool {
+    /// Posting ids, unique across pools.
+    ids: Vec<u64>,
+    /// Base relevance per posting, in `[0, 1]`, shared by all users.
+    base: Vec<f64>,
+}
+
+impl PostingPool {
+    /// Builds the pool for a (query, location) under a corpus seed.
+    pub fn new(seed: u64, query: &str, location: &str) -> Self {
+        let key = mix_str(mix_str(seed, query), location);
+        let ids: Vec<u64> = (0..POOL_SIZE as u64).map(|i| mix(key, i)).collect();
+        let base: Vec<f64> = ids.iter().map(|&id| unit(mix(key, id))).collect();
+        Self { ids, base }
+    }
+
+    /// Posting ids.
+    pub fn ids(&self) -> &[u64] {
+        &self.ids
+    }
+
+    /// Base relevance of the posting at `index`.
+    pub fn base(&self, index: usize) -> f64 {
+        self.base[index]
+    }
+
+    /// Number of postings.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the pool is empty (never, with the fixed pool size).
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_key() {
+        let a = PostingPool::new(7, "yard work", "London, UK");
+        let b = PostingPool::new(7, "yard work", "London, UK");
+        assert_eq!(a.ids(), b.ids());
+        let c = PostingPool::new(7, "yard work", "Boston, MA");
+        assert_ne!(a.ids(), c.ids());
+        let d = PostingPool::new(8, "yard work", "London, UK");
+        assert_ne!(a.ids(), d.ids());
+    }
+
+    #[test]
+    fn pool_shape() {
+        let p = PostingPool::new(1, "q", "l");
+        assert_eq!(p.len(), POOL_SIZE);
+        assert!(!p.is_empty());
+        // Ids unique.
+        let mut ids = p.ids().to_vec();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), POOL_SIZE);
+        // Base scores in range.
+        for i in 0..p.len() {
+            assert!((0.0..=1.0).contains(&p.base(i)));
+        }
+    }
+}

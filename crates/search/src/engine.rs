@@ -1,0 +1,241 @@
+//! The personalized search engine.
+//!
+//! A search scores the (query, location) posting pool as
+//!
+//! ```text
+//! score(u, p) = base(p)                                   // shared ranking
+//!             + strength(g(u), q, l) · affinity(g(u), p)  // group personalization
+//!             + ε_user · affinity(u, p)                   // idiosyncratic taste
+//!             + formulation perturbation                  // near-synonym terms
+//!             + carry-over + A/B + geolocation noise      // §5.1.2 noise sources
+//! ```
+//!
+//! and returns the top page. Every term is a pure function of the engine
+//! seed and the request, so studies replay exactly.
+
+use crate::corpus::{PostingPool, RESULT_SIZE};
+use crate::hash::{mix, mix_str, signed};
+use crate::noise::{NoiseModel, RequestContext};
+use crate::personalize::PersonalizationProfile;
+use crate::user::SearchUser;
+
+/// Magnitude of the per-user idiosyncratic taste component. Small: users
+/// in the same group see *similar but not identical* lists, as in real
+/// personalization.
+const USER_TASTE: f64 = 0.02;
+
+/// Magnitude of the formulation perturbation: equivalent search terms
+/// return similar, slightly reshuffled results (Table 6's "results are
+/// similar to the original term").
+const FORMULATION_SHIFT: f64 = 0.03;
+
+/// A simulated job-search engine.
+#[derive(Debug, Clone)]
+pub struct SearchEngine {
+    personalization: PersonalizationProfile,
+    noise: NoiseModel,
+    seed: u64,
+}
+
+impl SearchEngine {
+    /// Assembles an engine.
+    pub fn new(personalization: PersonalizationProfile, noise: NoiseModel, seed: u64) -> Self {
+        Self { personalization, noise, seed }
+    }
+
+    /// The personalization profile in force.
+    pub fn personalization(&self) -> &PersonalizationProfile {
+        &self.personalization
+    }
+
+    /// The noise model in force.
+    pub fn noise(&self) -> &NoiseModel {
+        &self.noise
+    }
+
+    /// Executes one search request and returns the ranked posting ids
+    /// (best first, one page).
+    ///
+    /// - `query`: the canonical study query (keys the posting pool);
+    /// - `formulation`: the concrete search term typed (a near-synonym);
+    /// - `category`: the query's job category (personalization scoping);
+    /// - `location`: the search location.
+    pub fn search(
+        &self,
+        user: &SearchUser,
+        query: &str,
+        formulation: &str,
+        category: &str,
+        location: &str,
+        ctx: &RequestContext,
+    ) -> Vec<u64> {
+        let pool = PostingPool::new(self.seed, query, location);
+        let strength = self
+            .personalization
+            .strength(user.demographic, query, category, location);
+        // Group affinity direction: shared by all members of the user's
+        // full demographic group.
+        let group_key = mix(
+            mix_str(self.seed, "group-affinity"),
+            (user.demographic.gender.value_id().0 as u64) << 8
+                | user.demographic.ethnicity.value_id().0 as u64,
+        );
+        let user_key = mix(mix_str(self.seed, "user-taste"), user.id);
+        let formulation_key = mix_str(mix_str(self.seed, "formulation"), formulation);
+
+        // Noise keys.
+        let carry = match ctx.minutes_since_previous() {
+            Some(dt) => {
+                let (prev, _) = ctx.previous.as_ref().expect("previous present");
+                let key = mix(mix_str(mix_str(self.seed, "carryover"), prev), user.id);
+                Some((self.noise.carryover_at(dt), key))
+            }
+            None => None,
+        };
+        let ab_bucket = if self.noise.ab_buckets > 1 {
+            mix(
+                mix_str(self.seed, "ab"),
+                user.id ^ (ctx.time_min.floor() as u64),
+            ) % self.noise.ab_buckets
+        } else {
+            0
+        };
+        let ab_key = mix(mix_str(self.seed, "ab-direction"), ab_bucket);
+        let geo_key = (!ctx.proxied).then(|| {
+            mix(
+                mix_str(self.seed, "geo"),
+                (ctx.time_min * 60.0) as u64 ^ user.id,
+            )
+        });
+
+        let mut scored: Vec<(u64, f64)> = (0..pool.len())
+            .map(|i| {
+                let id = pool.ids()[i];
+                let mut s = pool.base(i)
+                    + strength * signed(mix(group_key, id))
+                    + USER_TASTE * signed(mix(user_key, id))
+                    + FORMULATION_SHIFT * signed(mix(formulation_key, id));
+                if let Some((mag, key)) = carry {
+                    s += mag * signed(mix(key, id));
+                }
+                if ab_bucket != 0 {
+                    s += self.noise.ab_strength * signed(mix(ab_key, id));
+                }
+                if let Some(g) = geo_key {
+                    s += self.noise.geo_strength * signed(mix(g, id));
+                }
+                (id, s)
+            })
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("scores never NaN").then(a.0.cmp(&b.0)));
+        scored.truncate(RESULT_SIZE);
+        scored.into_iter().map(|(id, _)| id).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbox_marketplace::demographics::{Demographic, Ethnicity, Gender};
+
+    fn user(id: u64, g: Gender, e: Ethnicity) -> SearchUser {
+        SearchUser::new(id, Demographic { gender: g, ethnicity: e })
+    }
+
+    fn clean_engine(p: PersonalizationProfile) -> SearchEngine {
+        SearchEngine::new(p, NoiseModel::none(), 42)
+    }
+
+    #[test]
+    fn no_personalization_no_noise_same_group_lists_nearly_identical() {
+        // With zero personalization, lists differ only by the tiny user
+        // taste — top pages should overlap heavily.
+        let e = clean_engine(PersonalizationProfile::none());
+        let ctx = RequestContext::clean();
+        let a = e.search(&user(1, Gender::Male, Ethnicity::White), "yard work", "yard work jobs", "Yard Work", "Boston, MA", &ctx);
+        let b = e.search(&user(2, Gender::Female, Ethnicity::Black), "yard work", "yard work jobs", "Yard Work", "Boston, MA", &ctx);
+        let overlap = a.iter().filter(|x| b.contains(x)).count();
+        assert!(overlap >= 8, "expected heavy overlap, got {overlap}/10");
+    }
+
+    #[test]
+    fn search_is_deterministic() {
+        let e = clean_engine(PersonalizationProfile::uniform(0.1));
+        let ctx = RequestContext::clean();
+        let u = user(5, Gender::Female, Ethnicity::Asian);
+        let a = e.search(&u, "q", "f", "c", "l", &ctx);
+        let b = e.search(&u, "q", "f", "c", "l", &ctx);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), RESULT_SIZE);
+    }
+
+    #[test]
+    fn personalization_separates_groups() {
+        // Strong group personalization must push different groups' lists
+        // apart more than same-group users'.
+        let e = clean_engine(PersonalizationProfile::uniform(0.3));
+        let ctx = RequestContext::clean();
+        let m1 = e.search(&user(1, Gender::Male, Ethnicity::White), "q", "f", "c", "l", &ctx);
+        let m2 = e.search(&user(2, Gender::Male, Ethnicity::White), "q", "f", "c", "l", &ctx);
+        let f1 = e.search(&user(3, Gender::Female, Ethnicity::Black), "q", "f", "c", "l", &ctx);
+        let within = fbox_core::measures::jaccard::distance(&m1, &m2);
+        let across = fbox_core::measures::jaccard::distance(&m1, &f1);
+        assert!(
+            across > within,
+            "across-group distance {across} should exceed within-group {within}"
+        );
+    }
+
+    #[test]
+    fn formulations_return_similar_results() {
+        let e = clean_engine(PersonalizationProfile::none());
+        let ctx = RequestContext::clean();
+        let u = user(1, Gender::Male, Ethnicity::White);
+        let a = e.search(&u, "run errand", "run errand jobs near X", "Run Errands", "l", &ctx);
+        let b = e.search(&u, "run errand", "errand service jobs near X", "Run Errands", "l", &ctx);
+        // Similar (same pool, small shift) but usually not identical.
+        let d = fbox_core::measures::jaccard::distance(&a, &b);
+        assert!(d < 0.5, "formulations should stay similar, distance {d}");
+    }
+
+    #[test]
+    fn carryover_perturbs_and_decays() {
+        let e = SearchEngine::new(
+            PersonalizationProfile::none(),
+            NoiseModel::default(),
+            42,
+        );
+        let u = user(1, Gender::Male, Ethnicity::White);
+        let fresh = e.search(&u, "q", "f", "c", "l", &RequestContext::clean());
+        let hot = RequestContext {
+            time_min: 1.0,
+            previous: Some(("other query".into(), 0.9)),
+            proxied: true,
+        };
+        let cold = RequestContext {
+            time_min: 20.0,
+            previous: Some(("other query".into(), 0.0)),
+            proxied: true,
+        };
+        let hot_list = e.search(&u, "q", "f", "c", "l", &hot);
+        let cold_list = e.search(&u, "q", "f", "c", "l", &cold);
+        let d_hot = fbox_core::measures::kendall::top_k_distance(&fresh, &hot_list, 0.5);
+        let d_cold = fbox_core::measures::kendall::top_k_distance(&fresh, &cold_list, 0.5);
+        assert!(
+            d_cold <= d_hot,
+            "carry-over should decay with spacing: hot {d_hot} vs cold {d_cold}"
+        );
+        // Hot carry-over actually moves things.
+        assert!(d_hot > 0.0);
+    }
+
+    #[test]
+    fn unproxied_requests_jitter() {
+        let e = SearchEngine::new(PersonalizationProfile::none(), NoiseModel::default(), 42);
+        let u = user(1, Gender::Male, Ethnicity::White);
+        let a = e.search(&u, "q", "f", "c", "l", &RequestContext { time_min: 0.0, previous: None, proxied: false });
+        let b = e.search(&u, "q", "f", "c", "l", &RequestContext { time_min: 5.0, previous: None, proxied: false });
+        // Different origins at different times → some reshuffling.
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,58 @@
+//! Deterministic hashing utilities shared by the search simulator.
+//!
+//! Every stochastic-looking quantity in the simulator (posting base
+//! scores, personalization affinities, noise) is a pure function of a
+//! seed and a composite key, so whole studies replay bit-identically.
+
+/// SplitMix64 mixer.
+pub fn mix(a: u64, b: u64) -> u64 {
+    let mut z = a ^ b.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Folds a string into the key space.
+pub fn mix_str(seed: u64, s: &str) -> u64 {
+    s.bytes().fold(seed, |acc, b| mix(acc, b as u64 + 1))
+}
+
+/// Uniform value in `[0, 1)` from a key.
+pub fn unit(key: u64) -> f64 {
+    (key >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Signed value in `[-1, 1)` from a key — used for affinity directions.
+pub fn signed(key: u64) -> f64 {
+    unit(key) * 2.0 - 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(mix(1, 2), mix(1, 2));
+        assert_ne!(mix(1, 2), mix(2, 1));
+        assert_eq!(mix_str(0, "abc"), mix_str(0, "abc"));
+        assert_ne!(mix_str(0, "abc"), mix_str(0, "abd"));
+    }
+
+    #[test]
+    fn ranges() {
+        for i in 0..1000 {
+            let u = unit(mix(42, i));
+            assert!((0.0..1.0).contains(&u));
+            let s = signed(mix(43, i));
+            assert!((-1.0..1.0).contains(&s));
+        }
+    }
+
+    #[test]
+    fn unit_is_roughly_uniform() {
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|i| unit(mix(7, i))).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

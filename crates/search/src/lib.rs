@@ -1,0 +1,34 @@
+//! # fbox-search — a personalized job-search engine simulator
+//!
+//! The substrate behind the paper's Google job search case study
+//! (§5.1.2). The real study drove live Google searches through a Chrome
+//! extension from recruited Prolific participants; this crate reproduces
+//! the same pipeline shape, seeded and offline:
+//!
+//! - a deterministic [posting corpus](corpus) per (query, location);
+//! - a [personalization model](personalize) where group-correlated
+//!   profile signals shift rankings — the unfairness source;
+//! - the three [noise sources](noise) the paper controls for (carry-over,
+//!   A/B testing, geolocation) and the [extension protocol](extension)
+//!   that suppresses them (12-minute spacing, repeated runs, fixed
+//!   proxy);
+//! - the [Prolific study](study): participants per (group, location)
+//!   running the 20 study queries, yielding `SearchObservations` for the
+//!   F-Box.
+
+pub mod corpus;
+pub mod engine;
+pub mod extension;
+pub mod hash;
+pub mod noise;
+pub mod personalize;
+pub mod study;
+pub mod terms;
+pub mod user;
+
+pub use engine::SearchEngine;
+pub use extension::ExtensionRunner;
+pub use noise::{NoiseModel, RequestContext};
+pub use personalize::{PersonalizationOverride, PersonalizationProfile};
+pub use study::{google_universe, run_study, StudyDesign, StudyStats, LOCATIONS, QUERIES};
+pub use user::SearchUser;

@@ -1,0 +1,46 @@
+//! Search-term expansion (paper §5.1.2, Table 6).
+//!
+//! The paper expanded each TaskRabbit query into five equivalent Google
+//! search terms via Keyword Planner ("run errand" in London → "run errand
+//! jobs near London UK", "errand service jobs near London UK", …). The
+//! simulator uses five fixed templates; the engine treats formulations of
+//! the same canonical query as near-synonyms (same posting pool, small
+//! formulation-specific perturbation), matching the paper's criterion
+//! that the chosen terms' "results are similar to the original term".
+
+/// Number of equivalent formulations per query.
+pub const N_FORMULATIONS: usize = 5;
+
+/// The five formulations of a canonical query at a location.
+pub fn formulations(query: &str, location: &str) -> [String; N_FORMULATIONS] {
+    [
+        format!("{query} jobs near {location}"),
+        format!("{query} service jobs near {location}"),
+        format!("{query} help wanted near {location}"),
+        format!("{query} work needed near {location}"),
+        format!("jobs doing {query} near {location}"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_distinct_formulations() {
+        let f = formulations("run errand", "London, UK");
+        assert_eq!(f.len(), 5);
+        for (i, t) in f.iter().enumerate() {
+            assert!(t.contains("run errand"));
+            assert!(t.contains("London, UK"));
+            assert!(!f[..i].contains(t), "duplicate formulation {t:?}");
+        }
+    }
+
+    #[test]
+    fn table6_style_shape() {
+        // Mirrors Table 6's first example row.
+        let f = formulations("run errand", "London, UK");
+        assert_eq!(f[0], "run errand jobs near London, UK");
+    }
+}

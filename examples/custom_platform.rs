@@ -1,0 +1,75 @@
+//! Bring your own platform: the F-Box consumes plain observations, so any
+//! site that ranks people can be audited — here a tiny Qapa-style
+//! marketplace described as literal data, with an extra protected
+//! attribute (neighborhood) beyond the paper's gender/ethnicity pair.
+//!
+//! Run with: `cargo run --example custom_platform`
+
+use fbox::core::algo::{RankOrder, Restriction};
+use fbox::core::model::{Attribute, GroupLabel, ValueId};
+use fbox::core::observations::{MarketObservations, MarketRanking, RankedWorker};
+use fbox::{FBox, MarketMeasure, Schema, Universe};
+
+fn main() {
+    // 1. Declare the protected attributes — any finite domains work.
+    let schema = Schema::new(vec![
+        Attribute::new("gender", ["Male", "Female"]),
+        Attribute::new("neighborhood", ["North", "South", "East"]),
+    ]);
+
+    // 2. Register every group expressible over the schema (2 + 3 + 6 = 11).
+    let mut universe = Universe::with_all_groups(schema);
+    let q = universe.add_query("logo design", Some("Design"));
+    let paris = universe.add_location("Paris", None);
+    let lyon = universe.add_location("Lyon", None);
+
+    // 3. Feed observed rankings. Assignments are [gender, neighborhood].
+    let page = |rows: &[(u16, u16)]| {
+        MarketRanking::new(
+            rows.iter()
+                .enumerate()
+                .map(|(i, &(g, n))| RankedWorker {
+                    assignment: vec![ValueId(g), ValueId(n)],
+                    rank: i + 1,
+                    score: None,
+                })
+                .collect(),
+        )
+    };
+    let mut observations = MarketObservations::new();
+    // Paris: southern workers stuck at the bottom of the page.
+    observations.insert(
+        q,
+        paris,
+        page(&[(0, 0), (1, 0), (0, 2), (1, 2), (0, 0), (1, 2), (0, 1), (1, 1), (0, 1), (1, 1)]),
+    );
+    // Lyon: neighborhoods interleaved — roughly fair.
+    observations.insert(
+        q,
+        lyon,
+        page(&[(0, 1), (1, 0), (0, 2), (1, 1), (0, 0), (1, 2), (0, 1), (1, 0), (0, 2), (1, 1)]),
+    );
+
+    let fbox = FBox::from_market(universe, &observations, MarketMeasure::emd());
+
+    // 4. Ask the framework's questions.
+    println!("Most unfair groups across both cities (EMD):");
+    for (name, v) in fbox.top_k_groups(4, RankOrder::MostUnfair, &Restriction::none()) {
+        println!("  {name:<24} {v:.3}");
+    }
+
+    let south = fbox
+        .universe()
+        .group_id(&GroupLabel::parse(fbox.universe().schema(), "neighborhood=South").expect("label parses"))
+        .expect("group registered");
+    println!("\nUnfairness toward the South neighborhood per city:");
+    for l in [paris, lyon] {
+        let d = fbox.unfairness(south, q, l);
+        println!(
+            "  {:<8} {}",
+            fbox.universe().location(l).name,
+            d.map_or("-".into(), |v| format!("{v:.3}"))
+        );
+    }
+    println!("\n(The comparable groups of \"South\" are \"North\" and \"East\" — one attribute flip away.)");
+}

@@ -1,0 +1,86 @@
+//! Cross-crate pipeline: AMT-style labels flow from `fbox-crowd` through
+//! the marketplace crawler into the unfairness cube, exactly as profile-
+//! picture labeling did in the paper (§5.1.1).
+
+use fbox::core::algo::{RankOrder, Restriction};
+use fbox::crowd::{label_population, Labeler};
+use fbox::marketplace::{crawl, BiasProfile, Ethnicity, Gender, Marketplace, Population, ScoringModel};
+use fbox::{FBox, MarketMeasure};
+
+fn biased_marketplace(seed: u64) -> Marketplace {
+    let bias = BiasProfile::neutral()
+        .with_penalty(Gender::Female, Ethnicity::Asian, 0.35)
+        .with_penalty(Gender::Female, Ethnicity::Black, 0.15);
+    Marketplace::new(Population::paper(seed), ScoringModel::default(), bias, seed)
+}
+
+#[test]
+fn oracle_labels_match_ground_truth_measurements() {
+    let m = biased_marketplace(11);
+    let labelers: Vec<Labeler> = (0..3).map(Labeler::oracle).collect();
+    let (labels, stats) = label_population(m.population(), &labelers, 5);
+    assert_eq!(stats.exact_accuracy, 1.0);
+
+    let (u1, obs1, _) = crawl(&m);
+    let m_labeled = biased_marketplace(11).with_observed_labels(labels);
+    let (_, obs2, _) = crawl(&m_labeled);
+
+    let fb1 = FBox::from_market(u1.clone(), &obs1, MarketMeasure::emd());
+    let fb2 = FBox::from_market(u1, &obs2, MarketMeasure::emd());
+    for g in fb1.universe().group_ids() {
+        for q in fb1.universe().query_ids() {
+            for l in fb1.universe().location_ids() {
+                assert_eq!(fb1.unfairness(g, q, l), fb2.unfairness(g, q, l));
+            }
+        }
+    }
+}
+
+#[test]
+fn noisy_labels_blur_but_do_not_erase_the_signal() {
+    let m = biased_marketplace(13);
+    let labelers: Vec<Labeler> = (0..5).map(|i| Labeler::with_accuracy(i, 0.85)).collect();
+    let (labels, stats) = label_population(m.population(), &labelers, 7);
+    assert!(stats.exact_accuracy > 0.8 && stats.exact_accuracy < 1.0);
+
+    let (universe, truth_obs, _) = crawl(&m);
+    let (_, label_obs, _) = crawl(&biased_marketplace(13).with_observed_labels(labels));
+
+    let truth = FBox::from_market(universe.clone(), &truth_obs, MarketMeasure::emd());
+    let labeled = FBox::from_market(universe, &label_obs, MarketMeasure::emd());
+
+    let truth_top = truth.top_k_groups(2, RankOrder::MostUnfair, &Restriction::none());
+    let labeled_top = labeled.top_k_groups(2, RankOrder::MostUnfair, &Restriction::none());
+    // The most-discriminated group (Asian Females) survives 85 %-accurate
+    // labeling…
+    assert_eq!(truth_top[0].0, "Female Asian");
+    assert_eq!(labeled_top[0].0, "Female Asian");
+    // …but mislabeling mixes unbiased workers into the group, diluting the
+    // measured unfairness.
+    assert!(
+        labeled_top[0].1 < truth_top[0].1,
+        "label noise should dilute: labeled {} vs truth {}",
+        labeled_top[0].1,
+        truth_top[0].1
+    );
+}
+
+#[test]
+fn majority_vote_beats_individual_accuracy() {
+    // Three-way majority over 75 %-accurate voters is ≈ 84 % per
+    // attribute — the panel's measured accuracy must clear the individual
+    // rate.
+    let m = biased_marketplace(17);
+    let panel: Vec<Labeler> = (0..5).map(|i| Labeler::with_accuracy(i, 0.75)).collect();
+    let (_, stats) = label_population(m.population(), &panel, 9);
+    assert!(
+        stats.gender_accuracy > 0.78,
+        "majority gender accuracy {} should beat the 0.75 individual rate",
+        stats.gender_accuracy
+    );
+    assert!(
+        stats.ethnicity_accuracy > 0.78,
+        "majority ethnicity accuracy {} should beat the 0.75 individual rate",
+        stats.ethnicity_accuracy
+    );
+}

@@ -1,0 +1,175 @@
+//! Cross-crate framework tests: the threshold algorithm against the naive
+//! scan on real (not synthetic) cubes, dimension-instance round trips,
+//! and a custom-schema study driven through the public API only.
+
+use fbox::core::algo::{compare, naive_top_k, top_k, Entity, RankOrder, Restriction};
+use fbox::core::model::{Attribute, ValueId};
+use fbox::core::observations::{MarketObservations, MarketRanking, RankedWorker};
+use fbox::core::{Dimension, GroupId, LocationId, QueryId};
+use fbox::repro::scenario;
+use fbox::{FBox, MarketMeasure, Schema, Universe};
+
+#[test]
+fn ta_equals_naive_on_the_google_cube() {
+    // The Google study yields a *complete* cube — the TA's home turf.
+    let s = scenario::google();
+    for fb in [&s.kendall, &s.jaccard] {
+        assert!(fb.cube().is_complete());
+        for dim in [Dimension::Group, Dimension::Query, Dimension::Location] {
+            for order in [RankOrder::MostUnfair, RankOrder::LeastUnfair] {
+                for k in [1, 3, 7] {
+                    let ta = top_k(fb.indices(), dim, k, order, &Restriction::none());
+                    let nv = naive_top_k(fb.cube(), dim, k, order, &Restriction::none());
+                    let ta_vals: Vec<f64> = ta.entries.iter().map(|e| e.1).collect();
+                    let nv_vals: Vec<f64> = nv.entries.iter().map(|e| e.1).collect();
+                    assert_eq!(ta_vals.len(), nv_vals.len());
+                    for (a, b) in ta_vals.iter().zip(&nv_vals) {
+                        assert!((a - b).abs() < 1e-9, "{dim:?} {order:?} k={k}");
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn ta_does_less_work_than_naive_when_the_dimension_is_large() {
+    // The TA's advantage is sublinear scanning of the *returned*
+    // dimension — the paper's motivation is arbitrarily many groups,
+    // queries and locations (§4.2). Build a skewed 800-group cube: the
+    // TA should stop after a few rounds, the naive scan must touch every
+    // cell of every group.
+    use fbox::core::UnfairnessCube;
+    let (nq, nl) = (4u32, 4u32);
+    let mut cube = UnfairnessCube::with_dims(800, nq as usize, nl as usize);
+    for g in 0..800u32 {
+        let v = if g < 5 { 0.9 - g as f64 * 0.01 } else { 0.3 * (g as f64 % 97.0) / 97.0 };
+        for q in 0..nq {
+            for l in 0..nl {
+                cube.set(GroupId(g), QueryId(q), LocationId(l), v);
+            }
+        }
+    }
+    let indices = fbox::core::IndexSet::build(&cube);
+    let ta = top_k(&indices, Dimension::Group, 5, RankOrder::MostUnfair, &Restriction::none());
+    let nv = naive_top_k(&cube, Dimension::Group, 5, RankOrder::MostUnfair, &Restriction::none());
+    let ta_vals: Vec<f64> = ta.entries.iter().map(|e| e.1).collect();
+    let nv_vals: Vec<f64> = nv.entries.iter().map(|e| e.1).collect();
+    assert_eq!(ta_vals, nv_vals);
+    let ta_accesses = ta.stats.sorted_accesses + ta.stats.random_accesses;
+    assert!(
+        ta_accesses * 5 < nv.stats.random_accesses,
+        "TA {ta_accesses} accesses vs naive {} — expected ≥5x saving",
+        nv.stats.random_accesses
+    );
+}
+
+#[test]
+fn comparison_instances_cover_all_three_dimensions() {
+    // Group-, query-, and location-comparison all answer on the real
+    // TaskRabbit cube.
+    let s = scenario::taskrabbit();
+    let fb = &s.emd;
+    let u = fb.universe();
+
+    let g1 = u.group_id_by_text("ethnicity=Asian").unwrap();
+    let g2 = u.group_id_by_text("ethnicity=White").unwrap();
+    let by_location = compare(
+        fb.indices(),
+        Entity::Group(g1),
+        Entity::Group(g2),
+        Dimension::Location,
+        None,
+        &Restriction::none(),
+    )
+    .expect("data");
+    assert!(by_location.overall1 > by_location.overall2, "Asians are treated less fairly overall");
+
+    let q1 = u.query_id("Lawn Mowing").unwrap();
+    let q2 = u.query_id("Grocery Delivery").unwrap();
+    let by_group = compare(
+        fb.indices(),
+        Entity::Query(q1),
+        Entity::Query(q2),
+        Dimension::Group,
+        None,
+        &Restriction::none(),
+    )
+    .expect("data");
+    assert!(!by_group.rows.is_empty());
+
+    let l1 = u.location_id("Birmingham, UK").unwrap();
+    let l2 = u.location_id("Chicago, IL").unwrap();
+    let by_query = compare(
+        fb.indices(),
+        Entity::Location(l1),
+        Entity::Location(l2),
+        Dimension::Query,
+        None,
+        &Restriction::none(),
+    )
+    .expect("data");
+    assert!(
+        by_query.overall1 > by_query.overall2,
+        "Birmingham is less fair than Chicago overall"
+    );
+}
+
+#[test]
+fn restricted_questions_match_paper_section_4_examples() {
+    // "Which 2 queries are Black Males most likely to get in the West
+    // Coast?" — a group- and region-restricted query-fairness question.
+    let s = scenario::taskrabbit();
+    let fb = &s.emd;
+    let u = fb.universe();
+    let bm = u.group_id_by_text("gender=Male & ethnicity=Black").unwrap();
+    let west: Vec<u32> = u.locations_in_region("West Coast").iter().map(|l| l.0).collect();
+    assert!(!west.is_empty());
+    let restrict = Restriction {
+        groups: Some(vec![bm.0]),
+        queries: None,
+        locations: Some(west),
+    };
+    let fairest = fb.top_k_queries(2, RankOrder::LeastUnfair, &restrict);
+    assert_eq!(fairest.len(), 2);
+    assert!(fairest[0].1 <= fairest[1].1);
+}
+
+#[test]
+fn custom_schema_study_via_public_api() {
+    // Three protected attributes, 2×2×2 domains → 26 lattice groups.
+    let schema = Schema::new(vec![
+        Attribute::new("gender", ["M", "F"]),
+        Attribute::new("age", ["young", "old"]),
+        Attribute::new("disability", ["no", "yes"]),
+    ]);
+    let mut universe = Universe::with_all_groups(schema);
+    assert_eq!(universe.n_groups(), 26);
+    let q = universe.add_query("tutoring", None);
+    let l = universe.add_location("Utrecht", None);
+
+    // Old disabled workers at the bottom of the page.
+    let workers: Vec<RankedWorker> = (0..12)
+        .map(|i| RankedWorker {
+            assignment: vec![
+                ValueId((i % 2) as u16),
+                ValueId(u16::from(i >= 8)),
+                ValueId(u16::from(i >= 10)),
+            ],
+            rank: i + 1,
+            score: None,
+        })
+        .collect();
+    let mut obs = MarketObservations::new();
+    obs.insert(q, l, MarketRanking::new(workers));
+    let fb = FBox::from_market(universe, &obs, MarketMeasure::emd());
+
+    let old = fb.universe().group_id_by_text("age=old").unwrap();
+    let young = fb.universe().group_id_by_text("age=young").unwrap();
+    let d_old = fb.unfairness(old, QueryId(0), LocationId(0)).unwrap();
+    assert!(d_old > 0.3, "segregated ages must register, got {d_old}");
+    // Symmetric two-value attribute → equal EMD values.
+    let d_young = fb.unfairness(young, QueryId(0), LocationId(0)).unwrap();
+    assert!((d_old - d_young).abs() < 1e-12);
+    let _ = GroupId(0);
+}

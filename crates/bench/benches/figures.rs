@@ -37,9 +37,7 @@ fn search_fixture() -> (Universe, Vec<UserList>) {
 
 fn bench_market_cell(c: &mut Criterion) {
     let (universe, ranking) = market_fixture();
-    let bf = universe
-        .group_id_by_text("gender=Female & ethnicity=Black")
-        .unwrap();
+    let bf = universe.group_id_by_text("gender=Female & ethnicity=Black").unwrap();
     c.bench_function("cell/market_emd", |b| {
         b.iter(|| {
             market_cell_unfairness(
@@ -64,9 +62,7 @@ fn bench_market_cell(c: &mut Criterion) {
 
 fn bench_search_cell(c: &mut Criterion) {
     let (universe, lists) = search_fixture();
-    let bf = universe
-        .group_id_by_text("gender=Female & ethnicity=Black")
-        .unwrap();
+    let bf = universe.group_id_by_text("gender=Female & ethnicity=Black").unwrap();
     c.bench_function("cell/search_kendall", |b| {
         b.iter(|| {
             search_cell_unfairness(

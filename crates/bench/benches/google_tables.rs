@@ -21,9 +21,7 @@ fn bench_pipeline(c: &mut Criterion) {
         let runner = ExtensionRunner::default();
         b.iter(|| run_study(black_box(&design), black_box(&engine), black_box(&runner)))
     });
-    group.bench_function("build_scenario_end_to_end", |b| {
-        b.iter(scenario::google)
-    });
+    group.bench_function("build_scenario_end_to_end", |b| b.iter(scenario::google));
     group.finish();
 }
 

@@ -21,9 +21,7 @@ fn bench_pipeline(c: &mut Criterion) {
         );
         b.iter(|| crawl(black_box(&marketplace)))
     });
-    group.bench_function("build_scenario_end_to_end", |b| {
-        b.iter(scenario::taskrabbit)
-    });
+    group.bench_function("build_scenario_end_to_end", |b| b.iter(scenario::taskrabbit));
     group.finish();
 }
 
@@ -31,9 +29,8 @@ fn bench_tables(c: &mut Criterion) {
     let s = scenario::taskrabbit();
     let mut group = c.benchmark_group("taskrabbit_tables");
 
-    group.bench_function("table8_groups_emd", |b| {
-        b.iter(|| util::group_ranking(black_box(&s.emd)))
-    });
+    group
+        .bench_function("table8_groups_emd", |b| b.iter(|| util::group_ranking(black_box(&s.emd))));
     group.bench_function("table8_groups_exposure", |b| {
         b.iter(|| util::group_ranking(black_box(&s.exposure)))
     });

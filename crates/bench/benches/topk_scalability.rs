@@ -18,36 +18,28 @@ fn bench_group_dimension(c: &mut Criterion) {
         let cube = synthetic_cube(n_groups, 8, 8);
         let indices = IndexSet::build(&cube);
         for &k in &[1usize, 10] {
-            group.bench_with_input(
-                BenchmarkId::new(format!("ta_k{k}"), n_groups),
-                &k,
-                |b, &k| {
-                    b.iter(|| {
-                        top_k(
-                            black_box(&indices),
-                            Dimension::Group,
-                            k,
-                            RankOrder::MostUnfair,
-                            &Restriction::none(),
-                        )
-                    })
-                },
-            );
-            group.bench_with_input(
-                BenchmarkId::new(format!("nra_k{k}"), n_groups),
-                &k,
-                |b, &k| {
-                    b.iter(|| {
-                        nra_top_k(
-                            black_box(&indices),
-                            Dimension::Group,
-                            k,
-                            RankOrder::MostUnfair,
-                            &Restriction::none(),
-                        )
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(format!("ta_k{k}"), n_groups), &k, |b, &k| {
+                b.iter(|| {
+                    top_k(
+                        black_box(&indices),
+                        Dimension::Group,
+                        k,
+                        RankOrder::MostUnfair,
+                        &Restriction::none(),
+                    )
+                })
+            });
+            group.bench_with_input(BenchmarkId::new(format!("nra_k{k}"), n_groups), &k, |b, &k| {
+                b.iter(|| {
+                    nra_top_k(
+                        black_box(&indices),
+                        Dimension::Group,
+                        k,
+                        RankOrder::MostUnfair,
+                        &Restriction::none(),
+                    )
+                })
+            });
             group.bench_with_input(
                 BenchmarkId::new(format!("naive_k{k}"), n_groups),
                 &k,
@@ -73,15 +65,16 @@ fn bench_other_dimensions(c: &mut Criterion) {
     group.sample_size(20);
     let cube = synthetic_cube(64, 96, 56); // TaskRabbit-shaped
     let indices = IndexSet::build(&cube);
-    for (name, dim) in [
-        ("query", Dimension::Query),
-        ("location", Dimension::Location),
-    ] {
+    for (name, dim) in [("query", Dimension::Query), ("location", Dimension::Location)] {
         group.bench_function(BenchmarkId::new("ta", name), |b| {
-            b.iter(|| top_k(black_box(&indices), dim, 10, RankOrder::LeastUnfair, &Restriction::none()))
+            b.iter(|| {
+                top_k(black_box(&indices), dim, 10, RankOrder::LeastUnfair, &Restriction::none())
+            })
         });
         group.bench_function(BenchmarkId::new("naive", name), |b| {
-            b.iter(|| naive_top_k(black_box(&cube), dim, 10, RankOrder::LeastUnfair, &Restriction::none()))
+            b.iter(|| {
+                naive_top_k(black_box(&cube), dim, 10, RankOrder::LeastUnfair, &Restriction::none())
+            })
         });
     }
     group.finish();

@@ -116,15 +116,7 @@ pub fn compare(
     let cmp_dim = r1.dimension();
     assert_eq!(cmp_dim, r2.dimension(), "comparison entities must share a dimension");
     assert_ne!(r1, r2, "comparison requires two distinct entities");
-    compare_sets(
-        indices,
-        cmp_dim,
-        &[r1.id()],
-        &[r2.id()],
-        breakdown,
-        breakdown_subset,
-        restrict,
-    )
+    compare_sets(indices, cmp_dim, &[r1.id()], &[r2.id()], breakdown, breakdown_subset, restrict)
 }
 
 /// [`compare`] generalized to *sets* of comparison entities: `set1` and
@@ -149,11 +141,10 @@ pub fn compare_sets(
     restrict: &Restriction,
 ) -> Option<ComparisonOutcome> {
     assert!(!set1.is_empty() && !set2.is_empty(), "comparison sets must be non-empty");
-    assert!(
-        set1.iter().all(|e| !set2.contains(e)),
-        "comparison sets must be disjoint"
-    );
+    assert!(set1.iter().all(|e| !set2.contains(e)), "comparison sets must be disjoint");
     assert_ne!(breakdown, cmp_dim, "breakdown dimension must differ from the comparison dimension");
+    let _span = fbox_telemetry::span!("algo.compare");
+    let mut cells_read = 0u64;
 
     // The remaining dimension: not compared, not broken down — aggregated.
     let agg_dim = remaining_dimension(cmp_dim, breakdown);
@@ -173,12 +164,14 @@ pub fn compare_sets(
         let (mut s2, mut c2) = (0.0, 0usize);
         for &a in &agg_ids {
             for &r in set1 {
+                cells_read += 1;
                 if let Some(v) = read(indices, cmp_dim, r, breakdown, b, a) {
                     s1 += v;
                     c1 += 1;
                 }
             }
             for &r in set2 {
+                cells_read += 1;
                 if let Some(v) = read(indices, cmp_dim, r, breakdown, b, a) {
                     s2 += v;
                     c2 += 1;
@@ -198,6 +191,7 @@ pub fn compare_sets(
             });
         }
     }
+    publish_compare(cells_read);
     if n1 == 0 || n2 == 0 {
         return None;
     }
@@ -211,6 +205,17 @@ pub fn compare_sets(
     }
 
     Some(ComparisonOutcome { overall1, overall2, rows })
+}
+
+/// Folds one comparison run's counters into the global telemetry
+/// registry; no-op while telemetry is disabled.
+fn publish_compare(cells_read: u64) {
+    let t = fbox_telemetry::global();
+    if !t.enabled() {
+        return;
+    }
+    t.counter("compare.calls").inc();
+    t.counter("compare.cells_read").add(cells_read);
 }
 
 fn remaining_dimension(a: Dimension, b: Dimension) -> Dimension {

@@ -90,9 +90,7 @@ impl PartialOrd for OrdF64 {
 }
 impl Ord for OrdF64 {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0
-            .partial_cmp(&other.0)
-            .expect("unfairness values are never NaN")
+        self.0.partial_cmp(&other.0).expect("unfairness values are never NaN")
     }
 }
 

@@ -21,6 +21,7 @@ pub fn naive_top_k(
     order: RankOrder,
     restrict: &Restriction,
 ) -> TopKResult {
+    let _span = fbox_telemetry::span!("algo.naive");
     let mut stats = TopKStats::default();
     let entities = restrict.resolve(dim, dim_len(cube, dim));
     let (da, db) = dim.others();
@@ -34,6 +35,7 @@ pub fn naive_top_k(
         for &a in &ents_a {
             for &b in &ents_b {
                 stats.random_accesses += 1;
+                stats.cells_scanned += 1;
                 if let Some(v) = cell(cube, dim, e, a, b) {
                     sum += v;
                     n += 1;
@@ -46,12 +48,15 @@ pub fn naive_top_k(
     }
 
     match order {
-        RankOrder::MostUnfair => aggregates
-            .sort_by(|x, y| OrdF64(y.1).cmp(&OrdF64(x.1)).then(x.0.cmp(&y.0))),
-        RankOrder::LeastUnfair => aggregates
-            .sort_by(|x, y| OrdF64(x.1).cmp(&OrdF64(y.1)).then(x.0.cmp(&y.0))),
+        RankOrder::MostUnfair => {
+            aggregates.sort_by(|x, y| OrdF64(y.1).cmp(&OrdF64(x.1)).then(x.0.cmp(&y.0)))
+        }
+        RankOrder::LeastUnfair => {
+            aggregates.sort_by(|x, y| OrdF64(x.1).cmp(&OrdF64(y.1)).then(x.0.cmp(&y.0)))
+        }
     }
     aggregates.truncate(k);
+    stats.publish("naive");
     TopKResult { entries: aggregates, stats }
 }
 
@@ -93,10 +98,12 @@ mod tests {
     #[test]
     fn orders_both_ways() {
         let c = cube();
-        let most = naive_top_k(&c, Dimension::Group, 3, RankOrder::MostUnfair, &Restriction::none());
+        let most =
+            naive_top_k(&c, Dimension::Group, 3, RankOrder::MostUnfair, &Restriction::none());
         assert_eq!(most.entries[0].0, 2);
         assert_eq!(most.entries[2].0, 0);
-        let least = naive_top_k(&c, Dimension::Group, 3, RankOrder::LeastUnfair, &Restriction::none());
+        let least =
+            naive_top_k(&c, Dimension::Group, 3, RankOrder::LeastUnfair, &Restriction::none());
         assert_eq!(least.entries[0].0, 0);
         assert_eq!(least.entries[2].0, 2);
     }
@@ -124,11 +131,8 @@ mod tests {
     #[test]
     fn respects_restrictions() {
         let c = cube();
-        let restrict = Restriction {
-            groups: Some(vec![0, 1]),
-            queries: Some(vec![1]),
-            locations: None,
-        };
+        let restrict =
+            Restriction { groups: Some(vec![0, 1]), queries: Some(vec![1]), locations: None };
         let r = naive_top_k(&c, Dimension::Group, 5, RankOrder::MostUnfair, &restrict);
         assert_eq!(r.entries.len(), 2);
         assert_eq!(r.entries[0].0, 1);

@@ -50,6 +50,7 @@ pub fn nra_top_k(
         indices.is_complete(),
         "NRA requires a complete unfairness cube; use naive_top_k for incomplete data"
     );
+    let _span = fbox_telemetry::span!("algo.nra");
     let mut stats = TopKStats::default();
 
     let (da, db) = dim.others();
@@ -68,9 +69,10 @@ pub fn nra_top_k(
         }
         mask
     });
-    let is_candidate = |e: u32| candidates.as_ref().map_or(true, |m| m[e as usize]);
+    let is_candidate = |e: u32| candidates.as_ref().is_none_or(|m| m[e as usize]);
 
     if k == 0 || pairs.is_empty() {
+        stats.publish("nra");
         return TopKResult { entries: Vec::new(), stats };
     }
 
@@ -101,6 +103,7 @@ pub fn nra_top_k(
                 continue;
             };
             cursors[li] += 1;
+            stats.cells_scanned += 1;
             frontier[li] = sign * v;
             progressed = true;
             if !is_candidate(e) {
@@ -162,10 +165,8 @@ pub fn nra_top_k(
                 }
             }
             if all_dominated {
-                let unseen_upper: f64 = frontier
-                    .iter()
-                    .map(|&f| if f.is_finite() { f } else { floor })
-                    .sum();
+                let unseen_upper: f64 =
+                    frontier.iter().map(|&f| if f.is_finite() { f } else { floor }).sum();
                 // Unseen entities can't exist once every list has reported
                 // everything, but mid-run they bound at the frontier sum.
                 let any_unseen_possible =
@@ -196,6 +197,7 @@ pub fn nra_top_k(
                                             .random_access(e)
                                             .expect("complete index");
                                         stats.random_accesses += 1;
+                                        stats.cells_scanned += 1;
                                         sum += sign * v;
                                     }
                                 }
@@ -207,6 +209,7 @@ pub fn nra_top_k(
                     entries.sort_by(|a, b| {
                         OrdF64(sign * b.1).cmp(&OrdF64(sign * a.1)).then(a.0.cmp(&b.0))
                     });
+                    stats.publish("nra");
                     return TopKResult { entries, stats };
                 }
             }
@@ -221,10 +224,9 @@ pub fn nra_top_k(
                     (e, sign * p.sum / n_lists as f64)
                 })
                 .collect();
-            entries.sort_by(|a, b| {
-                OrdF64(sign * b.1).cmp(&OrdF64(sign * a.1)).then(a.0.cmp(&b.0))
-            });
+            entries.sort_by(|a, b| OrdF64(sign * b.1).cmp(&OrdF64(sign * a.1)).then(a.0.cmp(&b.0)));
             entries.truncate(k);
+            stats.publish("nra");
             return TopKResult { entries, stats };
         }
     }
@@ -296,11 +298,8 @@ mod tests {
     fn nra_respects_restrictions() {
         let c = cube(20);
         let idx = crate::index::IndexSet::build(&c);
-        let restrict = Restriction {
-            groups: Some(vec![2, 5, 9]),
-            queries: Some(vec![0, 2]),
-            locations: None,
-        };
+        let restrict =
+            Restriction { groups: Some(vec![2, 5, 9]), queries: Some(vec![0, 2]), locations: None };
         let nra = nra_top_k(&idx, Dimension::Group, 2, RankOrder::MostUnfair, &restrict);
         let nv = naive_top_k(&c, Dimension::Group, 2, RankOrder::MostUnfair, &restrict);
         assert_eq!(nra.entries.len(), 2);

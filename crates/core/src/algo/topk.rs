@@ -37,6 +37,28 @@ pub struct TopKStats {
     pub random_accesses: u64,
     /// Number of round-robin rounds executed.
     pub rounds: u64,
+    /// Number of cube cells touched, by any access kind — including probes
+    /// of missing cells. This is the honest work metric for TA-vs-naive
+    /// comparisons: the naive scan touches every (restricted) cell exactly
+    /// once, while TA touches `sorted + random` cells.
+    pub cells_scanned: u64,
+}
+
+impl TopKStats {
+    /// Folds these counters into the global telemetry registry under
+    /// `<algo>.*` names (e.g. `ta.sorted_accesses`), plus a `<algo>.calls`
+    /// counter. No-op while telemetry is disabled.
+    pub fn publish(&self, algo: &str) {
+        let t = fbox_telemetry::global();
+        if !t.enabled() {
+            return;
+        }
+        t.counter(&format!("{algo}.calls")).inc();
+        t.counter(&format!("{algo}.sorted_accesses")).add(self.sorted_accesses);
+        t.counter(&format!("{algo}.random_accesses")).add(self.random_accesses);
+        t.counter(&format!("{algo}.rounds")).add(self.rounds);
+        t.counter(&format!("{algo}.cells_scanned")).add(self.cells_scanned);
+    }
 }
 
 /// Result of a top-k run: entities with their aggregated unfairness, best
@@ -72,6 +94,7 @@ pub fn top_k(
         indices.is_complete(),
         "threshold algorithm requires a complete unfairness cube; use naive_top_k for incomplete data"
     );
+    let _span = fbox_telemetry::span!("algo.ta");
     let mut stats = TopKStats::default();
 
     let (da, db) = dim.others();
@@ -91,10 +114,10 @@ pub fn top_k(
         }
         mask
     });
-    let is_candidate =
-        |e: u32| candidates.as_ref().map_or(true, |m| m[e as usize]);
+    let is_candidate = |e: u32| candidates.as_ref().is_none_or(|m| m[e as usize]);
 
     if k == 0 || pairs.is_empty() {
+        stats.publish("ta");
         return TopKResult { entries: Vec::new(), stats };
     }
 
@@ -132,6 +155,7 @@ pub fn top_k(
                 continue;
             };
             cursors[pi] += 1;
+            stats.cells_scanned += 1;
             last_seen[pi] = v;
             progressed = true;
             if !is_candidate(e) || seen[e as usize] {
@@ -151,6 +175,7 @@ pub fn top_k(
                     .random_access(e)
                     .expect("complete index has every entity in every list");
                 stats.random_accesses += 1;
+                stats.cells_scanned += 1;
                 sum += val;
             }
             let aggregate = sum / pairs.len() as f64;
@@ -184,15 +209,14 @@ pub fn top_k(
     }
 
     // Drain the heap into best-first order.
-    let mut entries: Vec<(u32, f64)> = heap
-        .into_iter()
-        .map(|(Reverse(OrdF64(sv)), e)| (e, sign * sv))
-        .collect();
+    let mut entries: Vec<(u32, f64)> =
+        heap.into_iter().map(|(Reverse(OrdF64(sv)), e)| (e, sign * sv)).collect();
     entries.sort_by(|a, b| {
         let va = OrdF64(sign * a.1);
         let vb = OrdF64(sign * b.1);
         vb.cmp(&va).then(a.0.cmp(&b.0))
     });
+    stats.publish("ta");
     TopKResult { entries, stats }
 }
 

@@ -105,30 +105,33 @@ impl UnfairnessCube {
 
     /// `d⟨g,Q,L⟩` (§3.4): mean over the present cells of `g` across the
     /// given query and location sets. `None` if no cell is present.
-    pub fn avg_group(&self, g: GroupId, queries: &[QueryId], locations: &[LocationId]) -> Option<f64> {
-        self.mean(
-            queries
-                .iter()
-                .flat_map(|&q| locations.iter().map(move |&l| self.get(g, q, l))),
-        )
+    pub fn avg_group(
+        &self,
+        g: GroupId,
+        queries: &[QueryId],
+        locations: &[LocationId],
+    ) -> Option<f64> {
+        self.mean(queries.iter().flat_map(|&q| locations.iter().map(move |&l| self.get(g, q, l))))
     }
 
     /// `d⟨G,q,L⟩` (§3.4): mean for one query across group and location sets.
-    pub fn avg_query(&self, q: QueryId, groups: &[GroupId], locations: &[LocationId]) -> Option<f64> {
-        self.mean(
-            groups
-                .iter()
-                .flat_map(|&g| locations.iter().map(move |&l| self.get(g, q, l))),
-        )
+    pub fn avg_query(
+        &self,
+        q: QueryId,
+        groups: &[GroupId],
+        locations: &[LocationId],
+    ) -> Option<f64> {
+        self.mean(groups.iter().flat_map(|&g| locations.iter().map(move |&l| self.get(g, q, l))))
     }
 
     /// `d⟨G,Q,l⟩` (§3.4): mean for one location across group and query sets.
-    pub fn avg_location(&self, l: LocationId, groups: &[GroupId], queries: &[QueryId]) -> Option<f64> {
-        self.mean(
-            groups
-                .iter()
-                .flat_map(|&g| queries.iter().map(move |&q| self.get(g, q, l))),
-        )
+    pub fn avg_location(
+        &self,
+        l: LocationId,
+        groups: &[GroupId],
+        queries: &[QueryId],
+    ) -> Option<f64> {
+        self.mean(groups.iter().flat_map(|&g| queries.iter().map(move |&q| self.get(g, q, l))))
     }
 
     fn mean(&self, cells: impl Iterator<Item = Option<f64>>) -> Option<f64> {
@@ -223,14 +226,10 @@ mod tests {
             }
         }
         // Restrict to q=1, l∈{0,1} for g=0: cells 0.1 and 0.2.
-        let avg = c
-            .avg_group(GroupId(0), &[QueryId(1)], &[LocationId(0), LocationId(1)])
-            .unwrap();
+        let avg = c.avg_group(GroupId(0), &[QueryId(1)], &[LocationId(0), LocationId(1)]).unwrap();
         assert!((avg - 0.15).abs() < 1e-12);
         // avg_query over both groups at l=0, q=1: (0.1 + 0.2)/2.
-        let avg_q = c
-            .avg_query(QueryId(1), &[GroupId(0), GroupId(1)], &[LocationId(0)])
-            .unwrap();
+        let avg_q = c.avg_query(QueryId(1), &[GroupId(0), GroupId(1)], &[LocationId(0)]).unwrap();
         assert!((avg_q - 0.15).abs() < 1e-12);
         // avg_location over both groups, both queries at l=1.
         let avg_l = c

@@ -32,12 +32,18 @@ impl FBox {
         observations: &SearchObservations,
         measure: SearchMeasure,
     ) -> Self {
+        let _span = fbox_telemetry::span!("fbox.from_search");
+        let cells = CellTelemetry::new("search", measure.label());
         let mut cube = UnfairnessCube::empty(&universe);
         for ((q, l), lists) in observations.cells() {
             for g in universe.group_ids() {
-                cube.set_opt(g, q, l, search_cell_unfairness(&universe, lists, g, measure));
+                let start = cells.start();
+                let v = search_cell_unfairness(&universe, lists, g, measure);
+                cells.finish(start, v.is_some());
+                cube.set_opt(g, q, l, v);
             }
         }
+        cells.finish_cube(&cube);
         Self::from_cube(universe, cube)
     }
 
@@ -49,12 +55,18 @@ impl FBox {
         observations: &MarketObservations,
         measure: MarketMeasure,
     ) -> Self {
+        let _span = fbox_telemetry::span!("fbox.from_market");
+        let cells = CellTelemetry::new("market", measure.label());
         let mut cube = UnfairnessCube::empty(&universe);
         for ((q, l), ranking) in observations.cells() {
             for g in universe.group_ids() {
-                cube.set_opt(g, q, l, market_cell_unfairness(&universe, ranking, g, measure));
+                let start = cells.start();
+                let v = market_cell_unfairness(&universe, ranking, g, measure);
+                cells.finish(start, v.is_some());
+                cube.set_opt(g, q, l, v);
             }
         }
+        cells.finish_cube(&cube);
         Self::from_cube(universe, cube)
     }
 
@@ -106,6 +118,7 @@ impl FBox {
         order: RankOrder,
         restrict: &Restriction,
     ) -> TopKResult {
+        let _span = fbox_telemetry::span!("fbox.top_k");
         if self.cube.is_complete() {
             algo::top_k(&self.indices, dim, k, order, restrict)
         } else {
@@ -180,6 +193,67 @@ impl FBox {
     }
 }
 
+/// Per-cell instrumentation for the cube build loops: counts computed vs
+/// empty cells into `cube.cells_computed` / `cube.cells_empty`, times each
+/// measure evaluation into `measure.<platform>.<label>`, and reports cells
+/// never visited (unobserved (q, l) pairs) into `cube.cells_unobserved`.
+/// Inert — no clock reads, no atomics — while telemetry is disabled.
+struct CellTelemetry {
+    active: Option<CellTelemetryInner>,
+}
+
+struct CellTelemetryInner {
+    computed: fbox_telemetry::Counter,
+    empty: fbox_telemetry::Counter,
+    unobserved: fbox_telemetry::Counter,
+    timings: fbox_telemetry::Histogram,
+    visited: std::cell::Cell<u64>,
+}
+
+impl CellTelemetry {
+    fn new(platform: &str, measure_label: &str) -> Self {
+        let t = fbox_telemetry::global();
+        if !t.enabled() {
+            return Self { active: None };
+        }
+        Self {
+            active: Some(CellTelemetryInner {
+                computed: t.counter("cube.cells_computed"),
+                empty: t.counter("cube.cells_empty"),
+                unobserved: t.counter("cube.cells_unobserved"),
+                timings: t.histogram(&format!("measure.{platform}.{measure_label}")),
+                visited: std::cell::Cell::new(0),
+            }),
+        }
+    }
+
+    #[inline]
+    fn start(&self) -> Option<std::time::Instant> {
+        self.active.as_ref().map(|_| std::time::Instant::now())
+    }
+
+    #[inline]
+    fn finish(&self, start: Option<std::time::Instant>, computed: bool) {
+        let (Some(inner), Some(start)) = (self.active.as_ref(), start) else {
+            return;
+        };
+        inner.timings.record(start.elapsed());
+        if computed {
+            inner.computed.inc();
+        } else {
+            inner.empty.inc();
+        }
+        inner.visited.set(inner.visited.get() + 1);
+    }
+
+    fn finish_cube(&self, cube: &UnfairnessCube) {
+        if let Some(inner) = self.active.as_ref() {
+            let total = (cube.n_groups() * cube.n_queries() * cube.n_locations()) as u64;
+            inner.unobserved.add(total.saturating_sub(inner.visited.get()));
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -198,13 +272,8 @@ mod tests {
     #[test]
     fn build_from_market_toy() {
         let fb = toy_fbox();
-        let bf = fb
-            .universe()
-            .group_id_by_text("gender=Female & ethnicity=Black")
-            .unwrap();
-        let d = fb
-            .unfairness(bf, QueryId(0), LocationId(0))
-            .expect("black females have a value");
+        let bf = fb.universe().group_id_by_text("gender=Female & ethnicity=Black").unwrap();
+        let d = fb.unfairness(bf, QueryId(0), LocationId(0)).expect("black females have a value");
         assert!((d - 0.04).abs() < 0.005, "Figure 5 value, got {d}");
     }
 

@@ -56,6 +56,7 @@ pub struct IndexSet {
 impl IndexSet {
     /// Builds all three families from a cube.
     pub fn build(cube: &UnfairnessCube) -> Self {
+        let _span = fbox_telemetry::span!("index.build");
         let (ng, nq, nl) = (cube.n_groups(), cube.n_queries(), cube.n_locations());
 
         let mut group_lists = Vec::with_capacity(nq * nl);
@@ -86,6 +87,13 @@ impl IndexSet {
                     .collect();
                 location_lists.push(PostingList::from_values(values));
             }
+        }
+
+        let t = fbox_telemetry::global();
+        if t.enabled() {
+            t.counter("index.builds").inc();
+            t.counter("index.lists_built")
+                .add((group_lists.len() + query_lists.len() + location_lists.len()) as u64);
         }
 
         Self {
@@ -194,9 +202,18 @@ mod tests {
             for q in 0..2u32 {
                 for l in 0..2u32 {
                     let expected = cube.get(GroupId(g), QueryId(q), LocationId(l));
-                    assert_eq!(idx.group_list(QueryId(q), LocationId(l)).random_access(g), expected);
-                    assert_eq!(idx.query_list(GroupId(g), LocationId(l)).random_access(q), expected);
-                    assert_eq!(idx.location_list(GroupId(g), QueryId(q)).random_access(l), expected);
+                    assert_eq!(
+                        idx.group_list(QueryId(q), LocationId(l)).random_access(g),
+                        expected
+                    );
+                    assert_eq!(
+                        idx.query_list(GroupId(g), LocationId(l)).random_access(q),
+                        expected
+                    );
+                    assert_eq!(
+                        idx.location_list(GroupId(g), QueryId(q)).random_access(l),
+                        expected
+                    );
                     assert_eq!(idx.value(GroupId(g), QueryId(q), LocationId(l)), expected);
                 }
             }

@@ -27,19 +27,11 @@ impl PostingList {
     ///
     /// Panics if any present value is NaN — NaN cannot be ordered.
     pub fn from_values(values: Vec<Option<f64>>) -> Self {
-        let mut entries: Vec<(u32, f64)> = values
-            .iter()
-            .enumerate()
-            .filter_map(|(e, v)| v.map(|v| (e as u32, v)))
-            .collect();
-        assert!(
-            entries.iter().all(|(_, v)| !v.is_nan()),
-            "posting list values must not be NaN"
-        );
+        let mut entries: Vec<(u32, f64)> =
+            values.iter().enumerate().filter_map(|(e, v)| v.map(|v| (e as u32, v))).collect();
+        assert!(entries.iter().all(|(_, v)| !v.is_nan()), "posting list values must not be NaN");
         entries.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .expect("no NaN after assertion")
-                .then(a.0.cmp(&b.0))
+            b.1.partial_cmp(&a.1).expect("no NaN after assertion").then(a.0.cmp(&b.0))
         });
         Self { entries, values }
     }

@@ -29,22 +29,13 @@ use super::histogram::Histogram;
 ///
 /// [`BinConfig`]: super::histogram::BinConfig
 pub fn emd_1d(a: &Histogram, b: &Histogram) -> Option<f64> {
-    assert!(
-        a.config() == b.config(),
-        "emd_1d requires identical bin configurations"
-    );
+    assert!(a.config() == b.config(), "emd_1d requires identical bin configurations");
     let na = a.normalized()?;
     let nb = b.normalized()?;
     let ca = na.cumulative();
     let cb = nb.cumulative();
     let width = a.config().bin_width();
-    Some(
-        ca.iter()
-            .zip(&cb)
-            .map(|(x, y)| (x - y).abs())
-            .sum::<f64>()
-            * width,
-    )
+    Some(ca.iter().zip(&cb).map(|(x, y)| (x - y).abs()).sum::<f64>() * width)
 }
 
 /// [`emd_1d`] rescaled to `[0, 1]`: divided by the maximum possible EMD for
@@ -104,14 +95,9 @@ pub fn emd_general(
 /// difference|, solved by the general transportation solver. Agrees with
 /// [`emd_1d`] (property-tested) but works for any non-negative cost.
 pub fn emd_general_1d(a: &Histogram, b: &Histogram) -> Option<f64> {
-    assert!(
-        a.config() == b.config(),
-        "emd_general_1d requires identical bin configurations"
-    );
+    assert!(a.config() == b.config(), "emd_general_1d requires identical bin configurations");
     let cfg = a.config();
-    emd_general(a.counts(), b.counts(), |i, j| {
-        (cfg.bin_center(i) - cfg.bin_center(j)).abs()
-    })
+    emd_general(a.counts(), b.counts(), |i, j| (cfg.bin_center(i) - cfg.bin_center(j)).abs())
 }
 
 const SCALE: u64 = 1 << 32;
@@ -125,10 +111,8 @@ fn normalize_to_units(masses: &[f64]) -> Option<Vec<u64>> {
     if total <= 0.0 {
         return None;
     }
-    let mut units: Vec<u64> = masses
-        .iter()
-        .map(|&x| ((x / total) * SCALE as f64).round() as u64)
-        .collect();
+    let mut units: Vec<u64> =
+        masses.iter().map(|&x| ((x / total) * SCALE as f64).round() as u64).collect();
     // Fix rounding drift on the largest bin so the total is exact.
     let sum: u64 = units.iter().sum();
     let largest = units
@@ -275,10 +259,7 @@ impl PartialOrd for HeapEntry {
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // Reverse: BinaryHeap is a max-heap, we want smallest dist first.
-        other
-            .dist
-            .partial_cmp(&self.dist)
-            .expect("distances are never NaN")
+        other.dist.partial_cmp(&self.dist).expect("distances are never NaN")
     }
 }
 
@@ -372,14 +353,8 @@ mod tests {
     fn general_solver_with_custom_cost() {
         // Two bins, unit cost between different bins: EMD = total mass that
         // must move = |p_a(0) - p_b(0)|.
-        let d = emd_general(&[1.0, 0.0], &[0.25, 0.75], |i, j| {
-            if i == j {
-                0.0
-            } else {
-                1.0
-            }
-        })
-        .unwrap();
+        let d =
+            emd_general(&[1.0, 0.0], &[0.25, 0.75], |i, j| if i == j { 0.0 } else { 1.0 }).unwrap();
         assert!((d - 0.75).abs() < 1e-6);
     }
 

@@ -74,11 +74,7 @@ pub struct Histogram {
 impl Histogram {
     /// An empty histogram over `config`.
     pub fn empty(config: BinConfig) -> Self {
-        Self {
-            counts: vec![0.0; config.bins],
-            config,
-            total: 0.0,
-        }
+        Self { counts: vec![0.0; config.bins], config, total: 0.0 }
     }
 
     /// Builds a histogram from raw values.

@@ -384,10 +384,7 @@ mod tests {
         let a = vec![1, 2, 3, 4, 5];
         let b = vec![4, 2, 9, 1];
         for &p in &[0.0, 0.3, 0.5, 1.0] {
-            assert!(
-                (top_k_distance(&a, &b, p) - top_k_distance(&b, &a, p)).abs() < 1e-12,
-                "p={p}"
-            );
+            assert!((top_k_distance(&a, &b, p) - top_k_distance(&b, &a, p)).abs() < 1e-12, "p={p}");
         }
     }
 

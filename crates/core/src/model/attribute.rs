@@ -38,15 +38,15 @@ impl Attribute {
     ///
     /// Panics if `values` is empty or contains duplicates — an attribute
     /// with no values (or ambiguous values) cannot label any group.
-    pub fn new(name: impl Into<String>, values: impl IntoIterator<Item = impl Into<String>>) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        values: impl IntoIterator<Item = impl Into<String>>,
+    ) -> Self {
         let name = name.into();
         let values: Vec<String> = values.into_iter().map(Into::into).collect();
         assert!(!values.is_empty(), "attribute {name:?} must have at least one value");
         for (i, v) in values.iter().enumerate() {
-            assert!(
-                !values[..i].contains(v),
-                "attribute {name:?} has duplicate value {v:?}"
-            );
+            assert!(!values[..i].contains(v), "attribute {name:?} has duplicate value {v:?}");
         }
         Self { name, values }
     }
@@ -68,10 +68,7 @@ impl Attribute {
 
     /// Looks up a value by name.
     pub fn value_id(&self, value: &str) -> Option<ValueId> {
-        self.values
-            .iter()
-            .position(|v| v == value)
-            .map(|i| ValueId(i as u16))
+        self.values.iter().position(|v| v == value).map(|i| ValueId(i as u16))
     }
 
     /// The name of a value id.
@@ -135,10 +132,7 @@ impl Schema {
 
     /// Looks up an attribute by name.
     pub fn attr_id(&self, name: &str) -> Option<AttrId> {
-        self.attributes
-            .iter()
-            .position(|a| a.name() == name)
-            .map(|i| AttrId(i as u16))
+        self.attributes.iter().position(|a| a.name() == name).map(|i| AttrId(i as u16))
     }
 
     /// The attribute for an id.

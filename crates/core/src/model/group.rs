@@ -83,10 +83,7 @@ impl GroupLabel {
 
     /// The value this label fixes for `attr`, if any.
     pub fn value_of(&self, attr: AttrId) -> Option<ValueId> {
-        self.predicates
-            .iter()
-            .find(|&&(a, _)| a == attr)
-            .map(|&(_, v)| v)
+        self.predicates.iter().find(|&&(a, _)| a == attr).map(|&(_, v)| v)
     }
 
     /// Whether an individual with the given full attribute assignment
@@ -95,9 +92,7 @@ impl GroupLabel {
     /// `assignment[a]` must hold the individual's value for attribute id
     /// `a`; the label matches if every predicate agrees.
     pub fn matches(&self, assignment: &[ValueId]) -> bool {
-        self.predicates
-            .iter()
-            .all(|&(a, v)| assignment.get(a.0 as usize) == Some(&v))
+        self.predicates.iter().all(|&(a, v)| assignment.get(a.0 as usize) == Some(&v))
     }
 
     /// `variants(g, a)` (paper §3.1): groups identical to `g` except for the
@@ -108,9 +103,7 @@ impl GroupLabel {
     /// Panics if `attr ∉ A(g)` — variants are only defined for attributes the
     /// label mentions.
     pub fn variants(&self, schema: &Schema, attr: AttrId) -> Vec<GroupLabel> {
-        let current = self
-            .value_of(attr)
-            .expect("variants(g, a) requires a ∈ A(g)");
+        let current = self.value_of(attr).expect("variants(g, a) requires a ∈ A(g)");
         let domain = schema.attribute(attr).cardinality() as u16;
         (0..domain)
             .map(ValueId)
@@ -178,20 +171,14 @@ pub fn all_groups(schema: &Schema) -> Vec<GroupLabel> {
     assert!(n <= 16, "group lattice enumeration supports at most 16 attributes");
     let mut out = Vec::new();
     for mask in 1u32..(1 << n) {
-        let attrs: Vec<AttrId> = (0..n)
-            .filter(|&i| mask & (1 << i) != 0)
-            .map(|i| AttrId(i as u16))
-            .collect();
+        let attrs: Vec<AttrId> =
+            (0..n).filter(|&i| mask & (1 << i) != 0).map(|i| AttrId(i as u16)).collect();
         // Odometer over the value domains of the chosen attributes
         // (last attribute varies fastest).
         let mut counters = vec![0u16; attrs.len()];
         'odometer: loop {
             out.push(GroupLabel::new(
-                attrs
-                    .iter()
-                    .zip(&counters)
-                    .map(|(&a, &c)| (a, ValueId(c)))
-                    .collect(),
+                attrs.iter().zip(&counters).map(|(&a, &c)| (a, ValueId(c))).collect(),
             ));
             let mut i = attrs.len() - 1;
             loop {
@@ -213,10 +200,7 @@ pub fn all_groups(schema: &Schema) -> Vec<GroupLabel> {
 /// Enumerates only the "full" groups: conjunctions fixing *every* attribute
 /// of the schema (e.g. the 6 gender × ethnicity pairs).
 pub fn full_groups(schema: &Schema) -> Vec<GroupLabel> {
-    all_groups(schema)
-        .into_iter()
-        .filter(|g| g.arity() == schema.len())
-        .collect()
+    all_groups(schema).into_iter().filter(|g| g.arity() == schema.len()).collect()
 }
 
 #[cfg(test)]

@@ -108,10 +108,7 @@ impl Universe {
         }
         let id = QueryId(self.queries.len() as u32);
         self.query_ids.insert(name.clone(), id);
-        self.queries.push(QueryDef {
-            name,
-            category: category.map(str::to_string),
-        });
+        self.queries.push(QueryDef { name, category: category.map(str::to_string) });
         id
     }
 
@@ -123,10 +120,7 @@ impl Universe {
         }
         let id = LocationId(self.locations.len() as u32);
         self.location_ids.insert(name.clone(), id);
-        self.locations.push(LocationDef {
-            name,
-            region: region.map(str::to_string),
-        });
+        self.locations.push(LocationDef { name, region: region.map(str::to_string) });
         id
     }
 
@@ -205,9 +199,7 @@ impl Universe {
     /// Queries belonging to a category (for breakdowns like Table 15, which
     /// breaks "General Cleaning" down into its sub-queries).
     pub fn queries_in_category(&self, category: &str) -> Vec<QueryId> {
-        self.query_ids()
-            .filter(|&q| self.query(q).category.as_deref() == Some(category))
-            .collect()
+        self.query_ids().filter(|&q| self.query(q).category.as_deref() == Some(category)).collect()
     }
 
     /// Locations within a region tag (e.g. `"West Coast"`).
@@ -295,8 +287,10 @@ mod tests {
     #[test]
     fn comparable_groups_skip_unregistered() {
         let mut u = Universe::new(Schema::gender_ethnicity());
-        let bf = u.add_group(GroupLabel::parse(u.schema(), "gender=Female & ethnicity=Black").unwrap());
-        let bm = u.add_group(GroupLabel::parse(u.schema(), "gender=Male & ethnicity=Black").unwrap());
+        let bf =
+            u.add_group(GroupLabel::parse(u.schema(), "gender=Female & ethnicity=Black").unwrap());
+        let bm =
+            u.add_group(GroupLabel::parse(u.schema(), "gender=Male & ethnicity=Black").unwrap());
         // Asian/White Females are not registered → only Black Males remain.
         assert_eq!(u.comparable_group_ids(bf), vec![bm]);
     }

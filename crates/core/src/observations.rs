@@ -92,8 +92,7 @@ impl MarketRanking {
     /// if present, else the rank-derived `1 − rank/N`.
     pub fn relevance(&self, index: usize) -> f64 {
         let w = &self.workers[index];
-        w.score
-            .unwrap_or_else(|| crate::measures::relevance_from_rank(w.rank, self.len()))
+        w.score.unwrap_or_else(|| crate::measures::relevance_from_rank(w.rank, self.len()))
     }
 }
 

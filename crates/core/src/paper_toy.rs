@@ -116,10 +116,7 @@ pub fn table1_lists() -> (Universe, Vec<UserList>) {
     let lists = demo
         .into_iter()
         .zip(tops)
-        .map(|(assignment, results)| UserList {
-            assignment,
-            results: results.to_vec(),
-        })
+        .map(|(assignment, results)| UserList { assignment, results: results.to_vec() })
         .collect();
     (universe, lists)
 }

@@ -6,9 +6,7 @@
 //! group lacks data yield `None` — unfairness against nobody is undefined,
 //! and the aggregation layer treats such cells as missing.
 
-use crate::measures::{
-    self, exposure_unfairness, BinConfig, DiscountModel, Histogram,
-};
+use crate::measures::{self, exposure_unfairness, BinConfig, DiscountModel, Histogram};
 use crate::model::{GroupId, Universe};
 use crate::observations::{MarketRanking, UserList};
 use serde::{Deserialize, Serialize};
@@ -41,6 +39,15 @@ impl SearchMeasure {
             SearchMeasure::JaccardDistance => measures::jaccard::distance(a, b),
         }
     }
+
+    /// Stable identifier used in telemetry metric names
+    /// (`measure.search.<label>`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            SearchMeasure::KendallTopK { .. } => "kendall_top_k",
+            SearchMeasure::JaccardDistance => "jaccard",
+        }
+    }
 }
 
 /// Distribution-distance choice for marketplace unfairness (Eq. 2 /
@@ -70,6 +77,15 @@ impl MarketMeasure {
     pub fn exposure() -> Self {
         MarketMeasure::Exposure { model: DiscountModel::NaturalLog }
     }
+
+    /// Stable identifier used in telemetry metric names
+    /// (`measure.market.<label>`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            MarketMeasure::Emd { .. } => "emd",
+            MarketMeasure::Exposure { .. } => "exposure",
+        }
+    }
 }
 
 /// Search-engine unfairness `d⟨g,q,l⟩` (Eq. 1): for each comparable group
@@ -85,10 +101,7 @@ pub fn search_cell_unfairness(
     measure: SearchMeasure,
 ) -> Option<f64> {
     let g_label = universe.group(g);
-    let members: Vec<&UserList> = lists
-        .iter()
-        .filter(|u| g_label.matches(&u.assignment))
-        .collect();
+    let members: Vec<&UserList> = lists.iter().filter(|u| g_label.matches(&u.assignment)).collect();
     if members.is_empty() {
         return None;
     }
@@ -96,10 +109,8 @@ pub fn search_cell_unfairness(
     let mut per_group = Vec::new();
     for g_cmp in universe.comparable_group_ids(g) {
         let cmp_label = universe.group(g_cmp);
-        let others: Vec<&UserList> = lists
-            .iter()
-            .filter(|u| cmp_label.matches(&u.assignment))
-            .collect();
+        let others: Vec<&UserList> =
+            lists.iter().filter(|u| cmp_label.matches(&u.assignment)).collect();
         if others.is_empty() {
             continue;
         }
@@ -181,11 +192,8 @@ fn market_exposure(
     model: DiscountModel,
 ) -> Option<f64> {
     let g_label = universe.group(g);
-    let comparables: Vec<_> = universe
-        .comparable_group_ids(g)
-        .into_iter()
-        .map(|c| universe.group(c).clone())
-        .collect();
+    let comparables: Vec<_> =
+        universe.comparable_group_ids(g).into_iter().map(|c| universe.group(c).clone()).collect();
     if comparables.is_empty() {
         return None;
     }
@@ -276,10 +284,7 @@ mod tests {
         let (u, lists) = two_group_lists(true);
         // No Black users in the sample.
         let black = u.group_id_by_text("ethnicity=Black").unwrap();
-        assert_eq!(
-            search_cell_unfairness(&u, &lists, black, SearchMeasure::JaccardDistance),
-            None
-        );
+        assert_eq!(search_cell_unfairness(&u, &lists, black, SearchMeasure::JaccardDistance), None);
     }
 
     #[test]
@@ -287,11 +292,8 @@ mod tests {
         // The paper's Figure 5: Black Females in the Table 3 ranking have
         // exposure unfairness ≈ 0.04.
         let (universe, ranking) = paper_toy::table3_ranking();
-        let bf = universe
-            .group_id_by_text("gender=Female & ethnicity=Black")
-            .unwrap();
-        let d = market_cell_unfairness(&universe, &ranking, bf, MarketMeasure::exposure())
-            .unwrap();
+        let bf = universe.group_id_by_text("gender=Female & ethnicity=Black").unwrap();
+        let d = market_cell_unfairness(&universe, &ranking, bf, MarketMeasure::exposure()).unwrap();
         assert!((d - 0.04).abs() < 0.005, "got {d}");
     }
 
@@ -312,8 +314,7 @@ mod tests {
             .collect();
         let ranking = MarketRanking::new(workers);
         let male = universe.group_id_by_text("gender=Male").unwrap();
-        let d =
-            market_cell_unfairness(&universe, &ranking, male, MarketMeasure::emd()).unwrap();
+        let d = market_cell_unfairness(&universe, &ranking, male, MarketMeasure::emd()).unwrap();
         assert!(d < 0.15, "interleaved groups should be nearly fair, got {d}");
     }
 
@@ -333,8 +334,7 @@ mod tests {
             .collect();
         let ranking = MarketRanking::new(workers);
         let male = universe.group_id_by_text("gender=Male").unwrap();
-        let d =
-            market_cell_unfairness(&universe, &ranking, male, MarketMeasure::emd()).unwrap();
+        let d = market_cell_unfairness(&universe, &ranking, male, MarketMeasure::emd()).unwrap();
         assert!(d > 0.4, "segregated groups should be clearly unfair, got {d}");
     }
 

@@ -18,22 +18,20 @@ fn complete_cube(
     max_q: usize,
     max_l: usize,
 ) -> impl Strategy<Value = UnfairnessCube> {
-    (1..=max_g, 1..=max_q, 1..=max_l)
-        .prop_flat_map(|(ng, nq, nl)| {
-            proptest::collection::vec(0.0f64..=1.0, ng * nq * nl)
-                .prop_map(move |vals| {
-                    let mut c = UnfairnessCube::with_dims(ng, nq, nl);
-                    let mut it = vals.into_iter();
-                    for g in 0..ng as u32 {
-                        for q in 0..nq as u32 {
-                            for l in 0..nl as u32 {
-                                c.set(GroupId(g), QueryId(q), LocationId(l), it.next().unwrap());
-                            }
-                        }
+    (1..=max_g, 1..=max_q, 1..=max_l).prop_flat_map(|(ng, nq, nl)| {
+        proptest::collection::vec(0.0f64..=1.0, ng * nq * nl).prop_map(move |vals| {
+            let mut c = UnfairnessCube::with_dims(ng, nq, nl);
+            let mut it = vals.into_iter();
+            for g in 0..ng as u32 {
+                for q in 0..nq as u32 {
+                    for l in 0..nl as u32 {
+                        c.set(GroupId(g), QueryId(q), LocationId(l), it.next().unwrap());
                     }
-                    c
-                })
+                }
+            }
+            c
         })
+    })
 }
 
 /// Values of a top-k result (the comparable part under ties).

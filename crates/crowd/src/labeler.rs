@@ -29,7 +29,11 @@ impl Labeler {
     ///
     /// Panics if any row does not sum to 1 (±1e-9) or has negative
     /// entries.
-    pub fn new(id: u64, gender_confusion: [[f64; 2]; 2], ethnicity_confusion: [[f64; 3]; 3]) -> Self {
+    pub fn new(
+        id: u64,
+        gender_confusion: [[f64; 2]; 2],
+        ethnicity_confusion: [[f64; 3]; 3],
+    ) -> Self {
         for row in &gender_confusion {
             validate_row(row);
         }

@@ -30,8 +30,7 @@ pub struct Vote {
 /// Panics if fewer than one label is supplied.
 pub fn majority_vote(labels: &[Demographic]) -> Vote {
     assert!(!labels.is_empty(), "majority vote needs at least one label");
-    let (gender, g_voters, g_tie) =
-        vote_attribute(labels, |d| d.gender as usize, &Gender::ALL);
+    let (gender, g_voters, g_tie) = vote_attribute(labels, |d| d.gender as usize, &Gender::ALL);
     let (ethnicity, e_voters, e_tie) =
         vote_attribute(labels, |d| d.ethnicity as usize, &Ethnicity::ALL);
     Vote {
@@ -65,11 +64,8 @@ fn vote_attribute<T: Copy + PartialEq>(
         }
         // Tie persists with all voters consumed: fall back to the first
         // cast label among the tied classes.
-        let first = labels
-            .iter()
-            .map(|d| key(d))
-            .find(|i| winners.contains(i))
-            .expect("some label exists");
+        let first =
+            labels.iter().map(&key).find(|i| winners.contains(i)).expect("some label exists");
         return (domain[first], n, true);
     }
 }

@@ -113,8 +113,7 @@ mod tests {
         // Three 80 %-accurate voters give ≈ 0.8³+3·0.8²·0.2 ≈ 0.896 per
         // attribute.
         let p = population();
-        let labelers: Vec<Labeler> =
-            (0..3).map(|i| Labeler::with_accuracy(i, 0.8)).collect();
+        let labelers: Vec<Labeler> = (0..3).map(|i| Labeler::with_accuracy(i, 0.8)).collect();
         let (_, stats) = label_population(&p, &labelers, 5);
         assert!(stats.gender_accuracy > 0.85, "got {}", stats.gender_accuracy);
         assert!(stats.ethnicity_accuracy > 0.85, "got {}", stats.ethnicity_accuracy);
@@ -123,8 +122,7 @@ mod tests {
     #[test]
     fn labeling_is_deterministic() {
         let p = population();
-        let labelers: Vec<Labeler> =
-            (0..4).map(|i| Labeler::with_accuracy(i, 0.9)).collect();
+        let labelers: Vec<Labeler> = (0..4).map(|i| Labeler::with_accuracy(i, 0.9)).collect();
         let (a, _) = label_population(&p, &labelers, 7);
         let (b, _) = label_population(&p, &labelers, 7);
         assert_eq!(a, b);
@@ -135,14 +133,9 @@ mod tests {
     #[test]
     fn noisy_labels_disagree_sometimes() {
         let p = population();
-        let labelers: Vec<Labeler> =
-            (0..3).map(|i| Labeler::with_accuracy(i, 0.7)).collect();
+        let labelers: Vec<Labeler> = (0..3).map(|i| Labeler::with_accuracy(i, 0.7)).collect();
         let (labels, stats) = label_population(&p, &labelers, 9);
-        let wrong = labels
-            .iter()
-            .zip(p.workers())
-            .filter(|(l, w)| **l != w.demographic)
-            .count();
+        let wrong = labels.iter().zip(p.workers()).filter(|(l, w)| **l != w.demographic).count();
         assert!(wrong > 0, "70 % labelers must produce some mislabels");
         assert!(stats.exact_accuracy < 1.0);
     }

@@ -94,8 +94,7 @@ impl BiasProfile {
     /// unfairness under distribution- and exposure-based measures.
     pub fn with_penalty(mut self, gender: Gender, ethnicity: Ethnicity, penalty: f64) -> Self {
         assert!((-1.0..=1.0).contains(&penalty), "penalty must be in [-1,1]");
-        self.group_penalty[gender.value_id().0 as usize][ethnicity.value_id().0 as usize] =
-            penalty;
+        self.group_penalty[gender.value_id().0 as usize][ethnicity.value_id().0 as usize] = penalty;
         self
     }
 
@@ -121,8 +120,7 @@ impl BiasProfile {
 
     /// Base penalty of a demographic group.
     pub fn base_penalty(&self, demo: Demographic) -> f64 {
-        self.group_penalty[demo.gender.value_id().0 as usize]
-            [demo.ethnicity.value_id().0 as usize]
+        self.group_penalty[demo.gender.value_id().0 as usize][demo.ethnicity.value_id().0 as usize]
     }
 
     /// The effective score penalty for a worker of demographic `demo`
@@ -132,13 +130,7 @@ impl BiasProfile {
     ///
     /// where `g'` is `demo` unless a matching [`OverrideAction::SwapGenders`]
     /// replaces the gender.
-    pub fn penalty(
-        &self,
-        demo: Demographic,
-        query: &str,
-        category: &str,
-        location: &str,
-    ) -> f64 {
+    pub fn penalty(&self, demo: Demographic, query: &str, category: &str, location: &str) -> f64 {
         let mut gender = demo.gender;
         let mut scale = 1.0;
         for o in &self.overrides {
@@ -154,18 +146,10 @@ impl BiasProfile {
                 }
             }
         }
-        let base = self.group_penalty[gender.value_id().0 as usize]
-            [demo.ethnicity.value_id().0 as usize];
-        let loc_amp = self
-            .location_amp
-            .get(location)
-            .copied()
-            .unwrap_or(self.default_location_amp);
-        let cat_amp = self
-            .category_amp
-            .get(category)
-            .copied()
-            .unwrap_or(self.default_category_amp);
+        let base =
+            self.group_penalty[gender.value_id().0 as usize][demo.ethnicity.value_id().0 as usize];
+        let loc_amp = self.location_amp.get(location).copied().unwrap_or(self.default_location_amp);
+        let cat_amp = self.category_amp.get(category).copied().unwrap_or(self.default_category_amp);
         base * loc_amp * cat_amp * scale
     }
 }
@@ -234,10 +218,18 @@ mod tests {
         let f = demo(Gender::Female, Ethnicity::White);
         let m = demo(Gender::Male, Ethnicity::White);
         // Swapped in Nashville…
-        assert!((p.penalty(f, "Home Cleaning", "General Cleaning", "Nashville, TN") - 0.1).abs() < 1e-12);
-        assert!((p.penalty(m, "Home Cleaning", "General Cleaning", "Nashville, TN") - 0.4).abs() < 1e-12);
+        assert!(
+            (p.penalty(f, "Home Cleaning", "General Cleaning", "Nashville, TN") - 0.1).abs()
+                < 1e-12
+        );
+        assert!(
+            (p.penalty(m, "Home Cleaning", "General Cleaning", "Nashville, TN") - 0.4).abs()
+                < 1e-12
+        );
         // …normal elsewhere.
-        assert!((p.penalty(f, "Home Cleaning", "General Cleaning", "Boston, MA") - 0.4).abs() < 1e-12);
+        assert!(
+            (p.penalty(f, "Home Cleaning", "General Cleaning", "Boston, MA") - 0.4).abs() < 1e-12
+        );
     }
 
     #[test]

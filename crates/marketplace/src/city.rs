@@ -98,11 +98,7 @@ mod tests {
     #[test]
     fn names_are_unique() {
         for (i, c) in CITIES.iter().enumerate() {
-            assert!(
-                !CITIES[..i].iter().any(|o| o.name == c.name),
-                "duplicate city {:?}",
-                c.name
-            );
+            assert!(!CITIES[..i].iter().any(|o| o.name == c.name), "duplicate city {:?}", c.name);
         }
     }
 

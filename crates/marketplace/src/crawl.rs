@@ -40,19 +40,28 @@ pub fn taskrabbit_universe() -> Universe {
 /// Returns the universe, the observations keyed by the universe's ids, and
 /// summary statistics.
 pub fn crawl(marketplace: &Marketplace) -> (Universe, MarketObservations, CrawlStats) {
+    let _span = fbox_telemetry::span!("marketplace.crawl");
     let universe = taskrabbit_universe();
     let mut observations = MarketObservations::new();
     let mut n_queries = 0usize;
+    let mut n_skipped = 0usize;
     for (flat_q, (_, _, name)) in jobs::all_queries().enumerate() {
         let q = universe.query_id(name).expect("universe registered all sub-queries");
         for (ci, c) in city::CITIES.iter().enumerate() {
             let Some(ranking) = marketplace.run_query(flat_q, ci) else {
+                n_skipped += 1;
                 continue;
             };
             let l = universe.location_id(c.name).expect("universe registered all cities");
             observations.insert(q, l, ranking);
             n_queries += 1;
         }
+    }
+    let t = fbox_telemetry::global();
+    if t.enabled() {
+        t.counter("crawl.queries_run").add(n_queries as u64);
+        t.counter("crawl.queries_not_offered").add(n_skipped as u64);
+        t.counter("crawl.workers_observed").add(marketplace.population().len() as u64);
     }
     let (male_share, ethnicity_shares) = marketplace.population().breakdown();
     let stats = CrawlStats {

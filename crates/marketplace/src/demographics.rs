@@ -135,19 +135,12 @@ impl PopulationMarginals {
             assert!((0.0..=1.0).contains(&p), "marginal {name} = {p} out of [0,1]");
         }
         let sum = self.asian + self.black + self.white;
-        assert!(
-            (sum - 1.0).abs() < 1e-9,
-            "ethnicity marginals must sum to 1, got {sum}"
-        );
+        assert!((sum - 1.0).abs() < 1e-9, "ethnicity marginals must sum to 1, got {sum}");
     }
 
     /// Samples one demographic profile.
     pub fn sample(&self, rng: &mut impl Rng) -> Demographic {
-        let gender = if rng.random_bool(self.male) {
-            Gender::Male
-        } else {
-            Gender::Female
-        };
+        let gender = if rng.random_bool(self.male) { Gender::Male } else { Gender::Female };
         let r: f64 = rng.random_range(0.0..1.0);
         let ethnicity = if r < self.asian {
             Ethnicity::Asian
@@ -194,9 +187,8 @@ mod tests {
     fn assignment_roundtrips_through_group_labels() {
         let schema = Schema::gender_ethnicity();
         let d = Demographic { gender: Gender::Female, ethnicity: Ethnicity::Black };
-        let label =
-            fbox_core::model::GroupLabel::parse(&schema, "gender=Female & ethnicity=Black")
-                .unwrap();
+        let label = fbox_core::model::GroupLabel::parse(&schema, "gender=Female & ethnicity=Black")
+            .unwrap();
         assert!(label.matches(&d.assignment()));
         let other = Demographic { gender: Gender::Male, ethnicity: Ethnicity::Black };
         assert!(!label.matches(&other.assignment()));

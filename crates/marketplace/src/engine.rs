@@ -40,7 +40,12 @@ pub struct Marketplace {
 
 impl Marketplace {
     /// Assembles a marketplace.
-    pub fn new(population: Population, scoring: ScoringModel, bias: BiasProfile, seed: u64) -> Self {
+    pub fn new(
+        population: Population,
+        scoring: ScoringModel,
+        bias: BiasProfile,
+        seed: u64,
+    ) -> Self {
         Self {
             population,
             scoring,
@@ -83,11 +88,7 @@ impl Marketplace {
     ///
     /// Panics if the label count does not match the population size.
     pub fn with_observed_labels(mut self, labels: Vec<Demographic>) -> Self {
-        assert_eq!(
-            labels.len(),
-            self.population.len(),
-            "need exactly one label per worker"
-        );
+        assert_eq!(labels.len(), self.population.len(), "need exactly one label per worker");
         self.observed_labels = Some(labels);
         self
     }
@@ -122,9 +123,8 @@ impl Marketplace {
         if !jobs::offered(query_idx, city_idx) {
             return None;
         }
-        let (_, _, query_name) = jobs::all_queries()
-            .nth(query_idx)
-            .expect("query index validated by jobs::offered");
+        let (_, _, query_name) =
+            jobs::all_queries().nth(query_idx).expect("query index validated by jobs::offered");
         let category = jobs::category_of(query_idx).name;
         let location = crate::city::CITIES[city_idx].name;
 
@@ -136,9 +136,8 @@ impl Marketplace {
             .filter(|&&wi| self.serves(self.population.workers()[wi].id, category))
             .map(|&wi| {
                 let w = &self.population.workers()[wi];
-                let s = self
-                    .scoring
-                    .score(w, &self.bias, query_name, category, location, noise_seed);
+                let s =
+                    self.scoring.score(w, &self.bias, query_name, category, location, noise_seed);
                 (wi, s)
             })
             .collect();
@@ -183,7 +182,10 @@ impl Marketplace {
             .filter(|&&wi| self.serves(self.population.workers()[wi].id, category))
             .map(|&wi| {
                 let w = &self.population.workers()[wi];
-                (w.id, self.scoring.score(w, &self.bias, query_name, category, location, noise_seed))
+                (
+                    w.id,
+                    self.scoring.score(w, &self.bias, query_name, category, location, noise_seed),
+                )
             })
             .collect();
         scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN").then(a.0.cmp(&b.0)));
@@ -227,7 +229,10 @@ mod tests {
         assert_eq!(m.serves(7, "Handyman"), m.serves(7, "Handyman"));
         // Full coverage restores everyone.
         let full = marketplace(BiasProfile::neutral()).with_category_coverage(1.0);
-        assert_eq!(full.run_query(0, 0).unwrap().len(), PAGE_SIZE.min(full.population().in_city(0).len()));
+        assert_eq!(
+            full.run_query(0, 0).unwrap().len(),
+            PAGE_SIZE.min(full.population().in_city(0).len())
+        );
     }
 
     #[test]
@@ -261,9 +266,11 @@ mod tests {
     #[test]
     fn bias_pushes_target_group_down() {
         let neutral = marketplace(BiasProfile::neutral());
-        let biased = marketplace(
-            BiasProfile::neutral().with_penalty(Gender::Female, Ethnicity::Asian, 0.35),
-        );
+        let biased = marketplace(BiasProfile::neutral().with_penalty(
+            Gender::Female,
+            Ethnicity::Asian,
+            0.35,
+        ));
         // Under bias, Asian Females appear less often in the top page and
         // those who do appear sit at worse (larger) ranks on average.
         let af = (crate::demographics::Demographic {

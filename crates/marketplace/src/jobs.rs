@@ -26,67 +26,137 @@ pub const CATEGORIES: [Category; 8] = [
     Category {
         name: "Handyman",
         sub_queries: [
-            "Furniture Repair", "Door Repair", "Wall Mounting", "Picture Hanging",
-            "Shelf Installation", "Light Fixture Installation", "Faucet Repair",
-            "Caulking", "Drywall Repair", "Blind Installation", "Weatherproofing",
+            "Furniture Repair",
+            "Door Repair",
+            "Wall Mounting",
+            "Picture Hanging",
+            "Shelf Installation",
+            "Light Fixture Installation",
+            "Faucet Repair",
+            "Caulking",
+            "Drywall Repair",
+            "Blind Installation",
+            "Weatherproofing",
             "Childproofing",
         ],
     },
     Category {
         name: "Event Staffing",
         sub_queries: [
-            "Event Decorating", "Bartending Help", "Serving Help", "Coat Check",
-            "Event Setup", "Event Cleanup", "Ticket Scanning", "Guest Registration",
-            "Catering Help", "Party Planning Help", "Photo Booth Help", "Crowd Ushering",
+            "Event Decorating",
+            "Bartending Help",
+            "Serving Help",
+            "Coat Check",
+            "Event Setup",
+            "Event Cleanup",
+            "Ticket Scanning",
+            "Guest Registration",
+            "Catering Help",
+            "Party Planning Help",
+            "Photo Booth Help",
+            "Crowd Ushering",
         ],
     },
     Category {
         name: "General Cleaning",
         sub_queries: [
-            "Back To Organized", "Organize & Declutter", "Organize Closet",
-            "office cleaning jobs", "private cleaning jobs", "Home Cleaning",
-            "Deep Cleaning", "Move Out Cleaning", "Garage Cleaning", "Window Cleaning",
-            "Carpet Cleaning", "Fridge Cleaning",
+            "Back To Organized",
+            "Organize & Declutter",
+            "Organize Closet",
+            "office cleaning jobs",
+            "private cleaning jobs",
+            "Home Cleaning",
+            "Deep Cleaning",
+            "Move Out Cleaning",
+            "Garage Cleaning",
+            "Window Cleaning",
+            "Carpet Cleaning",
+            "Fridge Cleaning",
         ],
     },
     Category {
         name: "Yard Work",
         sub_queries: [
-            "Lawn Mowing", "Leaf Raking", "Weed Removal", "Hedge Trimming",
-            "Garden Planting", "Mulching", "Gutter Cleaning", "Patio Cleaning",
-            "Snow Removal", "Tree Pruning", "Yard Cleanup", "Composting Setup",
+            "Lawn Mowing",
+            "Leaf Raking",
+            "Weed Removal",
+            "Hedge Trimming",
+            "Garden Planting",
+            "Mulching",
+            "Gutter Cleaning",
+            "Patio Cleaning",
+            "Snow Removal",
+            "Tree Pruning",
+            "Yard Cleanup",
+            "Composting Setup",
         ],
     },
     Category {
         name: "Moving",
         sub_queries: [
-            "Help Moving", "Packing Services", "Unpacking Services", "Heavy Lifting",
-            "Truck Loading", "Truck Unloading", "Storage Unit Moving", "Piano Moving Help",
-            "Apartment Moving", "Office Moving", "In-Home Furniture Moving", "Junk Hauling",
+            "Help Moving",
+            "Packing Services",
+            "Unpacking Services",
+            "Heavy Lifting",
+            "Truck Loading",
+            "Truck Unloading",
+            "Storage Unit Moving",
+            "Piano Moving Help",
+            "Apartment Moving",
+            "Office Moving",
+            "In-Home Furniture Moving",
+            "Junk Hauling",
         ],
     },
     Category {
         name: "Delivery",
         sub_queries: [
-            "Grocery Delivery", "Food Delivery", "Package Pickup", "Pharmacy Pickup",
-            "Furniture Delivery", "Appliance Delivery", "Flower Delivery", "Gift Delivery",
-            "Laundry Drop-off", "Dry Cleaning Pickup", "Document Courier", "Equipment Return",
+            "Grocery Delivery",
+            "Food Delivery",
+            "Package Pickup",
+            "Pharmacy Pickup",
+            "Furniture Delivery",
+            "Appliance Delivery",
+            "Flower Delivery",
+            "Gift Delivery",
+            "Laundry Drop-off",
+            "Dry Cleaning Pickup",
+            "Document Courier",
+            "Equipment Return",
         ],
     },
     Category {
         name: "Furniture Assembly",
         sub_queries: [
-            "IKEA Assembly", "Bed Assembly", "Desk Assembly", "Bookshelf Assembly",
-            "Dresser Assembly", "Table Assembly", "Chair Assembly", "Wardrobe Assembly",
-            "Crib Assembly", "Sofa Assembly", "Outdoor Furniture Assembly", "Disassembly",
+            "IKEA Assembly",
+            "Bed Assembly",
+            "Desk Assembly",
+            "Bookshelf Assembly",
+            "Dresser Assembly",
+            "Table Assembly",
+            "Chair Assembly",
+            "Wardrobe Assembly",
+            "Crib Assembly",
+            "Sofa Assembly",
+            "Outdoor Furniture Assembly",
+            "Disassembly",
         ],
     },
     Category {
         name: "Run Errands",
         sub_queries: [
-            "run errand", "Wait In Line", "Post Office Run", "Bank Errand",
-            "Shopping Errand", "Pet Supply Run", "Hardware Store Run", "Return Items",
-            "Car Wash Run", "Library Run", "Donation Drop-off", "Prescription Run",
+            "run errand",
+            "Wait In Line",
+            "Post Office Run",
+            "Bank Errand",
+            "Shopping Errand",
+            "Pet Supply Run",
+            "Hardware Store Run",
+            "Return Items",
+            "Car Wash Run",
+            "Library Run",
+            "Donation Drop-off",
+            "Prescription Run",
         ],
     },
 ];
@@ -104,10 +174,7 @@ const MISSING_IN_PARTIAL_CITY: usize = 15;
 /// in stable order, with the flat query index.
 pub fn all_queries() -> impl Iterator<Item = (usize, usize, &'static str)> {
     CATEGORIES.iter().enumerate().flat_map(|(ci, cat)| {
-        cat.sub_queries
-            .iter()
-            .enumerate()
-            .map(move |(si, &name)| (ci, si, name))
+        cat.sub_queries.iter().enumerate().map(move |(si, &name)| (ci, si, name))
     })
 }
 

@@ -38,9 +38,7 @@ pub fn allocate(total: usize, n_cities: usize) -> Vec<usize> {
     assert!(n_cities > 0);
     let base = total / n_cities;
     let extra = total % n_cities;
-    (0..n_cities)
-        .map(|i| base + usize::from(i < extra))
-        .collect()
+    (0..n_cities).map(|i| base + usize::from(i < extra)).collect()
 }
 
 /// The demographic mix of one city of `count` workers: largest-remainder
@@ -57,9 +55,9 @@ pub fn stratified_demographics(count: usize, marginals: &PopulationMarginals) ->
         .iter()
         .flat_map(|&gender| {
             let gp = if gender == Gender::Male { marginals.male } else { 1.0 - marginals.male };
-            Ethnicity::ALL.iter().map(move |&ethnicity| {
-                (Demographic { gender, ethnicity }, gp * eth_p(ethnicity))
-            })
+            Ethnicity::ALL
+                .iter()
+                .map(move |&ethnicity| (Demographic { gender, ethnicity }, gp * eth_p(ethnicity)))
         })
         .collect();
 
@@ -136,16 +134,12 @@ impl Population {
                 m
             };
             for demographic in demographics {
-                let idx = *cell_seen
-                    .entry(demographic)
-                    .and_modify(|c| *c += 1)
-                    .or_insert(0);
+                let idx = *cell_seen.entry(demographic).and_modify(|c| *c += 1).or_insert(0);
                 let n_cell = cell_total[&demographic];
                 let latent = (idx as f64 + 0.5) / n_cell as f64;
                 let q = |salt: u64| {
-                    let jitter =
-                        (crate::scoring::mix(id.wrapping_add(1), salt) >> 11) as f64
-                            / (1u64 << 53) as f64;
+                    let jitter = (crate::scoring::mix(id.wrapping_add(1), salt) >> 11) as f64
+                        / (1u64 << 53) as f64;
                     (latent + 0.25 * (jitter - 0.5)).rem_euclid(1.0)
                 };
                 let rating = 3.0 + 2.0 * q(1);
@@ -173,12 +167,7 @@ impl Population {
     /// The paper's population: 3,311 taskers over the 56 cities with the
     /// Figure 7–8 marginals.
     pub fn paper(seed: u64) -> Self {
-        Self::generate(
-            3311,
-            crate::city::CITIES.len(),
-            PopulationMarginals::default(),
-            seed,
-        )
+        Self::generate(3311, crate::city::CITIES.len(), PopulationMarginals::default(), seed)
     }
 
     /// All workers.

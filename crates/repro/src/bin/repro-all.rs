@@ -1,12 +1,19 @@
 //! Runs every experiment and prints one combined report with a final
 //! shape-check tally — the entry point behind EXPERIMENTS.md.
 fn main() {
+    fbox_repro::metrics::init_from_args();
     let tr = fbox_repro::scenario::taskrabbit();
     let gg = fbox_repro::scenario::google();
     let sections = [
         ("FIGURES & SETUP", fbox_repro::experiments::figures::run(&tr)),
-        ("TASKRABBIT QUANTIFICATION (Tables 8–11)", fbox_repro::experiments::taskrabbit_quant::run(&tr)),
-        ("TASKRABBIT COMPARISON (Tables 12–15)", fbox_repro::experiments::taskrabbit_compare::run(&tr)),
+        (
+            "TASKRABBIT QUANTIFICATION (Tables 8–11)",
+            fbox_repro::experiments::taskrabbit_quant::run(&tr),
+        ),
+        (
+            "TASKRABBIT COMPARISON (Tables 12–15)",
+            fbox_repro::experiments::taskrabbit_compare::run(&tr),
+        ),
         ("GOOGLE QUANTIFICATION (§5.2.2)", fbox_repro::experiments::google_quant::run(&gg)),
         ("GOOGLE COMPARISON (Tables 16–21)", fbox_repro::experiments::google_compare::run(&gg)),
         ("CROSS-PLATFORM HYPOTHESES (§6)", fbox_repro::experiments::hypotheses::run(&tr, &gg)),
@@ -23,4 +30,5 @@ fn main() {
     }
     println!("======================================================================");
     println!("SHAPE CHECKS PASSED: {pass}/{total}");
+    fbox_repro::metrics::print_section();
 }

@@ -1,7 +1,9 @@
 //! Regenerates the worked examples (Figures 1–5) and setup statistics
 //! (Figures 7–8, Tables 6–7).
 fn main() {
+    fbox_repro::metrics::init_from_args();
     let s = fbox_repro::scenario::taskrabbit();
     let r = fbox_repro::experiments::figures::run(&s);
     print!("{}", r.report);
+    fbox_repro::metrics::print_section();
 }

@@ -1,6 +1,8 @@
 //! Regenerates the §5.2.2 Google quantification results.
 fn main() {
+    fbox_repro::metrics::init_from_args();
     let s = fbox_repro::scenario::google();
     let r = fbox_repro::experiments::google_quant::run(&s);
     print!("{}", r.report);
+    fbox_repro::metrics::print_section();
 }

@@ -1,8 +1,10 @@
 //! Regenerates the paper's §6 workflow: hypotheses generated on the
 //! TaskRabbit study, verified against the Google study.
 fn main() {
+    fbox_repro::metrics::init_from_args();
     let tr = fbox_repro::scenario::taskrabbit();
     let gg = fbox_repro::scenario::google();
     let r = fbox_repro::experiments::hypotheses::run(&tr, &gg);
     print!("{}", r.report);
+    fbox_repro::metrics::print_section();
 }

@@ -1,6 +1,8 @@
 //! Regenerates Tables 12–15.
 fn main() {
+    fbox_repro::metrics::init_from_args();
     let s = fbox_repro::scenario::taskrabbit();
     let r = fbox_repro::experiments::taskrabbit_compare::run(&s);
     print!("{}", r.report);
+    fbox_repro::metrics::print_section();
 }

@@ -374,10 +374,7 @@ mod tests {
     fn google_covers_every_study_query() {
         let p = google_personalization();
         for (query, _) in fbox_search::QUERIES {
-            assert!(
-                p.query_amp.contains_key(query),
-                "query {query:?} missing an amplifier"
-            );
+            assert!(p.query_amp.contains_key(query), "query {query:?} missing an amplifier");
         }
     }
 }

@@ -5,10 +5,12 @@
 use super::taskrabbit_quant::ExperimentResult;
 use crate::paper;
 use crate::scenario::TaskRabbitScenario;
-use fbox_core::model::{QueryId, LocationId};
+use fbox_core::model::{LocationId, QueryId};
 use fbox_core::observations::MarketObservations;
 use fbox_core::paper_toy;
-use fbox_core::unfairness::{market_cell_unfairness, search_cell_unfairness, MarketMeasure, SearchMeasure};
+use fbox_core::unfairness::{
+    market_cell_unfairness, search_cell_unfairness, MarketMeasure, SearchMeasure,
+};
 use fbox_core::FBox;
 
 /// Runs all figure/setup reproductions. `taskrabbit` supplies the crawl
@@ -19,9 +21,7 @@ pub fn run(taskrabbit: &TaskRabbitScenario) -> ExperimentResult {
 
     // ---- Figures 1/3: search-engine toy (Table 1) -------------------------
     let (universe, lists) = paper_toy::table1_lists();
-    let bf = universe
-        .group_id_by_text("gender=Female & ethnicity=Black")
-        .expect("toy group");
+    let bf = universe.group_id_by_text("gender=Female & ethnicity=Black").expect("toy group");
     let kendall = search_cell_unfairness(&universe, &lists, bf, SearchMeasure::kendall())
         .expect("toy data complete");
     let jaccard = search_cell_unfairness(&universe, &lists, bf, SearchMeasure::JaccardDistance)
@@ -37,13 +37,14 @@ pub fn run(taskrabbit: &TaskRabbitScenario) -> ExperimentResult {
         "Note: the figures' numbers are illustrative — they are not derivable from Table 1's lists;\n\
          the measured values above are the exact Eq. 1 results on Table 1.\n\n",
     );
-    checks.push(("Figures 1/3: toy unfairness values are in (0, 1)".into(), kendall > 0.0 && kendall < 1.0 && jaccard > 0.0 && jaccard < 1.0));
+    checks.push((
+        "Figures 1/3: toy unfairness values are in (0, 1)".into(),
+        kendall > 0.0 && kendall < 1.0 && jaccard > 0.0 && jaccard < 1.0,
+    ));
 
     // ---- Figures 2/4: EMD toy (Tables 2–3) --------------------------------
     let (universe, ranking) = paper_toy::table3_ranking();
-    let bf = universe
-        .group_id_by_text("gender=Female & ethnicity=Black")
-        .expect("toy group");
+    let bf = universe.group_id_by_text("gender=Female & ethnicity=Black").expect("toy group");
     let emd = market_cell_unfairness(&universe, &ranking, bf, MarketMeasure::emd())
         .expect("toy data complete");
     report.push_str("## Figures 2/4: Black Females on the toy marketplace (Tables 2–3)\n");
@@ -81,7 +82,10 @@ pub fn run(taskrabbit: &TaskRabbitScenario) -> ExperimentResult {
         stats.n_queries,
         paper::N_CRAWL_QUERIES
     ));
-    checks.push(("§5.1.1: exactly 5,361 crawl queries".into(), stats.n_queries == paper::N_CRAWL_QUERIES));
+    checks.push((
+        "§5.1.1: exactly 5,361 crawl queries".into(),
+        stats.n_queries == paper::N_CRAWL_QUERIES,
+    ));
     checks.push(("§5.1.1: exactly 3,311 taskers".into(), stats.n_workers == paper::N_TASKERS));
     checks.push((
         "Figure 7: male share within 3 points of 72%".into(),

@@ -15,16 +15,52 @@ pub fn run(s: &GoogleScenario) -> ExperimentResult {
     let mut checks = Vec::new();
 
     // Tables 16–17: Males vs Females by location.
-    gender_tables(&s.kendall, "Table 16 (Kendall Tau)", &paper::TABLE16_CITIES, &mut report, &mut checks);
-    gender_tables(&s.jaccard, "Table 17 (Jaccard)", &paper::TABLE17_CITIES, &mut report, &mut checks);
+    gender_tables(
+        &s.kendall,
+        "Table 16 (Kendall Tau)",
+        &paper::TABLE16_CITIES,
+        &mut report,
+        &mut checks,
+    );
+    gender_tables(
+        &s.jaccard,
+        "Table 17 (Jaccard)",
+        &paper::TABLE17_CITIES,
+        &mut report,
+        &mut checks,
+    );
 
     // Tables 18–19: run errand vs general cleaning by ethnicity.
-    errands_tables(&s.kendall, "Table 18 (Kendall Tau)", &paper::TABLE18_GROUPS, &mut report, &mut checks);
-    errands_tables(&s.jaccard, "Table 19 (Jaccard)", &paper::TABLE19_GROUPS, &mut report, &mut checks);
+    errands_tables(
+        &s.kendall,
+        "Table 18 (Kendall Tau)",
+        &paper::TABLE18_GROUPS,
+        &mut report,
+        &mut checks,
+    );
+    errands_tables(
+        &s.jaccard,
+        "Table 19 (Jaccard)",
+        &paper::TABLE19_GROUPS,
+        &mut report,
+        &mut checks,
+    );
 
     // Tables 20–21: Boston vs Bristol over General Cleaning terms.
-    cleaning_tables(&s.kendall, "Table 20 (Kendall Tau)", &paper::TABLE20_QUERIES, &mut report, &mut checks);
-    cleaning_tables(&s.jaccard, "Table 21 (Jaccard)", &paper::TABLE21_QUERIES, &mut report, &mut checks);
+    cleaning_tables(
+        &s.kendall,
+        "Table 20 (Kendall Tau)",
+        &paper::TABLE20_QUERIES,
+        &mut report,
+        &mut checks,
+    );
+    cleaning_tables(
+        &s.jaccard,
+        "Table 21 (Jaccard)",
+        &paper::TABLE21_QUERIES,
+        &mut report,
+        &mut checks,
+    );
 
     ExperimentResult { report, checks }.finish()
 }
@@ -66,15 +102,14 @@ fn gender_tables(
     ));
     let names: Vec<&str> = rows.iter().map(|(n, _, _, _)| n.as_str()).collect();
     let hits = paper_cities.iter().filter(|c| names.contains(c)).count();
-    report.push_str(&format!("Paper reversal cities reproduced: {hits}/{}\n\n", paper_cities.len()));
+    report
+        .push_str(&format!("Paper reversal cities reproduced: {hits}/{}\n\n", paper_cities.len()));
     // The paper's Tables 16 and 17 disagree with each other on both the
     // overall direction and the reversal set ("warrants further
     // investigation"); at this granularity the defensible check is
     // non-empty overlap.
-    checks.push((
-        format!("{table}: the paper's reversal set overlaps the measured one"),
-        hits >= 1,
-    ));
+    checks
+        .push((format!("{table}: the paper's reversal set overlaps the measured one"), hits >= 1));
 }
 
 fn errands_tables(
@@ -112,11 +147,8 @@ fn errands_tables(
         format!("{table}: overall, Running Errands is (slightly) less fair than General Cleaning"),
         out.overall1 > out.overall2,
     ));
-    let reversed: Vec<&str> = rows
-        .iter()
-        .filter(|(_, _, _, rev)| *rev)
-        .map(|(n, _, _, _)| n.as_str())
-        .collect();
+    let reversed: Vec<&str> =
+        rows.iter().filter(|(_, _, _, rev)| *rev).map(|(n, _, _, _)| n.as_str()).collect();
     checks.push((
         format!("{table}: every paper reversal ethnicity reproduces ({paper_groups:?})"),
         paper_groups.iter().all(|g| reversed.contains(g)),
@@ -160,14 +192,13 @@ fn cleaning_tables(
         format!("{table}: overall, Bristol is less fair than Boston for General Cleaning"),
         out.overall2 > out.overall1,
     ));
-    let reversed: Vec<&str> = rows
-        .iter()
-        .filter(|(_, _, _, rev)| *rev)
-        .map(|(n, _, _, _)| n.as_str())
-        .collect();
+    let reversed: Vec<&str> =
+        rows.iter().filter(|(_, _, _, rev)| *rev).map(|(n, _, _, _)| n.as_str()).collect();
     let hits = paper_queries.iter().filter(|q| reversed.contains(q)).count();
     checks.push((
-        format!("{table}: at least one of the paper's reversal terms reproduces ({paper_queries:?})"),
+        format!(
+            "{table}: at least one of the paper's reversal terms reproduces ({paper_queries:?})"
+        ),
         hits >= 1,
     ));
     report.push('\n');

@@ -37,10 +37,7 @@ fn run_measure(measure: &str, fb: &FBox, report: &mut String, checks: &mut Vec<(
     ));
     // The paper's extremes are over the six *full* demographic groups (its
     // study recruits participants per full group).
-    let fulls: Vec<&(String, f64)> = groups
-        .iter()
-        .filter(|(n, _)| n.contains(' '))
-        .collect();
+    let fulls: Vec<&(String, f64)> = groups.iter().filter(|(n, _)| n.contains(' ')).collect();
     checks.push((
         format!("§5.2.2 {measure}: White Females are the most discriminated full group"),
         fulls.first().map(|(n, _)| n.as_str()) == Some(paper::GOOGLE_MOST_UNFAIR_GROUP),

@@ -41,14 +41,7 @@ fn table12(fb: &FBox, report: &mut String, checks: &mut Vec<(String, bool)>) {
         .rows
         .iter()
         .filter(|r| r.reversed)
-        .map(|r| {
-            (
-                u.location(LocationId(r.entity)).name.clone(),
-                r.d1,
-                r.d2,
-                r.reversed,
-            )
-        })
+        .map(|r| (u.location(LocationId(r.entity)).name.clone(), r.d1, r.d2, r.reversed))
         .collect();
     report.push_str(&comparison_table(
         &format!(
@@ -66,10 +59,7 @@ fn table12(fb: &FBox, report: &mut String, checks: &mut Vec<(String, bool)>) {
         out.overall2 > out.overall1,
     ));
     let reversed_names: Vec<&str> = rows.iter().map(|(n, _, _, _)| n.as_str()).collect();
-    let hits = paper::TABLE12_CITIES
-        .iter()
-        .filter(|c| reversed_names.contains(c))
-        .count();
+    let hits = paper::TABLE12_CITIES.iter().filter(|c| reversed_names.contains(c)).count();
     report.push_str(&format!(
         "Paper reversal cities reproduced: {hits}/{}\n\n",
         paper::TABLE12_CITIES.len()
@@ -102,14 +92,7 @@ fn table13_14(s: &TaskRabbitScenario, report: &mut String, checks: &mut Vec<(Str
         let rows: Vec<(String, f64, f64, bool)> = out
             .rows
             .iter()
-            .map(|r| {
-                (
-                    util::paper_group_name(u, GroupId(r.entity)),
-                    r.d1,
-                    r.d2,
-                    r.reversed,
-                )
-            })
+            .map(|r| (util::paper_group_name(u, GroupId(r.entity)), r.d1, r.d2, r.reversed))
             .collect();
         let ((p1, p2), _, _) = paper_vals;
         report.push_str(&comparison_table(
@@ -126,11 +109,8 @@ fn table13_14(s: &TaskRabbitScenario, report: &mut String, checks: &mut Vec<(Str
             out.overall1 > out.overall2,
         ));
         if check_reversal {
-            let reversed: Vec<&str> = rows
-                .iter()
-                .filter(|(_, _, _, rev)| *rev)
-                .map(|(n, _, _, _)| n.as_str())
-                .collect();
+            let reversed: Vec<&str> =
+                rows.iter().filter(|(_, _, _, rev)| *rev).map(|(n, _, _, _)| n.as_str()).collect();
             checks.push((
                 format!("{table}: exactly {{{paper_reversal}}} reverses"),
                 reversed == [paper_reversal],

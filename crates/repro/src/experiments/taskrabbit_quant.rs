@@ -38,7 +38,11 @@ pub fn run(s: &TaskRabbitScenario) -> ExperimentResult {
     // ---- Table 8: groups ------------------------------------------------
     let emd_groups = util::group_ranking(&s.emd);
     let exp_groups = util::group_ranking(&s.exposure);
-    report.push_str(&ranking_table("Table 8 (EMD): groups, unfairest first", &paper::TABLE8_EMD, &emd_groups));
+    report.push_str(&ranking_table(
+        "Table 8 (EMD): groups, unfairest first",
+        &paper::TABLE8_EMD,
+        &emd_groups,
+    ));
     report.push_str(&ranking_table(
         "Table 8 (Exposure): groups, unfairest first",
         &paper::TABLE8_EXPOSURE,
@@ -46,7 +50,8 @@ pub fn run(s: &TaskRabbitScenario) -> ExperimentResult {
     ));
     let top3: Vec<&str> = emd_groups.iter().take(3).map(|(n, _)| n.as_str()).collect();
     checks.push((
-        "Table 8 EMD: Asian Female, Asian Male, Black Female are the three most unfair groups".into(),
+        "Table 8 EMD: Asian Female, Asian Male, Black Female are the three most unfair groups"
+            .into(),
         top3 == ["Asian Female", "Asian Male", "Black Female"],
     ));
     checks.push((
@@ -71,7 +76,11 @@ pub fn run(s: &TaskRabbitScenario) -> ExperimentResult {
     let emd_cats = util::category_ranking(&s.emd, &categories);
     let exp_cats = util::category_ranking(&s.exposure, &categories);
     report.push_str(&ranking_table("Table 9 (EMD): job categories", &paper::TABLE9_EMD, &emd_cats));
-    report.push_str(&ranking_table("Table 9 (Exposure): job categories", &paper::TABLE9_EXPOSURE, &exp_cats));
+    report.push_str(&ranking_table(
+        "Table 9 (Exposure): job categories",
+        &paper::TABLE9_EXPOSURE,
+        &exp_cats,
+    ));
     let top2: Vec<&str> = emd_cats.iter().take(3).map(|(n, _)| n.as_str()).collect();
     checks.push((
         "Table 9 EMD: Handyman and Yard Work are among the three most unfair categories".into(),
@@ -86,11 +95,20 @@ pub fn run(s: &TaskRabbitScenario) -> ExperimentResult {
     // ---- Tables 10–11: locations -----------------------------------------
     let unfairest = s.emd.top_k_locations(10, RankOrder::MostUnfair, &Restriction::none());
     let fairest = s.emd.top_k_locations(10, RankOrder::LeastUnfair, &Restriction::none());
-    report.push_str(&ranking_table("Table 10 (EMD): ten unfairest cities", &paper::TABLE10_EMD, &unfairest));
-    report.push_str(&ranking_table("Table 11 (EMD): ten fairest cities", &paper::TABLE11_EMD, &fairest));
+    report.push_str(&ranking_table(
+        "Table 10 (EMD): ten unfairest cities",
+        &paper::TABLE10_EMD,
+        &unfairest,
+    ));
+    report.push_str(&ranking_table(
+        "Table 11 (EMD): ten fairest cities",
+        &paper::TABLE11_EMD,
+        &fairest,
+    ));
     let unfair_names: Vec<&str> = unfairest.iter().map(|(n, _)| n.as_str()).collect();
     checks.push((
-        "Table 10: Birmingham UK, Oklahoma City and Bristol UK are among the ten unfairest cities".into(),
+        "Table 10: Birmingham UK, Oklahoma City and Bristol UK are among the ten unfairest cities"
+            .into(),
         ["Birmingham, UK", "Oklahoma City, OK", "Bristol, UK"]
             .iter()
             .all(|c| unfair_names.contains(c)),
@@ -112,7 +130,9 @@ pub fn run(s: &TaskRabbitScenario) -> ExperimentResult {
     // extreme *names* are below the simulated crawl's resolution even
     // though the coarser Tables 8–11 orderings are stable. EXPERIMENTS.md
     // discusses this limit.
-    report.push_str("## §5.2.1 narrative: per-job and per-location extremes (reported, not asserted)\n");
+    report.push_str(
+        "## §5.2.1 narrative: per-job and per-location extremes (reported, not asserted)\n",
+    );
     for job in ["Handyman", "Run Errands"] {
         let (fairest_loc, top_unfair) = job_location_extremes(&s.emd, job);
         report.push_str(&format!(
@@ -138,10 +158,7 @@ fn job_location_extremes(fb: &FBox, category: &str) -> (String, Vec<String>) {
     let restrict = Restriction { queries: Some(qs), ..Default::default() };
     let fairest = fb.top_k_locations(1, RankOrder::LeastUnfair, &restrict);
     let unfairest = fb.top_k_locations(3, RankOrder::MostUnfair, &restrict);
-    (
-        fairest[0].0.clone(),
-        unfairest.into_iter().map(|(n, _)| n).collect(),
-    )
+    (fairest[0].0.clone(), unfairest.into_iter().map(|(n, _)| n).collect())
 }
 
 /// (fairest, unfairest) category names for one city.
@@ -159,7 +176,11 @@ fn location_job_extremes(fb: &FBox, city: &str) -> (String, String) {
                 Dimension::Query,
                 qs.len(),
                 RankOrder::MostUnfair,
-                &Restriction { queries: Some(qs), locations: Some(vec![l.0]), ..Default::default() },
+                &Restriction {
+                    queries: Some(qs),
+                    locations: Some(vec![l.0]),
+                    ..Default::default()
+                },
             );
             let avg = r.entries.iter().map(|e| e.1).sum::<f64>() / r.entries.len().max(1) as f64;
             (c.to_string(), avg)

@@ -19,6 +19,7 @@
 
 pub mod calibrate;
 pub mod experiments;
+pub mod metrics;
 pub mod paper;
 pub mod scenario;
 pub mod tables;

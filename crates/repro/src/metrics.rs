@@ -1,0 +1,68 @@
+//! Telemetry wiring for the `repro-*` binaries.
+//!
+//! Every binary calls [`init_from_args`] first thing and
+//! [`print_section`] last. Metrics collection turns on when either the
+//! `--metrics` flag is passed or the `FBOX_TELEMETRY` environment variable
+//! is set (to anything but `0`); otherwise both calls are no-ops and the
+//! binary's output is byte-identical to an uninstrumented run.
+
+use std::io::Write;
+
+use fbox_telemetry::{Subscriber, TableSink};
+
+/// Enables the global telemetry registry when `--metrics` is among the
+/// process arguments (the `FBOX_TELEMETRY` environment variable is honored
+/// by the registry itself). Returns whether metrics are on.
+pub fn init_from_args() -> bool {
+    if std::env::args().any(|a| a == "--metrics") {
+        fbox_telemetry::set_enabled(true);
+    }
+    fbox_telemetry::global().enabled()
+}
+
+/// Renders the metrics section appended to a report when telemetry is
+/// enabled; returns `None` when it is off.
+pub fn render_section() -> Option<String> {
+    let t = fbox_telemetry::global();
+    if !t.enabled() {
+        return None;
+    }
+    let mut out = Vec::new();
+    writeln!(out, "======================================================================").ok()?;
+    writeln!(out, "TELEMETRY (--metrics)").ok()?;
+    writeln!(out, "======================================================================").ok()?;
+    TableSink::new(&mut out).export(&t.snapshot()).ok()?;
+    String::from_utf8(out).ok()
+}
+
+/// Prints the metrics section to stdout when telemetry is enabled.
+pub fn print_section() {
+    if let Some(section) = render_section() {
+        print!("{section}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn section_is_none_while_disabled() {
+        // The global registry starts disabled in the test environment
+        // (FBOX_TELEMETRY unset); render_section must be silent then.
+        if !fbox_telemetry::global().enabled() {
+            assert!(render_section().is_none());
+        }
+    }
+
+    #[test]
+    fn section_lists_pipeline_counters_when_enabled() {
+        fbox_telemetry::set_enabled(true);
+        fbox_telemetry::global().counter("cube.cells_computed").add(3);
+        let section = render_section().expect("enabled registry renders");
+        assert!(section.contains("TELEMETRY"));
+        assert!(section.contains("cube.cells_computed"));
+        fbox_telemetry::set_enabled(false);
+        fbox_telemetry::global().reset();
+    }
+}

@@ -104,12 +104,10 @@ pub const TABLE12_CITIES: [&str; 7] = [
 ];
 
 /// Table 13 (EMD): Lawn Mowing vs Event Decorating; White reverses.
-pub const TABLE13: ((f64, f64), &str, (f64, f64)) =
-    ((0.674, 0.613), "White", (0.552, 0.569));
+pub const TABLE13: ((f64, f64), &str, (f64, f64)) = ((0.674, 0.613), "White", (0.552, 0.569));
 
 /// Table 14 (Exposure): same comparison; Black reverses.
-pub const TABLE14: ((f64, f64), &str, (f64, f64)) =
-    ((0.500, 0.442), "Black", (0.445, 0.453));
+pub const TABLE14: ((f64, f64), &str, (f64, f64)) = ((0.500, 0.442), "Black", (0.445, 0.453));
 
 /// Table 15 (EMD): SF Bay Area vs Chicago within General Cleaning;
 /// organizing sub-queries reverse.

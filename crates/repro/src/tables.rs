@@ -5,11 +5,7 @@
 
 /// Renders a two-column ranking comparison: the paper's ordering (with its
 /// reported values) next to the measured ordering.
-pub fn ranking_table(
-    title: &str,
-    paper: &[(&str, f64)],
-    measured: &[(String, f64)],
-) -> String {
+pub fn ranking_table(title: &str, paper: &[(&str, f64)], measured: &[(String, f64)]) -> String {
     let mut out = String::new();
     out.push_str(&format!("## {title}\n"));
     out.push_str(&format!(
@@ -18,10 +14,8 @@ pub fn ranking_table(
     ));
     let rows = paper.len().max(measured.len());
     for i in 0..rows {
-        let (pn, pv) = paper
-            .get(i)
-            .map(|&(n, v)| (n, format!("{v:.3}")))
-            .unwrap_or(("", String::new()));
+        let (pn, pv) =
+            paper.get(i).map(|&(n, v)| (n, format!("{v:.3}"))).unwrap_or(("", String::new()));
         let (mn, mv) = measured
             .get(i)
             .map(|(n, v)| (n.as_str(), format!("{v:.3}")))
@@ -42,14 +36,8 @@ pub fn comparison_table(
 ) -> String {
     let mut out = String::new();
     out.push_str(&format!("## {title}\n"));
-    out.push_str(&format!(
-        "{:<34} {:>10} {:>10}   {}\n",
-        "breakdown", label1, label2, "reversed?"
-    ));
-    out.push_str(&format!(
-        "{:<34} {:>10.3} {:>10.3}\n",
-        "All", overall.0, overall.1
-    ));
+    out.push_str(&format!("{:<34} {:>10} {:>10}   {}\n", "breakdown", label1, label2, "reversed?"));
+    out.push_str(&format!("{:<34} {:>10.3} {:>10.3}\n", "All", overall.0, overall.1));
     for (name, d1, d2, reversed) in rows {
         out.push_str(&format!(
             "{name:<34} {d1:>10.3} {d2:>10.3}   {}\n",
@@ -68,11 +56,8 @@ pub fn verdict(name: &str, ok: bool) -> String {
 /// of concordant pairs (Kendall-style agreement between two rankings of
 /// the same names). Names present in only one list are ignored.
 pub fn ordering_agreement(paper: &[&str], measured: &[String]) -> f64 {
-    let common: Vec<&str> = paper
-        .iter()
-        .copied()
-        .filter(|p| measured.iter().any(|m| m == p))
-        .collect();
+    let common: Vec<&str> =
+        paper.iter().copied().filter(|p| measured.iter().any(|m| m == p)).collect();
     if common.len() < 2 {
         return 1.0;
     }

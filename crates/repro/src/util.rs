@@ -31,11 +31,16 @@ pub fn paper_group_name(universe: &Universe, g: GroupId) -> String {
 
 /// All groups ranked by descending unfairness, in paper naming.
 pub fn group_ranking(fb: &FBox) -> Vec<(String, f64)> {
-    fb.top_k(Dimension::Group, fb.universe().n_groups(), RankOrder::MostUnfair, &Restriction::none())
-        .entries
-        .into_iter()
-        .map(|(id, v)| (paper_group_name(fb.universe(), GroupId(id)), v))
-        .collect()
+    fb.top_k(
+        Dimension::Group,
+        fb.universe().n_groups(),
+        RankOrder::MostUnfair,
+        &Restriction::none(),
+    )
+    .entries
+    .into_iter()
+    .map(|(id, v)| (paper_group_name(fb.universe(), GroupId(id)), v))
+    .collect()
 }
 
 /// Job categories ranked by descending average unfairness (mean over each

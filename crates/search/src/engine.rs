@@ -70,9 +70,7 @@ impl SearchEngine {
         ctx: &RequestContext,
     ) -> Vec<u64> {
         let pool = PostingPool::new(self.seed, query, location);
-        let strength = self
-            .personalization
-            .strength(user.demographic, query, category, location);
+        let strength = self.personalization.strength(user.demographic, query, category, location);
         // Group affinity direction: shared by all members of the user's
         // full demographic group.
         let group_key = mix(
@@ -93,20 +91,14 @@ impl SearchEngine {
             None => None,
         };
         let ab_bucket = if self.noise.ab_buckets > 1 {
-            mix(
-                mix_str(self.seed, "ab"),
-                user.id ^ (ctx.time_min.floor() as u64),
-            ) % self.noise.ab_buckets
+            mix(mix_str(self.seed, "ab"), user.id ^ (ctx.time_min.floor() as u64))
+                % self.noise.ab_buckets
         } else {
             0
         };
         let ab_key = mix(mix_str(self.seed, "ab-direction"), ab_bucket);
-        let geo_key = (!ctx.proxied).then(|| {
-            mix(
-                mix_str(self.seed, "geo"),
-                (ctx.time_min * 60.0) as u64 ^ user.id,
-            )
-        });
+        let geo_key = (!ctx.proxied)
+            .then(|| mix(mix_str(self.seed, "geo"), (ctx.time_min * 60.0) as u64 ^ user.id));
 
         let mut scored: Vec<(u64, f64)> = (0..pool.len())
             .map(|i| {
@@ -152,8 +144,22 @@ mod tests {
         // taste — top pages should overlap heavily.
         let e = clean_engine(PersonalizationProfile::none());
         let ctx = RequestContext::clean();
-        let a = e.search(&user(1, Gender::Male, Ethnicity::White), "yard work", "yard work jobs", "Yard Work", "Boston, MA", &ctx);
-        let b = e.search(&user(2, Gender::Female, Ethnicity::Black), "yard work", "yard work jobs", "Yard Work", "Boston, MA", &ctx);
+        let a = e.search(
+            &user(1, Gender::Male, Ethnicity::White),
+            "yard work",
+            "yard work jobs",
+            "Yard Work",
+            "Boston, MA",
+            &ctx,
+        );
+        let b = e.search(
+            &user(2, Gender::Female, Ethnicity::Black),
+            "yard work",
+            "yard work jobs",
+            "Yard Work",
+            "Boston, MA",
+            &ctx,
+        );
         let overlap = a.iter().filter(|x| b.contains(x)).count();
         assert!(overlap >= 8, "expected heavy overlap, got {overlap}/10");
     }
@@ -200,11 +206,7 @@ mod tests {
 
     #[test]
     fn carryover_perturbs_and_decays() {
-        let e = SearchEngine::new(
-            PersonalizationProfile::none(),
-            NoiseModel::default(),
-            42,
-        );
+        let e = SearchEngine::new(PersonalizationProfile::none(), NoiseModel::default(), 42);
         let u = user(1, Gender::Male, Ethnicity::White);
         let fresh = e.search(&u, "q", "f", "c", "l", &RequestContext::clean());
         let hot = RequestContext {
@@ -233,8 +235,22 @@ mod tests {
     fn unproxied_requests_jitter() {
         let e = SearchEngine::new(PersonalizationProfile::none(), NoiseModel::default(), 42);
         let u = user(1, Gender::Male, Ethnicity::White);
-        let a = e.search(&u, "q", "f", "c", "l", &RequestContext { time_min: 0.0, previous: None, proxied: false });
-        let b = e.search(&u, "q", "f", "c", "l", &RequestContext { time_min: 5.0, previous: None, proxied: false });
+        let a = e.search(
+            &u,
+            "q",
+            "f",
+            "c",
+            "l",
+            &RequestContext { time_min: 0.0, previous: None, proxied: false },
+        );
+        let b = e.search(
+            &u,
+            "q",
+            "f",
+            "c",
+            "l",
+            &RequestContext { time_min: 5.0, previous: None, proxied: false },
+        );
         // Different origins at different times → some reshuffling.
         assert_ne!(a, b);
     }

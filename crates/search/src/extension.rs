@@ -87,10 +87,7 @@ impl ExtensionRunner {
         }
 
         let merged = borda_merge(&resolved);
-        (
-            UserList { assignment: user.demographic.assignment(), results: merged },
-            time,
-        )
+        (UserList { assignment: user.demographic.assignment(), results: merged }, time)
     }
 }
 
@@ -107,12 +104,8 @@ fn majority(runs: &[Vec<u64>]) -> Option<Vec<u64>> {
         .iter()
         .max_by_key(|&(list, n)| (*n, std::cmp::Reverse(list.to_vec())))
         .map(|(l, n)| (l.to_vec(), *n))?;
-    let runner_up = counts
-        .iter()
-        .filter(|(l, _)| **l != best.as_slice())
-        .map(|(_, n)| *n)
-        .max()
-        .unwrap_or(0);
+    let runner_up =
+        counts.iter().filter(|(l, _)| **l != best.as_slice()).map(|(_, n)| *n).max().unwrap_or(0);
     (n > runner_up).then_some(best)
 }
 
@@ -168,14 +161,15 @@ mod tests {
         let b = vec![2u64, 1];
         assert_eq!(majority(&[a.clone(), a.clone(), b.clone()]), Some(a.clone()));
         assert_eq!(majority(&[a.clone(), b.clone()]), None);
-        assert_eq!(majority(&[a.clone()]), Some(a));
+        assert_eq!(majority(std::slice::from_ref(&a)), Some(a));
     }
 
     #[test]
     fn protocol_runs_and_reports_time() {
         let engine = SearchEngine::new(PersonalizationProfile::none(), NoiseModel::none(), 1);
         let runner = ExtensionRunner::default();
-        let (list, end) = runner.run_query(&engine, &user(1), "yard work", "Yard Work", "Boston, MA", 0.0);
+        let (list, end) =
+            runner.run_query(&engine, &user(1), "yard work", "Yard Work", "Boston, MA", 0.0);
         assert_eq!(list.results.len(), crate::corpus::RESULT_SIZE);
         // 5 terms × 2 repeats × 12 min (no extra runs needed without noise).
         assert!((end - 120.0).abs() < 1e-9, "end {end}");
@@ -193,9 +187,12 @@ mod tests {
         let runner = ExtensionRunner::default();
         let naive = ExtensionRunner::naive();
 
-        let (reference, _) = runner.run_query(&quiet, &u, "run errand", "Run Errands", "London, UK", 0.0);
-        let (clean, _) = runner.run_query(&noisy, &u, "run errand", "Run Errands", "London, UK", 0.0);
-        let (sloppy, _) = naive.run_query(&noisy, &u, "run errand", "Run Errands", "London, UK", 0.0);
+        let (reference, _) =
+            runner.run_query(&quiet, &u, "run errand", "Run Errands", "London, UK", 0.0);
+        let (clean, _) =
+            runner.run_query(&noisy, &u, "run errand", "Run Errands", "London, UK", 0.0);
+        let (sloppy, _) =
+            naive.run_query(&noisy, &u, "run errand", "Run Errands", "London, UK", 0.0);
 
         let d_protocol =
             fbox_core::measures::kendall::top_k_distance(&reference.results, &clean.results, 0.5);
@@ -211,10 +208,8 @@ mod tests {
     fn assignment_flows_into_user_list() {
         let engine = SearchEngine::new(PersonalizationProfile::none(), NoiseModel::none(), 1);
         let runner = ExtensionRunner::default();
-        let u = SearchUser::new(
-            4,
-            Demographic { gender: Gender::Female, ethnicity: Ethnicity::Asian },
-        );
+        let u =
+            SearchUser::new(4, Demographic { gender: Gender::Female, ethnicity: Ethnicity::Asian });
         let (list, _) = runner.run_query(&engine, &u, "q", "c", "l", 0.0);
         assert_eq!(list.assignment, u.demographic.assignment());
     }

@@ -53,8 +53,7 @@ impl NoiseModel {
     /// exponential decay from `carryover_strength`.
     pub fn carryover_at(&self, minutes_since_previous: f64) -> f64 {
         assert!(minutes_since_previous >= 0.0);
-        self.carryover_strength
-            * 0.5f64.powf(minutes_since_previous / self.carryover_halflife_min)
+        self.carryover_strength * 0.5f64.powf(minutes_since_previous / self.carryover_halflife_min)
     }
 }
 
@@ -125,11 +124,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "future")]
     fn future_previous_rejected() {
-        let ctx = RequestContext {
-            time_min: 5.0,
-            previous: Some(("q".into(), 10.0)),
-            proxied: true,
-        };
+        let ctx =
+            RequestContext { time_min: 5.0, previous: Some(("q".into(), 10.0)), proxied: true };
         ctx.minutes_since_previous();
     }
 }

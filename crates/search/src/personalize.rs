@@ -113,25 +113,11 @@ impl PersonalizationProfile {
 
     /// The personalization strength for a user of demographic `demo` on
     /// `query` (in `category`) at `location`.
-    pub fn strength(
-        &self,
-        demo: Demographic,
-        query: &str,
-        category: &str,
-        location: &str,
-    ) -> f64 {
+    pub fn strength(&self, demo: Demographic, query: &str, category: &str, location: &str) -> f64 {
         let d = self.distinctiveness[demo.gender.value_id().0 as usize]
             [demo.ethnicity.value_id().0 as usize];
-        let loc = self
-            .location_amp
-            .get(location)
-            .copied()
-            .unwrap_or(self.default_location_amp);
-        let q = self
-            .query_amp
-            .get(query)
-            .copied()
-            .unwrap_or(self.default_query_amp);
+        let loc = self.location_amp.get(location).copied().unwrap_or(self.default_location_amp);
+        let q = self.query_amp.get(query).copied().unwrap_or(self.default_query_amp);
         let mut s = self.gamma * d * loc * q;
         for o in &self.overrides {
             if o.matches(demo, query, category, location) {
@@ -162,10 +148,20 @@ mod tests {
             .with_distinctiveness(Gender::Female, Ethnicity::White, 2.0)
             .with_location_amp("London, UK", 1.5)
             .with_query_amp("yard work", 2.0);
-        let s = p.strength(demo(Gender::Female, Ethnicity::White), "yard work", "Yard Work", "London, UK");
+        let s = p.strength(
+            demo(Gender::Female, Ethnicity::White),
+            "yard work",
+            "Yard Work",
+            "London, UK",
+        );
         assert!((s - 0.2 * 2.0 * 1.5 * 2.0).abs() < 1e-12);
         // Elsewhere: defaults.
-        let s2 = p.strength(demo(Gender::Female, Ethnicity::White), "run errand", "Run Errands", "Boston, MA");
+        let s2 = p.strength(
+            demo(Gender::Female, Ethnicity::White),
+            "run errand",
+            "Run Errands",
+            "Boston, MA",
+        );
         assert!((s2 - 0.4).abs() < 1e-12);
     }
 
@@ -179,7 +175,10 @@ mod tests {
             ethnicity: None,
             scale: 0.0,
         });
-        assert_eq!(p.strength(demo(Gender::Male, Ethnicity::Black), "q", "c", "Washington, DC"), 0.0);
+        assert_eq!(
+            p.strength(demo(Gender::Male, Ethnicity::Black), "q", "c", "Washington, DC"),
+            0.0
+        );
         assert!(p.strength(demo(Gender::Male, Ethnicity::Black), "q", "c", "London, UK") > 0.0);
     }
 }

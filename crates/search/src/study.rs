@@ -137,6 +137,7 @@ pub fn run_study(
     engine: &SearchEngine,
     runner: &ExtensionRunner,
 ) -> (Universe, SearchObservations, StudyStats) {
+    let _span = fbox_telemetry::span!("search.run_study");
     let universe = google_universe();
     let mut observations = SearchObservations::new();
     let mut n_participants = 0usize;
@@ -148,8 +149,7 @@ pub fn run_study(
             for ethnicity in Ethnicity::ALL {
                 for p in 0..design.participants_per_group {
                     let user = SearchUser::new(
-                        design.seed
-                            ^ crate::hash::mix(user_id, (li as u64) << 32 | p as u64),
+                        design.seed ^ crate::hash::mix(user_id, (li as u64) << 32 | p as u64),
                         Demographic { gender, ethnicity },
                     );
                     user_id += 1;
@@ -179,6 +179,11 @@ pub fn run_study(
             * crate::terms::N_FORMULATIONS
             * runner.repeats,
     };
+    let t = fbox_telemetry::global();
+    if t.enabled() {
+        t.counter("study.participants").add(stats.n_participants as u64);
+        t.counter("study.requests").add(stats.n_requests_lower_bound as u64);
+    }
     (universe, observations, stats)
 }
 

@@ -28,10 +28,8 @@ mod tests {
 
     #[test]
     fn construction() {
-        let u = SearchUser::new(
-            7,
-            Demographic { gender: Gender::Female, ethnicity: Ethnicity::Black },
-        );
+        let u =
+            SearchUser::new(7, Demographic { gender: Gender::Female, ethnicity: Ethnicity::Black });
         assert_eq!(u.id, 7);
         assert_eq!(u.demographic.name(), "Black Female");
     }

@@ -1,0 +1,84 @@
+//! # fbox-telemetry — observability for the F-Box pipeline
+//!
+//! The paper evaluates Algorithm 1 by *counting* — sorted accesses, random
+//! accesses, wall-clock per dimension instance (§5's tables). This crate
+//! makes that instrumentation a first-class, always-available layer across
+//! the whole pipeline instead of ad-hoc counters in one algorithm:
+//!
+//! - a [`Registry`] of named [`Counter`]s, [`Gauge`]s, and log₂-bucketed
+//!   duration [`Histogram`]s, global ([`global()`]) or scoped
+//!   ([`Registry::new`]);
+//! - RAII **span guards** ([`span!`]) recording nested wall-clock timings
+//!   with per-span call counts;
+//! - a [`Subscriber`] trait with two shipped sinks: a human-readable
+//!   [`TableSink`] and a serde-JSON [`JsonSink`] writing
+//!   `BENCH_*.json`-style trajectory snapshots;
+//! - a [`Report`] that diffs two [`Snapshot`]s, so a run (or a commit) can
+//!   be compared against a previous one.
+//!
+//! ## Overhead contract
+//!
+//! Everything is built on `std::sync::atomic` with **relaxed** ordering —
+//! counter increments are single relaxed RMW instructions. When telemetry
+//! is disabled (the default), [`span!`] guards are no-ops that never call
+//! `Instant::now`, and instrumented code paths cost one relaxed atomic
+//! load. There are **no external dependencies**.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use fbox_telemetry as telemetry;
+//!
+//! telemetry::set_enabled(true);
+//! let calls = telemetry::global().counter("demo.calls");
+//! {
+//!     let _span = telemetry::span!("demo.work");
+//!     calls.add(3);
+//! }
+//! let snapshot = telemetry::global().snapshot();
+//! assert_eq!(snapshot.counter("demo.calls"), Some(3));
+//! assert!(snapshot.histogram("demo.work").is_some());
+//! # telemetry::set_enabled(false);
+//! # telemetry::global().reset();
+//! ```
+
+mod metrics;
+mod registry;
+mod report;
+mod sink;
+mod snapshot;
+mod span;
+
+pub use metrics::{Counter, Gauge, Histogram, HISTOGRAM_BUCKETS};
+pub use registry::{global, set_enabled, Registry};
+pub use report::{MetricDelta, Report};
+pub use sink::{JsonSink, Subscriber, TableSink};
+pub use snapshot::{BucketCount, GaugeEntry, HistogramSnapshot, MetricEntry, Snapshot};
+pub use span::{span_depth, SpanGuard};
+
+/// Opens a named RAII span on the [`global()`] registry.
+///
+/// When telemetry is disabled the guard is inert: no clock read, no
+/// allocation, one relaxed atomic load. When enabled, dropping the guard
+/// records the elapsed wall-clock time into the histogram named by the
+/// span (one histogram count per call — the per-span call count).
+///
+/// ```
+/// # fbox_telemetry::set_enabled(true);
+/// {
+///     let _guard = fbox_telemetry::span!("cube.market.cell");
+///     // ... timed work ...
+/// }
+/// # assert!(fbox_telemetry::global().snapshot().histogram("cube.market.cell").is_some());
+/// # fbox_telemetry::set_enabled(false);
+/// # fbox_telemetry::global().reset();
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::SpanGuard::enter($crate::global(), $name)
+    };
+    ($registry:expr, $name:expr) => {
+        $crate::SpanGuard::enter($registry, $name)
+    };
+}

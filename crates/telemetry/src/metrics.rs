@@ -1,0 +1,205 @@
+//! Atomic metric primitives: counters, gauges, and log₂-bucketed duration
+//! histograms. All operations use relaxed ordering — these are statistics,
+//! not synchronization points, and a relaxed `fetch_add` is the cheapest
+//! RMW the hardware offers.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Number of histogram buckets. Bucket `i` (for `i > 0`) counts samples in
+/// `[2^i, 2^(i+1))` nanoseconds; bucket 0 covers `[0, 2)` ns and the last
+/// bucket absorbs everything at or above `2^(BUCKETS-1)` ns (~9 minutes).
+pub const HISTOGRAM_BUCKETS: usize = 40;
+
+/// A monotonically increasing event count. Cloning is cheap and all clones
+/// share the same underlying atomic, so handles can be fetched once and
+/// kept in hot loops.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one to the counter.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A signed value that can move in both directions (queue depths, live cell
+/// counts, resident bytes).
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the gauge to `v`.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Moves the gauge by `delta` (may be negative).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+#[derive(Debug)]
+pub(crate) struct HistogramInner {
+    pub(crate) buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    pub(crate) count: AtomicU64,
+    pub(crate) sum_ns: AtomicU64,
+    /// `u64::MAX` while empty so `fetch_min` works without a sentinel branch.
+    pub(crate) min_ns: AtomicU64,
+    pub(crate) max_ns: AtomicU64,
+}
+
+impl Default for HistogramInner {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            min_ns: AtomicU64::new(u64::MAX),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A duration histogram with power-of-two nanosecond buckets plus exact
+/// count / sum / min / max. Span guards record into these; code that times
+/// manually (hot loops holding a handle) can call [`Histogram::record`]
+/// directly.
+#[derive(Clone, Debug, Default)]
+pub struct Histogram(pub(crate) Arc<HistogramInner>);
+
+impl Histogram {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, d: Duration) {
+        self.record_ns(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Records one sample given directly in nanoseconds.
+    pub fn record_ns(&self, ns: u64) {
+        let inner = &*self.0;
+        inner.buckets[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+        inner.count.fetch_add(1, Ordering::Relaxed);
+        inner.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        inner.min_ns.fetch_min(ns, Ordering::Relaxed);
+        inner.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded samples.
+    pub fn sum(&self) -> Duration {
+        Duration::from_nanos(self.0.sum_ns.load(Ordering::Relaxed))
+    }
+
+    pub(crate) fn reset(&self) {
+        let inner = &*self.0;
+        for b in &inner.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        inner.count.store(0, Ordering::Relaxed);
+        inner.sum_ns.store(0, Ordering::Relaxed);
+        inner.min_ns.store(u64::MAX, Ordering::Relaxed);
+        inner.max_ns.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Maps a nanosecond value to its bucket: `floor(log2(ns))` clamped to the
+/// bucket range, with 0 and 1 ns both landing in bucket 0.
+#[inline]
+pub(crate) fn bucket_index(ns: u64) -> usize {
+    if ns < 2 {
+        0
+    } else {
+        ((63 - ns.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+/// Inclusive lower bound of bucket `i` in nanoseconds.
+#[inline]
+pub(crate) fn bucket_lower_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << i
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 1);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(1023), 9);
+        assert_eq!(bucket_index(1024), 10);
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        for i in 1..HISTOGRAM_BUCKETS - 1 {
+            let lo = bucket_lower_bound(i);
+            assert_eq!(bucket_index(lo), i);
+            assert_eq!(bucket_index(lo - 1), i - 1);
+        }
+    }
+
+    #[test]
+    fn histogram_tracks_count_sum_min_max() {
+        let h = Histogram::new();
+        h.record_ns(10);
+        h.record_ns(1000);
+        h.record_ns(3);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), Duration::from_nanos(1013));
+        assert_eq!(h.0.min_ns.load(Ordering::Relaxed), 3);
+        assert_eq!(h.0.max_ns.load(Ordering::Relaxed), 1000);
+    }
+}

@@ -1,0 +1,149 @@
+//! Snapshot diffing. A [`Report`] is the difference between two
+//! [`Snapshot`]s — "what did this run / this commit change" — and is what
+//! perf PRs are expected to quote. Metrics present on only one side are
+//! treated as 0 on the other.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::sink::format_ns;
+use crate::snapshot::Snapshot;
+
+/// One metric's before/after pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricDelta {
+    pub name: String,
+    pub before: i128,
+    pub after: i128,
+}
+
+impl MetricDelta {
+    /// Signed change from before to after.
+    pub fn delta(&self) -> i128 {
+        self.after - self.before
+    }
+}
+
+/// The diff of two snapshots. Histograms contribute two rows each:
+/// `<name>.calls` (count) and `<name>.total_ns` (cumulative duration).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Report {
+    pub counters: Vec<MetricDelta>,
+    pub gauges: Vec<MetricDelta>,
+    pub histograms: Vec<MetricDelta>,
+}
+
+impl Report {
+    /// Diffs `after` against `before`.
+    pub fn diff(before: &Snapshot, after: &Snapshot) -> Report {
+        Report {
+            counters: diff_section(
+                before.counters.iter().map(|e| (e.name.clone(), e.value as i128)),
+                after.counters.iter().map(|e| (e.name.clone(), e.value as i128)),
+            ),
+            gauges: diff_section(
+                before.gauges.iter().map(|e| (e.name.clone(), e.value as i128)),
+                after.gauges.iter().map(|e| (e.name.clone(), e.value as i128)),
+            ),
+            histograms: diff_section(
+                before.histograms.iter().flat_map(histogram_rows),
+                after.histograms.iter().flat_map(histogram_rows),
+            ),
+        }
+    }
+
+    /// True when nothing changed — every metric has a zero delta. A
+    /// snapshot diffed against itself is always zero.
+    pub fn is_zero(&self) -> bool {
+        self.counters.iter().chain(&self.gauges).chain(&self.histograms).all(|d| d.delta() == 0)
+    }
+
+    /// Only the rows whose delta is non-zero, across all sections.
+    pub fn changed(&self) -> impl Iterator<Item = &MetricDelta> {
+        self.counters.iter().chain(&self.gauges).chain(&self.histograms).filter(|d| d.delta() != 0)
+    }
+}
+
+fn histogram_rows(h: &crate::snapshot::HistogramSnapshot) -> [(String, i128); 2] {
+    [
+        (format!("{}.calls", h.name), h.count as i128),
+        (format!("{}.total_ns", h.name), h.sum_ns as i128),
+    ]
+}
+
+fn diff_section(
+    before: impl Iterator<Item = (String, i128)>,
+    after: impl Iterator<Item = (String, i128)>,
+) -> Vec<MetricDelta> {
+    let mut merged: BTreeMap<String, (i128, i128)> = BTreeMap::new();
+    for (name, v) in before {
+        merged.entry(name).or_default().0 = v;
+    }
+    for (name, v) in after {
+        merged.entry(name).or_default().1 = v;
+    }
+    merged.into_iter().map(|(name, (before, after))| MetricDelta { name, before, after }).collect()
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return writeln!(f, "no metric changed");
+        }
+        let width = self.changed().map(|d| d.name.len()).max().unwrap_or(4).max(4);
+        writeln!(f, "{:<width$}  {:>14}  {:>14}  {:>15}", "name", "before", "after", "delta")?;
+        for d in self.changed() {
+            let delta = d.delta();
+            let rendered = if d.name.ends_with(".total_ns") {
+                let sign = if delta < 0 { "-" } else { "+" };
+                format!("{sign}{}", format_ns(delta.unsigned_abs().min(u64::MAX as u128) as u64))
+            } else {
+                format!("{delta:+}")
+            };
+            writeln!(f, "{:<width$}  {:>14}  {:>14}  {:>15}", d.name, d.before, d.after, rendered)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn self_diff_is_zero() {
+        let r = Registry::new();
+        r.counter("cube.cells_computed").add(12);
+        r.gauge("depth").set(2);
+        r.histogram("cube.cell").record_ns(400);
+        let snap = r.snapshot();
+        let report = Report::diff(&snap, &snap);
+        assert!(report.is_zero());
+        assert_eq!(report.changed().count(), 0);
+    }
+
+    #[test]
+    fn diff_handles_metrics_on_one_side_only() {
+        let r = Registry::new();
+        let before = r.snapshot();
+        r.counter("new.metric").add(5);
+        let after = r.snapshot();
+        let report = Report::diff(&before, &after);
+        assert!(!report.is_zero());
+        let row = report.counters.iter().find(|d| d.name == "new.metric").unwrap();
+        assert_eq!((row.before, row.after, row.delta()), (0, 5, 5));
+    }
+
+    #[test]
+    fn display_lists_only_changed_rows() {
+        let r = Registry::new();
+        r.counter("same").add(1);
+        let before = r.snapshot();
+        r.counter("moved").add(3);
+        let after = r.snapshot();
+        let text = Report::diff(&before, &after).to_string();
+        assert!(text.contains("moved"));
+        assert!(!text.contains("same"));
+    }
+}

@@ -1,0 +1,176 @@
+//! Snapshot exporters. A [`Subscriber`] consumes [`Snapshot`]s; the two
+//! shipped implementations cover the human (aligned table on any
+//! `io::Write`) and the machine (`BENCH_*.json`-style serde-JSON files).
+
+use std::io::{self, Write};
+
+use crate::snapshot::Snapshot;
+
+/// Something that can export a metrics snapshot.
+pub trait Subscriber {
+    /// Exports one snapshot.
+    fn export(&mut self, snapshot: &Snapshot) -> io::Result<()>;
+}
+
+/// Human-readable aligned-table writer. Histogram rows show call count,
+/// cumulative / mean / min / max durations.
+pub struct TableSink<W: Write> {
+    out: W,
+}
+
+impl<W: Write> TableSink<W> {
+    /// Wraps any writer.
+    pub fn new(out: W) -> Self {
+        Self { out }
+    }
+
+    /// Consumes the sink, returning the writer.
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+}
+
+impl TableSink<io::Stdout> {
+    /// Table sink writing to standard output.
+    pub fn stdout() -> Self {
+        Self::new(io::stdout())
+    }
+}
+
+impl<W: Write> Subscriber for TableSink<W> {
+    fn export(&mut self, snapshot: &Snapshot) -> io::Result<()> {
+        self.out.write_all(render_table(snapshot).as_bytes())
+    }
+}
+
+/// Renders a snapshot as the table [`TableSink`] writes.
+pub fn render_table(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    if !snapshot.counters.is_empty() {
+        let width = column_width(snapshot.counters.iter().map(|e| e.name.len()));
+        out.push_str("counters\n");
+        for e in &snapshot.counters {
+            out.push_str(&format!("  {:<width$}  {:>12}\n", e.name, e.value));
+        }
+    }
+    if !snapshot.gauges.is_empty() {
+        let width = column_width(snapshot.gauges.iter().map(|e| e.name.len()));
+        out.push_str("gauges\n");
+        for e in &snapshot.gauges {
+            out.push_str(&format!("  {:<width$}  {:>12}\n", e.name, e.value));
+        }
+    }
+    if !snapshot.histograms.is_empty() {
+        let width = column_width(snapshot.histograms.iter().map(|h| h.name.len()));
+        out.push_str("spans / durations\n");
+        out.push_str(&format!(
+            "  {:<width$}  {:>9}  {:>10}  {:>10}  {:>10}  {:>10}\n",
+            "name", "calls", "total", "mean", "min", "max"
+        ));
+        for h in &snapshot.histograms {
+            out.push_str(&format!(
+                "  {:<width$}  {:>9}  {:>10}  {:>10}  {:>10}  {:>10}\n",
+                h.name,
+                h.count,
+                format_ns(h.sum_ns),
+                format_ns(h.mean_ns()),
+                format_ns(h.min_ns),
+                format_ns(h.max_ns),
+            ));
+        }
+    }
+    if out.is_empty() {
+        out.push_str("(no metrics registered)\n");
+    }
+    out
+}
+
+fn column_width(names: impl Iterator<Item = usize>) -> usize {
+    names.max().unwrap_or(0).max(4)
+}
+
+/// Formats a nanosecond quantity with an adaptive unit (`ns`, `µs`, `ms`,
+/// `s`).
+pub fn format_ns(ns: u64) -> String {
+    const US: u64 = 1_000;
+    const MS: u64 = 1_000_000;
+    const S: u64 = 1_000_000_000;
+    if ns >= S {
+        format!("{:.2}s", ns as f64 / S as f64)
+    } else if ns >= MS {
+        format!("{:.2}ms", ns as f64 / MS as f64)
+    } else if ns >= US {
+        format!("{:.2}µs", ns as f64 / US as f64)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// serde-JSON snapshot writer, producing the same shape the bench
+/// trajectory (`BENCH_*.json`) helper stores, so table and file exports
+/// stay interchangeable.
+pub struct JsonSink<W: Write> {
+    out: W,
+    pretty: bool,
+}
+
+impl<W: Write> JsonSink<W> {
+    /// Pretty-printed JSON (the trajectory-file format).
+    pub fn new(out: W) -> Self {
+        Self { out, pretty: true }
+    }
+
+    /// Compact single-line JSON (for log pipelines).
+    pub fn compact(out: W) -> Self {
+        Self { out, pretty: false }
+    }
+
+    /// Consumes the sink, returning the writer.
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+}
+
+impl<W: Write> Subscriber for JsonSink<W> {
+    fn export(&mut self, snapshot: &Snapshot) -> io::Result<()> {
+        let text = if self.pretty {
+            serde::json::to_string_pretty(snapshot)
+        } else {
+            serde::json::to_string(snapshot)
+        };
+        self.out.write_all(text.as_bytes())?;
+        self.out.write_all(b"\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn sample() -> Snapshot {
+        let r = Registry::new();
+        r.counter("ta.sorted_accesses").add(7);
+        r.histogram("index.build").record_ns(2_500_000);
+        r.snapshot()
+    }
+
+    #[test]
+    fn table_sink_lists_every_metric() {
+        let mut sink = TableSink::new(Vec::new());
+        sink.export(&sample()).unwrap();
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        assert!(text.contains("ta.sorted_accesses"));
+        assert!(text.contains("index.build"));
+        assert!(text.contains("2.50ms"));
+    }
+
+    #[test]
+    fn json_sink_output_parses_back() {
+        let snap = sample();
+        let mut sink = JsonSink::compact(Vec::new());
+        sink.export(&snap).unwrap();
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        assert_eq!(Snapshot::from_json(text.trim()).unwrap(), snap);
+    }
+}

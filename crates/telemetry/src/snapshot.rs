@@ -1,0 +1,167 @@
+//! Point-in-time metric snapshots. A [`Snapshot`] is plain serde-derived
+//! data — it serializes to the JSON the bench trajectory files store and
+//! deserializes back for diffing, so `snapshot → JSON → snapshot` is an
+//! identity.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::Ordering;
+
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::{bucket_lower_bound, Counter, Gauge, Histogram};
+
+/// One named counter value.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetricEntry {
+    pub name: String,
+    pub value: u64,
+}
+
+/// One named gauge value.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GaugeEntry {
+    pub name: String,
+    pub value: i64,
+}
+
+/// A non-empty histogram bucket: samples in `[lower_ns, 2*lower_ns)`
+/// (bucket 0: `[0, 2)` ns; the top bucket is open-ended).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BucketCount {
+    pub lower_ns: u64,
+    pub count: u64,
+}
+
+/// One named histogram: exact count/sum/min/max plus its non-empty
+/// buckets. `min_ns`/`max_ns` are both 0 when `count` is 0.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    pub name: String,
+    pub count: u64,
+    pub sum_ns: u64,
+    pub min_ns: u64,
+    pub max_ns: u64,
+    pub buckets: Vec<BucketCount>,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample duration in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> u64 {
+        self.sum_ns.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+/// A point-in-time copy of a registry's metrics, sorted by name within
+/// each section. This is the unit the sinks export and
+/// [`Report`](crate::Report) diffs.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Snapshot {
+    pub counters: Vec<MetricEntry>,
+    pub gauges: Vec<GaugeEntry>,
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl Snapshot {
+    pub(crate) fn capture(
+        counters: &BTreeMap<String, Counter>,
+        gauges: &BTreeMap<String, Gauge>,
+        histograms: &BTreeMap<String, Histogram>,
+    ) -> Snapshot {
+        Snapshot {
+            counters: counters
+                .iter()
+                .map(|(name, c)| MetricEntry { name: name.clone(), value: c.get() })
+                .collect(),
+            gauges: gauges
+                .iter()
+                .map(|(name, g)| GaugeEntry { name: name.clone(), value: g.get() })
+                .collect(),
+            histograms: histograms.iter().map(|(name, h)| capture_histogram(name, h)).collect(),
+        }
+    }
+
+    /// Value of the counter named `name`, if registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|e| e.name == name).map(|e| e.value)
+    }
+
+    /// Value of the gauge named `name`, if registered.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|e| e.name == name).map(|e| e.value)
+    }
+
+    /// The histogram named `name`, if registered.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// True when no metric has recorded anything (all counters zero, all
+    /// gauges zero, all histograms empty).
+    pub fn is_empty_of_data(&self) -> bool {
+        self.counters.iter().all(|c| c.value == 0)
+            && self.gauges.iter().all(|g| g.value == 0)
+            && self.histograms.iter().all(|h| h.count == 0)
+    }
+
+    /// Serializes to pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde::json::to_string_pretty(self)
+    }
+
+    /// Parses a snapshot back from JSON text.
+    pub fn from_json(text: &str) -> Result<Snapshot, serde::Error> {
+        serde::json::from_str(text)
+    }
+}
+
+fn capture_histogram(name: &str, h: &Histogram) -> HistogramSnapshot {
+    let inner = &*h.0;
+    let count = inner.count.load(Ordering::Relaxed);
+    let min_raw = inner.min_ns.load(Ordering::Relaxed);
+    HistogramSnapshot {
+        name: name.to_owned(),
+        count,
+        sum_ns: inner.sum_ns.load(Ordering::Relaxed),
+        min_ns: if min_raw == u64::MAX { 0 } else { min_raw },
+        max_ns: inner.max_ns.load(Ordering::Relaxed),
+        buckets: inner
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let count = b.load(Ordering::Relaxed);
+                (count > 0).then(|| BucketCount { lower_ns: bucket_lower_bound(i), count })
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let r = Registry::new();
+        r.counter("ta.sorted_accesses").add(42);
+        r.gauge("cube.live_cells").set(-3);
+        r.histogram("cube.cell").record_ns(900);
+        r.histogram("cube.cell").record_ns(1100);
+        let snap = r.snapshot();
+        let json = snap.to_json();
+        let back = Snapshot::from_json(&json).expect("snapshot JSON parses");
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn empty_histogram_snapshots_cleanly() {
+        let r = Registry::new();
+        let _ = r.histogram("never.recorded");
+        let snap = r.snapshot();
+        let h = snap.histogram("never.recorded").unwrap();
+        assert_eq!((h.count, h.min_ns, h.max_ns), (0, 0, 0));
+        assert!(h.buckets.is_empty());
+        assert!(snap.is_empty_of_data());
+    }
+}

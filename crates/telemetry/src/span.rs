@@ -1,0 +1,81 @@
+//! RAII wall-clock spans. A [`SpanGuard`] opened on a disabled registry is
+//! inert: no clock read, no name lookup, no allocation — just one relaxed
+//! atomic load at construction. On an enabled registry, dropping the guard
+//! records the elapsed time into the histogram of the same name (so each
+//! histogram's `count` is the per-span call count).
+
+use std::cell::Cell;
+use std::time::Instant;
+
+use crate::metrics::Histogram;
+use crate::registry::Registry;
+
+thread_local! {
+    static DEPTH: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Current nesting depth of live spans on this thread (0 outside any span).
+/// Disabled-registry guards do not contribute.
+pub fn span_depth() -> usize {
+    DEPTH.with(Cell::get)
+}
+
+/// Guard returned by [`span!`](crate::span!); records its lifetime's
+/// duration on drop.
+#[must_use = "a span measures the time until the guard is dropped"]
+#[derive(Debug)]
+pub struct SpanGuard {
+    active: Option<(Histogram, Instant)>,
+}
+
+impl SpanGuard {
+    /// Opens a span named `name` on `registry`. Inert if the registry is
+    /// disabled.
+    pub fn enter(registry: &Registry, name: &str) -> SpanGuard {
+        if !registry.enabled() {
+            return SpanGuard { active: None };
+        }
+        DEPTH.with(|d| d.set(d.get() + 1));
+        SpanGuard { active: Some((registry.histogram(name), Instant::now())) }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some((histogram, start)) = self.active.take() {
+            histogram.record(start.elapsed());
+            DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depth_tracks_nesting_and_disabled_spans_are_inert() {
+        let r = Registry::new();
+        assert_eq!(span_depth(), 0);
+        {
+            let _a = SpanGuard::enter(&r, "outer");
+            assert_eq!(span_depth(), 1);
+            {
+                let _b = SpanGuard::enter(&r, "inner");
+                assert_eq!(span_depth(), 2);
+            }
+            assert_eq!(span_depth(), 1);
+        }
+        assert_eq!(span_depth(), 0);
+
+        r.set_enabled(false);
+        {
+            let _c = SpanGuard::enter(&r, "off");
+            assert_eq!(span_depth(), 0);
+        }
+        let snap = r.snapshot();
+        assert_eq!(snap.histogram("outer").map(|h| h.count), Some(1));
+        assert_eq!(snap.histogram("inner").map(|h| h.count), Some(1));
+        assert!(snap.histogram("off").is_none());
+    }
+}

@@ -60,7 +60,10 @@ fn main() {
 
     let south = fbox
         .universe()
-        .group_id(&GroupLabel::parse(fbox.universe().schema(), "neighborhood=South").expect("label parses"))
+        .group_id(
+            &GroupLabel::parse(fbox.universe().schema(), "neighborhood=South")
+                .expect("label parses"),
+        )
         .expect("group registered");
     println!("\nUnfairness toward the South neighborhood per city:");
     for l in [paris, lyon] {

@@ -47,10 +47,7 @@ fn main() {
         // The naive protocol lets carry-over / A/B / geolocation noise
         // leak into every list, inflating all unfairness values — the
         // floor rises and the signal blurs.
-        let dc = fairest
-            .first()
-            .map(|(n, _)| n == "Washington, DC")
-            .unwrap_or(false);
+        let dc = fairest.first().map(|(n, _)| n == "Washington, DC").unwrap_or(false);
         println!("   DC (no personalization) measured fairest: {dc}\n");
     }
 }

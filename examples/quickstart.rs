@@ -17,7 +17,10 @@ fn main() {
     // Table 3's ranking over the gender × ethnicity universe.
     let (mut universe, ranking) = paper_toy::table3_ranking();
 
-    println!("Toy marketplace: {} workers ranked for \"Home Cleaning\" in San Francisco\n", ranking.len());
+    println!(
+        "Toy marketplace: {} workers ranked for \"Home Cleaning\" in San Francisco\n",
+        ranking.len()
+    );
 
     // Per-group unfairness under both measures (Eq. 2 and §3.3.2).
     println!("{:<28} {:>8} {:>10}", "group", "EMD", "exposure");
@@ -33,9 +36,8 @@ fn main() {
     }
 
     // Figure 5's headline number.
-    let bf = universe
-        .group_id_by_text("gender=Female & ethnicity=Black")
-        .expect("group registered");
+    let bf =
+        universe.group_id_by_text("gender=Female & ethnicity=Black").expect("group registered");
     let fig5 = market_cell_unfairness(&universe, &ranking, bf, MarketMeasure::exposure())
         .expect("toy data complete");
     println!("\nFigure 5 check: exposure unfairness of Black Females = {fig5:.3} (paper: ≈0.04)");

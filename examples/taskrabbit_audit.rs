@@ -54,9 +54,7 @@ fn main() {
     // one small group is easiest to see by restricting the question to it:
     // "at which locations are Black Females treated most unfairly?"
     let u = fbox.universe();
-    let bf = u
-        .group_id_by_text("gender=Female & ethnicity=Black")
-        .expect("group registered");
+    let bf = u.group_id_by_text("gender=Female & ethnicity=Black").expect("group registered");
     let bf_only = Restriction { groups: Some(vec![bf.0]), ..Default::default() };
     println!("Cities where Black Females fare worst:");
     for (name, v) in fbox.top_k_locations(3, RankOrder::MostUnfair, &bf_only) {
@@ -65,9 +63,7 @@ fn main() {
 
     // 4. Compare: is the Delivery exemption visible? Break the Black
     //    Female group's treatment down by query.
-    let wf = u
-        .group_id_by_text("gender=Female & ethnicity=White")
-        .expect("group registered");
+    let wf = u.group_id_by_text("gender=Female & ethnicity=White").expect("group registered");
     let delivery: Vec<u32> = u.queries_in_category("Delivery").iter().map(|q| q.0).collect();
     let errands: Vec<u32> = u.queries_in_category("Run Errands").iter().map(|q| q.0).collect();
     let breakdown: Vec<u32> = delivery.iter().chain(&errands).copied().collect();

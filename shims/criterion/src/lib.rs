@@ -1,0 +1,226 @@
+//! Offline stand-in for [`criterion`](https://docs.rs/criterion).
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! ships a small wall-clock harness under the same crate name, covering
+//! the API its benches use: [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`], [`BenchmarkId`], `sample_size`, and
+//! the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Methodology: each benchmark is warmed up for ~100 ms, then timed over
+//! `sample_size` samples whose per-sample iteration count targets ~10 ms,
+//! reporting the median, minimum, and maximum per-iteration time. No
+//! statistical analysis, plots, or baselines — numbers print to stdout
+//! and the JSON trajectory files are handled by `fbox-bench`'s telemetry
+//! harness instead.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark identifier combining a function name and a parameter, printed
+/// as `name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// An id with both a name and a parameter.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        Self { text: format!("{name}/{parameter}") }
+    }
+
+    /// An id carrying only a parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self { text: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// The timing loop driver handed to each benchmark closure.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, recording one sample of `iters_per_sample`
+    /// iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            black_box(routine());
+        }
+        self.samples.push(start.elapsed());
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Settings {
+    sample_size: usize,
+    warm_up: Duration,
+    target_sample_time: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Self {
+            sample_size: 30,
+            warm_up: Duration::from_millis(100),
+            target_sample_time: Duration::from_millis(10),
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(label: &str, settings: &Settings, mut routine: F) {
+    // Warm-up: run single-iteration samples until the budget is spent,
+    // measuring the per-iteration cost to calibrate the sample loop.
+    let warm_start = Instant::now();
+    let mut warm_iters = 0u64;
+    let mut bencher = Bencher { iters_per_sample: 1, samples: Vec::new() };
+    while warm_start.elapsed() < settings.warm_up {
+        routine(&mut bencher);
+        warm_iters += 1;
+    }
+    let per_iter = warm_start.elapsed().as_nanos() / warm_iters.max(1) as u128;
+    let iters_per_sample =
+        (settings.target_sample_time.as_nanos() / per_iter.max(1)).clamp(1, 1 << 24) as u64;
+
+    let mut bencher = Bencher { iters_per_sample, samples: Vec::new() };
+    for _ in 0..settings.sample_size {
+        routine(&mut bencher);
+    }
+
+    let mut per_iter_ns: Vec<f64> =
+        bencher.samples.iter().map(|d| d.as_nanos() as f64 / iters_per_sample as f64).collect();
+    per_iter_ns.sort_by(|a, b| a.partial_cmp(b).expect("durations are not NaN"));
+    let median = per_iter_ns[per_iter_ns.len() / 2];
+    let min = per_iter_ns.first().copied().unwrap_or(0.0);
+    let max = per_iter_ns.last().copied().unwrap_or(0.0);
+    println!("{label:<50} time: [{} {} {}]", format_ns(min), format_ns(median), format_ns(max));
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// The benchmark manager: entry point of every bench target.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, routine: F) -> &mut Self {
+        run_bench(name, &self.settings, routine);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), settings: self.settings.clone(), _criterion: self }
+    }
+}
+
+/// A group of related benchmarks sharing settings and a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    settings: Settings,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        routine: F,
+    ) -> &mut Self {
+        run_bench(&format!("{}/{}", self.name, id), &self.settings, routine);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input (passed by reference to
+    /// the closure, exactly as the real crate does).
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl fmt::Display,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self {
+        run_bench(&format!("{}/{}", self.name, id), &self.settings, |b| routine(b, input));
+        self
+    }
+
+    /// Finishes the group (drop would do; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, mirroring the real macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring the real macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default();
+        // Tiny settings so the test is fast.
+        c.settings.sample_size = 3;
+        c.settings.warm_up = Duration::from_millis(1);
+        c.settings.target_sample_time = Duration::from_millis(1);
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut group = c.benchmark_group("grp");
+        group.sample_size(2);
+        group.bench_with_input(BenchmarkId::new("sum", 4), &4u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("f", 10).to_string(), "f/10");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+}

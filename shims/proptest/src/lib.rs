@@ -1,0 +1,425 @@
+//! Offline stand-in for [`proptest`](https://docs.rs/proptest).
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! ships a miniature property-testing framework under the same crate
+//! name, covering the API surface its test suites use: the [`proptest!`]
+//! macro (with `#![proptest_config(...)]`), range and tuple strategies,
+//! [`collection::vec`], [`sample::subsequence`], `prop_map` /
+//! `prop_flat_map` / `prop_shuffle` combinators, and the `prop_assert*` /
+//! `prop_assume!` macros.
+//!
+//! Differences from the real crate, deliberately accepted:
+//!
+//! - **No shrinking.** A failing case panics with the sampled inputs via
+//!   the assertion message; it is not minimized.
+//! - **Deterministic seeding.** Each test function derives its RNG seed
+//!   from its own name, so runs are reproducible without a `proptest-regressions`
+//!   directory.
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod collection;
+pub mod sample;
+
+pub mod prelude {
+    //! The glob-import surface, mirroring `proptest::prelude::*`.
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+        Strategy, TestRng,
+    };
+}
+
+/// Per-`proptest!` configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// The deterministic generator driving all sampling.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator seeded from arbitrary bytes (the test function name).
+    pub fn from_name(name: &str) -> Self {
+        // FNV-1a over the name, then a splitmix scramble.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        Self { state: h | 1 }
+    }
+
+    /// Next 64 uniform bits (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    /// Uniform draw in the closed unit interval.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / ((1u64 << 53) - 1) as f64
+    }
+}
+
+/// A generator of test inputs. Unlike the real crate there is no value
+/// tree: sampling draws a concrete value directly.
+pub trait Strategy: Sized {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F> {
+        Map { inner: self, f }
+    }
+
+    /// Feeds generated values into a strategy-producing `f` and samples
+    /// the produced strategy.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F> {
+        FlatMap { inner: self, f }
+    }
+
+    /// Shuffles generated `Vec`s.
+    fn prop_shuffle(self) -> Shuffle<Self> {
+        Shuffle { inner: self }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
+    }
+}
+
+/// See [`Strategy::prop_shuffle`].
+pub struct Shuffle<S> {
+    inner: S,
+}
+
+impl<T, S: Strategy<Value = Vec<T>>> Strategy for Shuffle<S> {
+    type Value = Vec<T>;
+
+    fn sample(&self, rng: &mut TestRng) -> Vec<T> {
+        let mut items = self.inner.sample(rng);
+        // Fisher–Yates.
+        for i in (1..items.len()).rev() {
+            let j = rng.below(i as u64 + 1) as usize;
+            items.swap(i, j);
+        }
+        items
+    }
+}
+
+/// A strategy that always yields clones of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as u128 - self.start as u128) as u64;
+                self.start + (rng.below(span)) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty strategy range");
+                let span = (end as u128 - start as u128 + 1) as u64;
+                start + (rng.below(span)) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "empty strategy range");
+        start + rng.unit_f64() * (end - start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident . $idx:tt),+)),*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy!((A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3), (A.0, B.1, C.2, D.3, E.4));
+
+/// Length specification for [`collection::vec`] and
+/// [`sample::subsequence`].
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    /// Inclusive lower bound.
+    pub min: usize,
+    /// Inclusive upper bound.
+    pub max: usize,
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        self.min + rng.below((self.max - self.min + 1) as u64) as usize
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { min: n, max: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        Self { min: r.start, max: r.end - 1 }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        Self { min: *r.start(), max: *r.end() }
+    }
+}
+
+/// Outcome of one executed case body: `Pass`, or `Reject` when a
+/// `prop_assume!` failed (the case is re-drawn, not counted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CaseOutcome {
+    /// The body ran to completion.
+    Pass,
+    /// A `prop_assume!` condition failed; resample.
+    Reject,
+}
+
+/// Asserts inside a `proptest!` body; panics with the formatted message on
+/// failure (no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(, $($fmt:tt)*)?) => {
+        assert_eq!($a, $b $(, $($fmt)*)?);
+    };
+}
+
+/// Inequality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(, $($fmt:tt)*)?) => {
+        assert_ne!($a, $b $(, $($fmt)*)?);
+    };
+}
+
+/// Rejects the current case (resampled without counting) when the
+/// condition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return $crate::CaseOutcome::Reject;
+        }
+    };
+}
+
+/// The test harness macro. Parses the real crate's function-per-property
+/// syntax, sampling each argument strategy `cases` times.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_properties! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_properties! { cfg = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_properties {
+    (cfg = ($cfg:expr);) => {};
+    (
+        cfg = ($cfg:expr);
+        $(#[$attr:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+            let mut accepted = 0u32;
+            let mut attempts = 0u32;
+            let max_attempts = cfg.cases.saturating_mul(20).max(100);
+            while accepted < cfg.cases {
+                attempts += 1;
+                assert!(
+                    attempts <= max_attempts,
+                    "proptest shim: too many rejected cases ({} attempts for {} accepted)",
+                    attempts,
+                    accepted,
+                );
+                $(let $arg = $crate::Strategy::sample(&($strategy), &mut rng);)+
+                #[allow(clippy::redundant_closure_call)]
+                let outcome = (move || -> $crate::CaseOutcome {
+                    $(let $arg = $arg;)+
+                    $body
+                    $crate::CaseOutcome::Pass
+                })();
+                if outcome == $crate::CaseOutcome::Pass {
+                    accepted += 1;
+                }
+            }
+        }
+        $crate::__proptest_properties! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_sample_in_bounds() {
+        let mut rng = TestRng::from_name("ranges");
+        for _ in 0..1000 {
+            let x = (3usize..9).sample(&mut rng);
+            assert!((3..9).contains(&x));
+            let y = (0.0f64..=1.0).sample(&mut rng);
+            assert!((0.0..=1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn combinators_compose() {
+        let mut rng = TestRng::from_name("combinators");
+        let strat = (1usize..5)
+            .prop_flat_map(|n| crate::collection::vec(0u64..10, n))
+            .prop_map(|v| v.len());
+        for _ in 0..200 {
+            let n = strat.sample(&mut rng);
+            assert!((1..5).contains(&n));
+        }
+    }
+
+    #[test]
+    fn shuffle_preserves_multiset() {
+        let mut rng = TestRng::from_name("shuffle");
+        let strat = crate::collection::vec(0u64..5, 8usize).prop_shuffle();
+        for _ in 0..50 {
+            let mut v = strat.sample(&mut rng);
+            assert_eq!(v.len(), 8);
+            v.sort_unstable();
+            assert!(v.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_runs_and_assumes(x in 0u64..100, y in 0u64..100) {
+            prop_assume!(x != y);
+            prop_assert_ne!(x, y);
+            prop_assert!(x < 100 && y < 100, "bounds hold: {x} {y}");
+        }
+
+        #[test]
+        fn subsequences_are_ordered(sub in crate::sample::subsequence((0u32..20).collect::<Vec<_>>(), 2..10)) {
+            prop_assert!(sub.windows(2).all(|w| w[0] < w[1]));
+            prop_assert!((2..10).contains(&sub.len()));
+        }
+    }
+}

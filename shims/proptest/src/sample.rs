@@ -1,0 +1,46 @@
+//! Sampling strategies over existing collections, mirroring
+//! `proptest::sample`.
+
+use crate::{SizeRange, Strategy, TestRng};
+
+/// A strategy yielding order-preserving random subsequences of `items`
+/// with a length drawn from `size`.
+///
+/// # Panics
+///
+/// Panics (on sampling) if the maximum requested length exceeds
+/// `items.len()`... the minimum is clamped to the available items, as the
+/// real crate rejects such sizes at construction.
+pub fn subsequence<T: Clone>(items: Vec<T>, size: impl Into<SizeRange>) -> Subsequence<T> {
+    Subsequence { items, size: size.into() }
+}
+
+/// See [`subsequence`].
+pub struct Subsequence<T> {
+    items: Vec<T>,
+    size: SizeRange,
+}
+
+impl<T: Clone> Strategy for Subsequence<T> {
+    type Value = Vec<T>;
+
+    fn sample(&self, rng: &mut TestRng) -> Vec<T> {
+        let n_items = self.items.len();
+        let min = self.size.min.min(n_items);
+        let max = self.size.max.min(n_items);
+        let want = min + rng.below((max - min + 1) as u64) as usize;
+
+        // Reservoir-free selection: pick `want` distinct indices, then
+        // emit them in order.
+        let mut picked = vec![false; n_items];
+        let mut chosen = 0usize;
+        while chosen < want {
+            let i = rng.below(n_items as u64) as usize;
+            if !picked[i] {
+                picked[i] = true;
+                chosen += 1;
+            }
+        }
+        self.items.iter().zip(&picked).filter(|(_, &p)| p).map(|(x, _)| x.clone()).collect()
+    }
+}

@@ -4,7 +4,9 @@
 
 use fbox::core::algo::{RankOrder, Restriction};
 use fbox::crowd::{label_population, Labeler};
-use fbox::marketplace::{crawl, BiasProfile, Ethnicity, Gender, Marketplace, Population, ScoringModel};
+use fbox::marketplace::{
+    crawl, BiasProfile, Ethnicity, Gender, Marketplace, Population, ScoringModel,
+};
 use fbox::{FBox, MarketMeasure};
 
 fn biased_marketplace(seed: u64) -> Marketplace {

@@ -109,10 +109,7 @@ fn comparison_instances_cover_all_three_dimensions() {
         &Restriction::none(),
     )
     .expect("data");
-    assert!(
-        by_query.overall1 > by_query.overall2,
-        "Birmingham is less fair than Chicago overall"
-    );
+    assert!(by_query.overall1 > by_query.overall2, "Birmingham is less fair than Chicago overall");
 }
 
 #[test]
@@ -125,11 +122,7 @@ fn restricted_questions_match_paper_section_4_examples() {
     let bm = u.group_id_by_text("gender=Male & ethnicity=Black").unwrap();
     let west: Vec<u32> = u.locations_in_region("West Coast").iter().map(|l| l.0).collect();
     assert!(!west.is_empty());
-    let restrict = Restriction {
-        groups: Some(vec![bm.0]),
-        queries: None,
-        locations: Some(west),
-    };
+    let restrict = Restriction { groups: Some(vec![bm.0]), queries: None, locations: Some(west) };
     let fairest = fb.top_k_queries(2, RankOrder::LeastUnfair, &restrict);
     assert_eq!(fairest.len(), 2);
     assert!(fairest[0].1 <= fairest[1].1);

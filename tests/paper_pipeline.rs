@@ -6,11 +6,8 @@
 use fbox::repro::{experiments, scenario};
 
 fn assert_all(checks: &[(String, bool)]) {
-    let failed: Vec<&str> = checks
-        .iter()
-        .filter(|(_, ok)| !ok)
-        .map(|(name, _)| name.as_str())
-        .collect();
+    let failed: Vec<&str> =
+        checks.iter().filter(|(_, ok)| !ok).map(|(name, _)| name.as_str()).collect();
     assert!(failed.is_empty(), "shape checks failed: {failed:#?}");
 }
 
@@ -83,12 +80,8 @@ fn neutral_marketplace_is_nearly_fair() {
     use fbox::marketplace::{crawl, BiasProfile, Marketplace, Population, ScoringModel};
     use fbox::{FBox, MarketMeasure};
 
-    let m = Marketplace::new(
-        Population::paper(3),
-        ScoringModel::default(),
-        BiasProfile::neutral(),
-        3,
-    );
+    let m =
+        Marketplace::new(Population::paper(3), ScoringModel::default(), BiasProfile::neutral(), 3);
     let (universe, obs, _) = crawl(&m);
     let fb = FBox::from_market(universe, &obs, MarketMeasure::exposure());
     let calibrated = scenario::taskrabbit();

@@ -230,7 +230,7 @@ fn remaining_dimension(a: Dimension, b: Dimension) -> Dimension {
 
 /// Strict three-way order as an i8: −1 (d1 < d2), 0 (tie), 1 (d1 > d2).
 fn strict_order(d1: f64, d2: f64) -> i8 {
-    match d1.partial_cmp(&d2).expect("unfairness values are never NaN") {
+    match d1.total_cmp(&d2) {
         std::cmp::Ordering::Less => -1,
         std::cmp::Ordering::Equal => 0,
         std::cmp::Ordering::Greater => 1,

@@ -90,7 +90,9 @@ impl PartialOrd for OrdF64 {
 }
 impl Ord for OrdF64 {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.partial_cmp(&other.0).expect("unfairness values are never NaN")
+        // IEEE 754 total order: agrees with `<` on the non-NaN values the
+        // cube stores, and keeps heaps/sorts well-defined even for NaN.
+        self.0.total_cmp(&other.0)
     }
 }
 

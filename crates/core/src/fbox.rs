@@ -228,16 +228,16 @@ impl CellTelemetry {
     }
 
     #[inline]
-    fn start(&self) -> Option<std::time::Instant> {
-        self.active.as_ref().map(|_| std::time::Instant::now())
+    fn start(&self) -> Option<fbox_telemetry::HistogramTimer> {
+        self.active.as_ref().map(|inner| inner.timings.timer())
     }
 
     #[inline]
-    fn finish(&self, start: Option<std::time::Instant>, computed: bool) {
-        let (Some(inner), Some(start)) = (self.active.as_ref(), start) else {
+    fn finish(&self, timer: Option<fbox_telemetry::HistogramTimer>, computed: bool) {
+        let (Some(inner), Some(timer)) = (self.active.as_ref(), timer) else {
             return;
         };
-        inner.timings.record(start.elapsed());
+        timer.observe();
         if computed {
             inner.computed.inc();
         } else {

@@ -30,9 +30,7 @@ impl PostingList {
         let mut entries: Vec<(u32, f64)> =
             values.iter().enumerate().filter_map(|(e, v)| v.map(|v| (e as u32, v))).collect();
         assert!(entries.iter().all(|(_, v)| !v.is_nan()), "posting list values must not be NaN");
-        entries.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1).expect("no NaN after assertion").then(a.0.cmp(&b.0))
-        });
+        entries.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         Self { entries, values }
     }
 

@@ -112,7 +112,7 @@ fn normalize_to_units(masses: &[f64]) -> Option<Vec<u64>> {
         return None;
     }
     let mut units: Vec<u64> =
-        masses.iter().map(|&x| ((x / total) * SCALE as f64).round() as u64).collect();
+        masses.iter().map(|&x| super::float::round_units((x / total) * SCALE as f64)).collect();
     // Fix rounding drift on the largest bin so the total is exact.
     let sum: u64 = units.iter().sum();
     let largest = units
@@ -259,7 +259,9 @@ impl PartialOrd for HeapEntry {
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // Reverse: BinaryHeap is a max-heap, we want smallest dist first.
-        other.dist.partial_cmp(&self.dist).expect("distances are never NaN")
+        // Total order keeps the heap invariants even if a cost ever goes
+        // NaN, instead of panicking mid-solve.
+        other.dist.total_cmp(&self.dist)
     }
 }
 

@@ -28,6 +28,7 @@ impl BinConfig {
     /// # Panics
     ///
     /// Panics if `lo >= hi`, `bins == 0`, or either bound is not finite.
+    #[must_use]
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
         assert!(lo.is_finite() && hi.is_finite(), "histogram bounds must be finite");
         assert!(lo < hi, "histogram range must be non-empty (lo < hi)");
@@ -78,6 +79,7 @@ impl Histogram {
     }
 
     /// Builds a histogram from raw values.
+    #[must_use]
     pub fn from_values(config: BinConfig, values: impl IntoIterator<Item = f64>) -> Self {
         let mut h = Self::empty(config);
         for v in values {
@@ -117,9 +119,10 @@ impl Histogram {
         self.total
     }
 
-    /// Whether the histogram holds no mass.
+    /// Whether the histogram holds no mass (up to accumulated f64
+    /// rounding noise — see [`crate::measures::float`]).
     pub fn is_empty(&self) -> bool {
-        self.total == 0.0
+        crate::measures::float::approx_zero(self.total)
     }
 
     /// Unit-mass copy: each bin holds its *fraction* of the total.
@@ -183,7 +186,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "lo < hi")]
     fn rejects_empty_range() {
-        BinConfig::new(1.0, 1.0, 4);
+        let _ = BinConfig::new(1.0, 1.0, 4);
     }
 
     #[test]

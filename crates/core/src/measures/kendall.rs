@@ -20,6 +20,8 @@
 use std::collections::HashMap;
 use std::hash::Hash;
 
+use super::float::approx_zero;
+
 /// Classic normalized Kendall Tau distance between two rankings of the same
 /// item set: the fraction of item pairs the two rankings order differently.
 ///
@@ -111,6 +113,10 @@ fn merge_count(left: &[usize], right: &[usize], out: &mut [usize]) -> u64 {
 /// correction. Returns a value in `[-1, 1]`, or `None` when either vector
 /// is constant (Tau-b is undefined then).
 ///
+/// NaN scores are ordered by IEEE 754 total order (`f64::total_cmp`):
+/// every NaN compares above every real score, so a list containing NaN
+/// relevances degrades to treating them as maximal rather than panicking.
+///
 /// O(n²); intended for the short (≤ 50 item) lists this framework handles.
 pub fn tau_b(x: &[f64], y: &[f64]) -> Option<f64> {
     assert_eq!(x.len(), y.len(), "tau_b requires paired vectors");
@@ -121,8 +127,8 @@ pub fn tau_b(x: &[f64], y: &[f64]) -> Option<f64> {
     let (mut concordant, mut discordant) = (0i64, 0i64);
     for i in 0..n {
         for j in (i + 1)..n {
-            let dx = x[i].partial_cmp(&x[j]).expect("tau_b: NaN score");
-            let dy = y[i].partial_cmp(&y[j]).expect("tau_b: NaN score");
+            let dx = x[i].total_cmp(&x[j]);
+            let dy = y[i].total_cmp(&y[j]);
             use std::cmp::Ordering::*;
             match (dx, dy) {
                 (Equal, _) | (_, Equal) => {}
@@ -133,7 +139,7 @@ pub fn tau_b(x: &[f64], y: &[f64]) -> Option<f64> {
     }
     let n0 = (n * (n - 1) / 2) as i64;
     let denom = (((n0 - tied_pairs(x)) as f64) * ((n0 - tied_pairs(y)) as f64)).sqrt();
-    if denom == 0.0 {
+    if approx_zero(denom) {
         return None;
     }
     Some((concordant - discordant) as f64 / denom)
@@ -143,7 +149,7 @@ pub fn tau_b(x: &[f64], y: &[f64]) -> Option<f64> {
 /// Tau-b denominator).
 fn tied_pairs(v: &[f64]) -> i64 {
     let mut sorted: Vec<f64> = v.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN score"));
+    sorted.sort_by(f64::total_cmp);
     let mut total = 0i64;
     let mut run = 1i64;
     for w in sorted.windows(2) {
@@ -205,7 +211,7 @@ pub fn top_k_distance<T: Eq + Hash + Clone>(a: &[T], b: &[T], p: f64) -> f64 {
     }
 
     let max = max_penalty(a.len(), b.len(), p);
-    if max == 0.0 {
+    if approx_zero(max) {
         0.0
     } else {
         (penalty / max).clamp(0.0, 1.0)
@@ -343,6 +349,21 @@ mod tests {
     fn tau_b_undefined_for_constant_vector() {
         assert_eq!(tau_b(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), None);
         assert_eq!(tau_b(&[1.0], &[2.0]), None);
+    }
+
+    #[test]
+    fn tau_b_tolerates_nan_scores() {
+        // Regression: the comparator used to be
+        // `partial_cmp().expect("NaN score")`, so one NaN relevance
+        // panicked the whole measure. Under total order NaN ranks as a
+        // maximal score and the statistic stays defined and in range.
+        let x = vec![1.0, f64::NAN, 2.0, 0.5];
+        let y = vec![0.2, 0.9, f64::NAN, 0.1];
+        let t = tau_b(&x, &y).expect("non-constant vectors have a tau-b");
+        assert!((-1.0..=1.0).contains(&t));
+        // An all-NaN vector yields no concordant or discordant pairs
+        // (every comparison is Equal under total order) → correlation 0.
+        assert_eq!(tau_b(&[f64::NAN, f64::NAN], &[1.0, 2.0]), Some(0.0));
     }
 
     #[test]

@@ -3,6 +3,7 @@
 
 pub mod emd;
 pub mod exposure;
+pub mod float;
 pub mod histogram;
 pub mod jaccard;
 pub mod kendall;
@@ -10,5 +11,6 @@ pub mod relevance;
 
 pub use emd::{emd_1d, emd_1d_normalized, emd_general, emd_general_1d};
 pub use exposure::{exposure_unfairness, total_exposure, DiscountModel};
+pub use float::{approx_eq, approx_zero};
 pub use histogram::{BinConfig, Histogram};
 pub use relevance::{relevance_from_rank, relevance_vector};

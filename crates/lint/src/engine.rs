@@ -1,0 +1,162 @@
+//! The driver: walks the workspace, runs every rule on every `.rs` file,
+//! applies `Lint.toml` severities and the baseline, and publishes scan
+//! metrics through the `fbox-telemetry` registry so reports ride the
+//! same table/JSON sinks as the rest of the pipeline.
+
+use std::path::{Path, PathBuf};
+
+use fbox_telemetry::{Registry, SpanGuard};
+use serde::{Deserialize, Serialize};
+
+use crate::baseline::{Baseline, BaselineEntry, Matcher};
+use crate::config::Config;
+use crate::rules::{all_rules, Finding, Severity};
+
+/// One reported finding with its resolved severity and baseline status.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Reported {
+    /// The finding itself.
+    pub finding: Finding,
+    /// Effective severity (`"warn"` or `"deny"`; `allow` is dropped).
+    pub severity: String,
+    /// Whether a baseline entry covers it (it then never fails `--deny`).
+    pub baselined: bool,
+}
+
+/// Complete result of a lint run.
+#[derive(Debug, Default, Serialize, Deserialize)]
+pub struct Report {
+    /// All reported findings, sorted by (file, line, rule).
+    pub findings: Vec<Reported>,
+    /// Baseline entries that no longer match any source line.
+    pub stale_baseline: Vec<BaselineEntry>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: u32,
+    /// Number of source lines scanned.
+    pub lines_scanned: u32,
+}
+
+impl Report {
+    /// Deny-severity findings not covered by the baseline — the set that
+    /// fails a `--deny` run.
+    pub fn violations(&self) -> impl Iterator<Item = &Reported> {
+        self.findings.iter().filter(|r| r.severity == "deny" && !r.baselined)
+    }
+
+    /// Whether a `--deny` run fails: live deny findings or stale baseline
+    /// entries (the stale check keeps the allowlist honest).
+    pub fn deny_failure(&self) -> bool {
+        self.violations().next().is_some() || !self.stale_baseline.is_empty()
+    }
+}
+
+/// Runs the full analysis over `root`.
+pub fn run(root: &Path, config: &Config, baseline: &Baseline, registry: &Registry) -> Report {
+    let _span = SpanGuard::enter(registry, "lint.run");
+    let rules = all_rules();
+    let files = walk(root, config);
+    let mut report = Report::default();
+    let mut raw: Vec<(Finding, Severity)> = Vec::new();
+
+    for rel in &files {
+        let Some(file) = crate::source::load(root, rel) else {
+            continue;
+        };
+        report.files_scanned += 1;
+        report.lines_scanned += file.lines.len() as u32;
+        for rule in &rules {
+            if !config.rule_applies_to(rule.id(), &file.path) {
+                continue;
+            }
+            let severity = config.severity(rule.id(), &file.crate_label, rule.default_severity());
+            if severity == Severity::Allow {
+                continue;
+            }
+            let mut found = Vec::new();
+            rule.check(&file, &mut found);
+            for f in found {
+                raw.push((f, severity));
+            }
+        }
+    }
+
+    raw.sort_by(|a, b| (&a.0.file, a.0.line, &a.0.rule).cmp(&(&b.0.file, b.0.line, &b.0.rule)));
+
+    let mut matcher = Matcher::new(baseline);
+    for (finding, severity) in raw {
+        let baselined = matcher.matches(&finding);
+        registry.counter(&format!("lint.findings.{}", finding.rule)).inc();
+        report.findings.push(Reported {
+            finding,
+            severity: severity.as_str().to_owned(),
+            baselined,
+        });
+    }
+    report.stale_baseline = matcher.finish();
+
+    registry.counter("lint.files_scanned").add(u64::from(report.files_scanned));
+    registry.counter("lint.lines_scanned").add(u64::from(report.lines_scanned));
+    registry.counter("lint.violations").add(report.violations().count() as u64);
+    report
+}
+
+/// Collects every workspace-relative `.rs` path under `root`, honouring
+/// `[paths] exclude`, skipping `target/` and dot-directories. Sorted for
+/// deterministic output.
+pub fn walk(root: &Path, config: &Config) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut stack: Vec<PathBuf> = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&dir) else { continue };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            let rel = match path.strip_prefix(root) {
+                Ok(r) => r.to_string_lossy().replace('\\', "/"),
+                Err(_) => continue,
+            };
+            if path.is_dir() {
+                if name.starts_with('.') || name == "target" || config.is_excluded(&rel) {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") && !config.is_excluded(&rel) {
+                out.push(rel);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deny_failure_counts_stale_entries() {
+        let mut report = Report::default();
+        assert!(!report.deny_failure());
+        report.stale_baseline.push(BaselineEntry {
+            rule: "float-eq".into(),
+            file: "gone.rs".into(),
+            snippet: "x == 0.0".into(),
+        });
+        assert!(report.deny_failure(), "stale baseline alone must fail --deny");
+    }
+
+    #[test]
+    fn baselined_deny_findings_are_not_violations() {
+        let finding = Finding {
+            rule: "unwrap-in-lib".into(),
+            file: "a.rs".into(),
+            line: 1,
+            snippet: "x.unwrap()".into(),
+        };
+        let mut report = Report::default();
+        report.findings.push(Reported { finding, severity: "deny".into(), baselined: true });
+        assert_eq!(report.violations().count(), 0);
+        assert!(!report.deny_failure());
+    }
+}

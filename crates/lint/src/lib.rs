@@ -1,0 +1,29 @@
+//! # fbox-lint
+//!
+//! Zero-dependency, domain-aware static analysis for the F-Box
+//! workspace.
+//!
+//! The pipeline is numeric ranking code end to end — Kendall/Jaccard
+//! distances, EMD over relevance histograms, exposure shares — where a
+//! NaN-unsafe comparator or a raw `f64 ==` silently corrupts the
+//! unfairness cube. The container has no crates.io access, so dylint and
+//! clippy plugins are unavailable; this crate hand-rolls the three pieces
+//! such a tool needs:
+//!
+//! - [`lexer`] — a comment/string/attribute-aware Rust token scanner
+//!   (no full parse);
+//! - [`rules`] — the [`Rule`](rules::Rule) engine with domain-tailored
+//!   lexical rules (see `fbox-lint --list-rules`);
+//! - [`engine`] + [`config`] + [`baseline`] — the workspace walker,
+//!   `Lint.toml` severity/scoping configuration, and the
+//!   `lint-baseline.json` allowlist with stale-entry detection.
+//!
+//! Scan metrics are published through `fbox-telemetry`, so `--metrics`
+//! output reuses the same table/JSON sinks as the rest of the pipeline.
+
+pub mod baseline;
+pub mod config;
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+pub mod source;

@@ -1,0 +1,233 @@
+//! `fbox-lint` CLI. See `--help` for usage; the README "Static analysis"
+//! section and `DESIGN.md` document the rule set and baseline workflow.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use fbox_lint::baseline::Baseline;
+use fbox_lint::config::Config;
+use fbox_lint::engine::{self, Report};
+use fbox_lint::rules::all_rules;
+use fbox_telemetry::{JsonSink, Registry, Subscriber, TableSink};
+
+const USAGE: &str = "\
+fbox-lint — domain-aware static analysis for the F-Box workspace
+
+USAGE:
+    fbox-lint [OPTIONS]
+
+OPTIONS:
+    --root <dir>        Workspace root (default: nearest ancestor with Lint.toml)
+    --config <file>     Rule configuration (default: <root>/Lint.toml)
+    --baseline <file>   Findings allowlist (default: <root>/lint-baseline.json)
+    --deny              Exit 1 on non-baselined deny findings or stale baseline entries
+    --json              Emit the report as JSON instead of a table
+    --metrics           Append scan telemetry (table, or snapshot JSON with --json)
+    --write-baseline    Rewrite the baseline from current deny findings and exit
+    --list-rules        Print the rule set and exit
+    -h, --help          Show this help
+";
+
+struct Options {
+    root: Option<PathBuf>,
+    config: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    deny: bool,
+    json: bool,
+    metrics: bool,
+    write_baseline: bool,
+    list_rules: bool,
+    help: bool,
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    if opts.help {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    if opts.list_rules {
+        print_rules();
+        return ExitCode::SUCCESS;
+    }
+    match run(&opts) {
+        Ok(failed) => {
+            if failed {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        root: None,
+        config: None,
+        baseline: None,
+        deny: false,
+        json: false,
+        metrics: false,
+        write_baseline: false,
+        list_rules: false,
+        help: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut path_arg = |name: &str| {
+            args.next().map(PathBuf::from).ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--root" => opts.root = Some(path_arg("--root")?),
+            "--config" => opts.config = Some(path_arg("--config")?),
+            "--baseline" => opts.baseline = Some(path_arg("--baseline")?),
+            "--deny" => opts.deny = true,
+            "--json" => opts.json = true,
+            "--metrics" => opts.metrics = true,
+            "--write-baseline" => opts.write_baseline = true,
+            "--list-rules" => opts.list_rules = true,
+            "-h" | "--help" => opts.help = true,
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn run(opts: &Options) -> Result<bool, String> {
+    let root = match &opts.root {
+        Some(r) => r.clone(),
+        None => discover_root()?,
+    };
+    let config_path = opts.config.clone().unwrap_or_else(|| root.join("Lint.toml"));
+    let config = match std::fs::read_to_string(&config_path) {
+        Ok(text) => Config::parse(&text)?,
+        Err(_) => Config::default(),
+    };
+    let baseline_path = opts.baseline.clone().unwrap_or_else(|| root.join("lint-baseline.json"));
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => Baseline::from_json(&text)?,
+        Err(_) => Baseline::default(),
+    };
+
+    let registry = Registry::new();
+    let report = engine::run(&root, &config, &baseline, &registry);
+
+    if opts.write_baseline {
+        let fresh = Baseline::from_findings(
+            report.findings.iter().filter(|r| r.severity == "deny").map(|r| &r.finding),
+        );
+        std::fs::write(&baseline_path, fresh.to_json() + "\n")
+            .map_err(|e| format!("writing {}: {e}", baseline_path.display()))?;
+        println!(
+            "wrote {} entr{} to {}",
+            fresh.entries.len(),
+            if fresh.entries.len() == 1 { "y" } else { "ies" },
+            baseline_path.display()
+        );
+        return Ok(false);
+    }
+
+    if opts.json {
+        println!("{}", serde::json::to_string_pretty(&report));
+    } else {
+        print_table(&report);
+    }
+    if opts.metrics {
+        let snapshot = registry.snapshot();
+        let result = if opts.json {
+            JsonSink::new(std::io::stdout()).export(&snapshot)
+        } else {
+            TableSink::stdout().export(&snapshot)
+        };
+        result.map_err(|e| format!("exporting metrics: {e}"))?;
+    }
+    Ok(opts.deny && report.deny_failure())
+}
+
+/// Nearest ancestor of the current directory containing `Lint.toml`,
+/// falling back to the current directory.
+fn discover_root() -> Result<PathBuf, String> {
+    let cwd = std::env::current_dir().map_err(|e| format!("cannot read cwd: {e}"))?;
+    let mut dir = cwd.clone();
+    loop {
+        if dir.join("Lint.toml").is_file() {
+            return Ok(dir);
+        }
+        if !dir.pop() {
+            return Ok(cwd);
+        }
+    }
+}
+
+fn print_rules() {
+    let rules = all_rules();
+    let width = rules.iter().map(|r| r.id().len()).max().unwrap_or(4);
+    println!("{:<width$}  {:<7}  summary", "rule", "default");
+    for rule in &rules {
+        println!(
+            "{:<width$}  {:<7}  {}",
+            rule.id(),
+            rule.default_severity().as_str(),
+            rule.summary()
+        );
+    }
+}
+
+fn print_table(report: &Report) {
+    let out = std::io::stdout();
+    let mut out = out.lock();
+    if !report.findings.is_empty() {
+        let loc_width = report
+            .findings
+            .iter()
+            .map(|r| r.finding.file.len() + digits(r.finding.line) + 1)
+            .max()
+            .unwrap_or(8);
+        let rule_width = report.findings.iter().map(|r| r.finding.rule.len()).max().unwrap_or(4);
+        let _ = writeln!(out, "findings");
+        for r in &report.findings {
+            let loc = format!("{}:{}", r.finding.file, r.finding.line);
+            let mark = if r.baselined { " (baselined)" } else { "" };
+            let _ = writeln!(
+                out,
+                "  {:<5} {:<rule_width$}  {:<loc_width$}  {}{}",
+                r.severity, r.finding.rule, loc, r.finding.snippet, mark
+            );
+        }
+    }
+    if !report.stale_baseline.is_empty() {
+        let _ = writeln!(out, "stale baseline entries (delete from lint-baseline.json)");
+        for e in &report.stale_baseline {
+            let _ = writeln!(out, "  {:<5} {}  {}", e.rule, e.file, e.snippet);
+        }
+    }
+    let deny = report.findings.iter().filter(|r| r.severity == "deny").count();
+    let warn = report.findings.iter().filter(|r| r.severity == "warn").count();
+    let baselined = report.findings.iter().filter(|r| r.baselined).count();
+    let _ = writeln!(
+        out,
+        "{} finding{} ({deny} deny, {warn} warn, {baselined} baselined), {} stale baseline entr{}, {} files / {} lines scanned",
+        report.findings.len(),
+        if report.findings.len() == 1 { "" } else { "s" },
+        report.stale_baseline.len(),
+        if report.stale_baseline.len() == 1 { "y" } else { "ies" },
+        report.files_scanned,
+        report.lines_scanned,
+    );
+}
+
+fn digits(n: u32) -> usize {
+    (n.max(1).ilog10() + 1) as usize
+}

@@ -1,0 +1,92 @@
+//! `float-int-cast`: silent float→integer truncation in rank arithmetic.
+//!
+//! `as usize`/`as u64` on a float expression truncates toward zero,
+//! saturates on overflow, and maps NaN to 0 — all silently. In quota
+//! allocation and EMD mass scaling those are exactly the conversions
+//! that skew counts. Two lexically certain shapes are flagged:
+//!
+//! 1. a float *literal* cast to an integer type (`0.75 as usize`);
+//! 2. a rounding-method call cast to an integer type
+//!    (`x.floor() as usize`, `(m * S).round() as u64`).
+//!
+//! The fix is `fbox_core::measures::float::{floor_index, round_units}`,
+//! the audited single conversion point (finiteness-checked, clamped).
+
+use crate::lexer::Tok;
+use crate::rules::{emit, Finding, Rule, Severity, INT_TYPES};
+use crate::source::SourceFile;
+
+const ROUNDING_METHODS: &[&str] = &["floor", "ceil", "round", "trunc"];
+
+/// Flags float-literal and rounding-method casts to integer types.
+pub struct FloatIntCast;
+
+impl Rule for FloatIntCast {
+    fn id(&self) -> &'static str {
+        "float-int-cast"
+    }
+
+    fn summary(&self) -> &'static str {
+        "float→int `as` cast in rank arithmetic: use measures::float conversion helpers"
+    }
+
+    fn default_severity(&self) -> Severity {
+        Severity::Deny
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        let toks = &file.lexed.tokens;
+        for i in 1..toks.len().saturating_sub(1) {
+            if !toks[i].tok.is_ident("as") {
+                continue;
+            }
+            let to_int = matches!(&toks[i + 1].tok,
+                Tok::Ident(t) if INT_TYPES.contains(&t.as_str()));
+            if !to_int || !file.is_runtime_code(toks[i].line) {
+                continue;
+            }
+            let before = &toks[i - 1].tok;
+            let flagged = match before {
+                // Shape 1: `0.75 as usize`.
+                Tok::Float(_) => true,
+                // Shape 2: `<expr>.round() as u64` — walk back over `()`
+                // to the method name and require a rounding method.
+                Tok::Punct(')') => rounding_call_before(file, i - 1),
+                _ => false,
+            };
+            if flagged {
+                emit(self, file, toks[i].line, out);
+            }
+        }
+    }
+}
+
+/// Whether the `)` at token index `close` closes a call of a rounding
+/// method (`.floor()` etc.).
+fn rounding_call_before(file: &SourceFile, close: usize) -> bool {
+    let toks = &file.lexed.tokens;
+    // Walk back to the matching `(`.
+    let mut depth = 0isize;
+    let mut j = close;
+    loop {
+        match &toks[j].tok {
+            Tok::Punct(')') => depth += 1,
+            Tok::Punct('(') => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            _ => {}
+        }
+        if j == 0 {
+            return false;
+        }
+        j -= 1;
+    }
+    // Expect `. method (` just before the open paren.
+    j >= 2
+        && matches!(&toks[j - 1].tok,
+            Tok::Ident(m) if ROUNDING_METHODS.contains(&m.as_str()))
+        && toks[j - 2].tok.is_punct('.')
+}

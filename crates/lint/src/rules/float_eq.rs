@@ -1,0 +1,47 @@
+//! `float-eq`: raw `==` / `!=` against a float literal.
+//!
+//! The EMD and exposure measures (paper Eqs. 1–2, §3.3.2) accumulate
+//! dozens of f64 additions before anything is compared; `total == 0.0`
+//! on such a sum silently misclassifies a nearly-empty histogram and
+//! poisons every downstream unfairness cell. Comparisons must go through
+//! the `fbox_core::measures::float` epsilon helpers.
+//!
+//! Lexical scope: only comparisons with a float *literal* operand are
+//! flagged — identifier-vs-identifier equality needs type knowledge a
+//! lexer does not have. That exactly covers the `x == 0.0` / `x != 1.0`
+//! family that bit this codebase.
+
+use crate::lexer::Tok;
+use crate::rules::{emit, Finding, Rule, Severity};
+use crate::source::SourceFile;
+
+/// Flags `==`/`!=` where either operand is a float literal.
+pub struct FloatEq;
+
+impl Rule for FloatEq {
+    fn id(&self) -> &'static str {
+        "float-eq"
+    }
+
+    fn summary(&self) -> &'static str {
+        "raw f64/f32 `==`/`!=` against a float literal: use measures::float helpers"
+    }
+
+    fn default_severity(&self) -> Severity {
+        Severity::Deny
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        let toks = &file.lexed.tokens;
+        for i in 0..toks.len() {
+            if !(toks[i].tok.is_op("==") || toks[i].tok.is_op("!=")) {
+                continue;
+            }
+            let prev_float = i > 0 && matches!(toks[i - 1].tok, Tok::Float(_));
+            let next_float = matches!(toks.get(i + 1).map(|t| &t.tok), Some(Tok::Float(_)));
+            if (prev_float || next_float) && file.is_runtime_code(toks[i].line) {
+                emit(self, file, toks[i].line, out);
+            }
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! `instant-outside-telemetry`: ad-hoc timing outside the telemetry
+//! crate.
+//!
+//! PR 1 centralised all wall-clock measurement in `fbox-telemetry`
+//! (spans, histograms, and `Histogram::timer()`). Scattered
+//! `Instant::now()` calls bypass the registry — their durations never
+//! reach snapshots, reports, or `BENCH_*.json` diffs — and make hot
+//! paths hard to audit. `Lint.toml` scopes the allowance to
+//! `crates/telemetry`, the one place that is supposed to read the clock.
+
+use crate::rules::{emit, Finding, Rule, Severity};
+use crate::source::SourceFile;
+
+/// Flags `Instant::now()` (the allowance for `crates/telemetry` comes
+/// from `Lint.toml` path scoping, not from the rule itself).
+pub struct InstantOutsideTelemetry;
+
+impl Rule for InstantOutsideTelemetry {
+    fn id(&self) -> &'static str {
+        "instant-outside-telemetry"
+    }
+
+    fn summary(&self) -> &'static str {
+        "`Instant::now()` outside crates/telemetry: use spans or `Histogram::timer()`"
+    }
+
+    fn default_severity(&self) -> Severity {
+        Severity::Deny
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        let toks = &file.lexed.tokens;
+        for i in 0..toks.len().saturating_sub(2) {
+            if toks[i].tok.is_ident("Instant")
+                && toks[i + 1].tok.is_op("::")
+                && toks[i + 2].tok.is_ident("now")
+                && file.is_runtime_code(toks[i].line)
+            {
+                emit(self, file, toks[i].line, out);
+            }
+        }
+    }
+}

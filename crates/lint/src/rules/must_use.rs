@@ -1,0 +1,117 @@
+//! `missing-must-use`: pure measure constructors whose results can be
+//! silently dropped.
+//!
+//! Constructors in the measure layer (`new`, `from_*`, `with_*`) are
+//! pure: calling one and discarding the value is always a bug, typically
+//! a half-edited pipeline that now measures nothing. `#[must_use]` turns
+//! that silent no-op into a compiler warning (denied in CI). `Lint.toml`
+//! scopes the rule to the measure modules via `apply-paths`.
+
+use crate::lexer::Tok;
+use crate::rules::{emit, Finding, Rule, Severity};
+use crate::source::SourceFile;
+
+/// Flags `pub fn new/from_*/with_*` returning a value without
+/// `#[must_use]`.
+pub struct MissingMustUse;
+
+impl Rule for MissingMustUse {
+    fn id(&self) -> &'static str {
+        "missing-must-use"
+    }
+
+    fn summary(&self) -> &'static str {
+        "pure measure constructor without `#[must_use]`"
+    }
+
+    fn default_severity(&self) -> Severity {
+        Severity::Deny
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        let toks = &file.lexed.tokens;
+        // Idents seen in the attribute run directly above the current
+        // item; cleared by any non-attribute token.
+        let mut pending_attrs: Vec<String> = Vec::new();
+        let mut i = 0;
+        while i < toks.len() {
+            // Collect `#[...]` attribute idents.
+            if toks[i].tok.is_punct('#') && toks.get(i + 1).is_some_and(|t| t.tok.is_punct('[')) {
+                let mut depth = 0usize;
+                i += 1;
+                while i < toks.len() {
+                    match &toks[i].tok {
+                        Tok::Punct('[') => depth += 1,
+                        Tok::Punct(']') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        Tok::Ident(s) => pending_attrs.push(s.clone()),
+                        _ => {}
+                    }
+                    i += 1;
+                }
+                i += 1;
+                continue;
+            }
+            if !toks[i].tok.is_ident("pub") {
+                pending_attrs.clear();
+                i += 1;
+                continue;
+            }
+            // `pub` possibly followed by a `(crate)`-style restriction.
+            let mut j = i + 1;
+            if toks.get(j).is_some_and(|t| t.tok.is_punct('(')) {
+                let mut depth = 0usize;
+                while j < toks.len() {
+                    match &toks[j].tok {
+                        Tok::Punct('(') => depth += 1,
+                        Tok::Punct(')') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                j += 1;
+            }
+            let is_ctor_fn = toks.get(j).is_some_and(|t| t.tok.is_ident("fn"))
+                && toks.get(j + 1).is_some_and(|t| match &t.tok {
+                    Tok::Ident(name) => {
+                        name == "new" || name.starts_with("from_") || name.starts_with("with_")
+                    }
+                    _ => false,
+                });
+            if is_ctor_fn
+                && returns_value(toks, j + 1)
+                && !pending_attrs.iter().any(|a| a == "must_use")
+                && file.is_library_code(toks[i].line)
+            {
+                emit(self, file, toks[i].line, out);
+            }
+            pending_attrs.clear();
+            i = j + 1;
+        }
+    }
+}
+
+/// Whether the fn whose name sits at token index `name_idx` has a return
+/// type (`->` before the body `{` or a trait-decl `;`).
+fn returns_value(toks: &[crate::lexer::Token], name_idx: usize) -> bool {
+    let mut depth = 0isize;
+    for t in &toks[name_idx..] {
+        match &t.tok {
+            Tok::Op("->") if depth == 0 => return true,
+            Tok::Punct('{') | Tok::Punct(';') if depth == 0 => return false,
+            Tok::Punct('(') | Tok::Punct('[') => depth += 1,
+            Tok::Punct(')') | Tok::Punct(']') => depth -= 1,
+            _ => {}
+        }
+    }
+    false
+}

@@ -1,0 +1,67 @@
+//! `nan-unsafe-sort`: `partial_cmp(..).unwrap()` / `.expect(..)`
+//! comparators.
+//!
+//! Every ranking path in this workspace sorts by f64 relevance or score.
+//! `partial_cmp(...).unwrap()` panics the moment a NaN slips in (one bad
+//! division in a bias model is enough), and `.expect("no NaN")` only
+//! renames the crash. `f64::total_cmp` gives the IEEE 754 total order —
+//! NaN sorts deterministically instead of killing the top-k query.
+
+use crate::lexer::Tok;
+use crate::rules::{emit, Finding, Rule, Severity};
+use crate::source::SourceFile;
+
+/// Flags `partial_cmp(...)` immediately chained into `.unwrap()` or
+/// `.expect(...)`.
+pub struct NanUnsafeSort;
+
+impl Rule for NanUnsafeSort {
+    fn id(&self) -> &'static str {
+        "nan-unsafe-sort"
+    }
+
+    fn summary(&self) -> &'static str {
+        "`partial_cmp(..).unwrap()/expect(..)`: use `f64::total_cmp` (NaN-total order)"
+    }
+
+    fn default_severity(&self) -> Severity {
+        Severity::Deny
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        let toks = &file.lexed.tokens;
+        for i in 0..toks.len() {
+            if !toks[i].tok.is_ident("partial_cmp") {
+                continue;
+            }
+            let Some(open) = toks.get(i + 1) else { continue };
+            if !open.tok.is_punct('(') {
+                continue;
+            }
+            // Find the matching close paren of the partial_cmp argument.
+            let mut depth = 0usize;
+            let mut j = i + 1;
+            while j < toks.len() {
+                match &toks[j].tok {
+                    Tok::Punct('(') => depth += 1,
+                    Tok::Punct(')') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            // `.unwrap()` or `.expect(` directly after the call?
+            let chained_panic = toks.get(j + 1).is_some_and(|t| t.tok.is_punct('.'))
+                && toks
+                    .get(j + 2)
+                    .is_some_and(|t| t.tok.is_ident("unwrap") || t.tok.is_ident("expect"));
+            if chained_panic && file.is_runtime_code(toks[i].line) {
+                emit(self, file, toks[i].line, out);
+            }
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! `panic-in-lib`: explicit panics in library code.
+//!
+//! `panic!`, `todo!`, and `unimplemented!` abort a whole unfairness-cube
+//! build over one bad cell. `assert!`/`debug_assert!` are deliberately
+//! *not* flagged — precondition checks that name their contract are how
+//! the measure layer documents paper invariants (e.g. `p ∈ [0, 1]` for
+//! the top-k distance), and `unreachable!` is allowed as the standard
+//! marker for exhaustiveness the type system cannot see.
+
+use crate::rules::{emit, Finding, Rule, Severity};
+use crate::source::SourceFile;
+
+const PANIC_MACROS: &[&str] = &["panic", "todo", "unimplemented"];
+
+/// Flags `panic!` / `todo!` / `unimplemented!` in library code.
+pub struct PanicInLib;
+
+impl Rule for PanicInLib {
+    fn id(&self) -> &'static str {
+        "panic-in-lib"
+    }
+
+    fn summary(&self) -> &'static str {
+        "`panic!`/`todo!`/`unimplemented!` in library code: return an error instead"
+    }
+
+    fn default_severity(&self) -> Severity {
+        Severity::Deny
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        let toks = &file.lexed.tokens;
+        for i in 0..toks.len().saturating_sub(1) {
+            let is_macro = PANIC_MACROS.iter().any(|m| toks[i].tok.is_ident(m))
+                && toks[i + 1].tok.is_punct('!');
+            if is_macro && file.is_library_code(toks[i].line) {
+                emit(self, file, toks[i].line, out);
+            }
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! `process-exit`: `std::process::exit` outside the repro binaries.
+//!
+//! `exit` skips destructors — telemetry sinks are never flushed, span
+//! guards never record, and a library caller loses the chance to handle
+//! the failure. Only the `crates/repro` CLI binaries legitimately set a
+//! process exit code (allowed via `Lint.toml` path scoping); everything
+//! else returns errors upward.
+
+use crate::rules::{emit, Finding, Rule, Severity};
+use crate::source::SourceFile;
+
+/// Flags `process::exit` calls (path allowance comes from `Lint.toml`).
+pub struct ProcessExit;
+
+impl Rule for ProcessExit {
+    fn id(&self) -> &'static str {
+        "process-exit"
+    }
+
+    fn summary(&self) -> &'static str {
+        "`std::process::exit` outside crates/repro bins: propagate errors instead"
+    }
+
+    fn default_severity(&self) -> Severity {
+        Severity::Deny
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        let toks = &file.lexed.tokens;
+        for i in 0..toks.len().saturating_sub(2) {
+            if toks[i].tok.is_ident("process")
+                && toks[i + 1].tok.is_op("::")
+                && toks[i + 2].tok.is_ident("exit")
+                && !file.in_test_span(toks[i].line)
+            {
+                emit(self, file, toks[i].line, out);
+            }
+        }
+    }
+}

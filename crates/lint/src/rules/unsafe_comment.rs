@@ -1,0 +1,42 @@
+//! `unsafe-needs-safety-comment`: every `unsafe` keyword must sit under
+//! a `// SAFETY:` comment.
+//!
+//! The workspace currently has zero `unsafe` — this rule keeps it
+//! honest if a future SIMD or arena optimisation introduces some: the
+//! invariant being relied on must be written down within the three lines
+//! above the keyword (or on its own line), matching the
+//! `clippy::undocumented_unsafe_blocks` convention.
+
+use crate::rules::{emit, Finding, Rule, Severity};
+use crate::source::SourceFile;
+
+/// Flags `unsafe` without a nearby `SAFETY:` comment.
+pub struct UnsafeNeedsSafetyComment;
+
+impl Rule for UnsafeNeedsSafetyComment {
+    fn id(&self) -> &'static str {
+        "unsafe-needs-safety-comment"
+    }
+
+    fn summary(&self) -> &'static str {
+        "`unsafe` without a `// SAFETY:` comment in the 3 lines above"
+    }
+
+    fn default_severity(&self) -> Severity {
+        Severity::Deny
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        for t in &file.lexed.tokens {
+            if !t.tok.is_ident("unsafe") || file.in_test_span(t.line) {
+                continue;
+            }
+            let documented = file.lexed.comments.iter().any(|c| {
+                c.text.contains("SAFETY:") && c.end_line <= t.line && c.end_line + 3 >= t.line
+            });
+            if !documented {
+                emit(self, file, t.line, out);
+            }
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! `unwrap-in-lib` / `expect-in-lib`: panicking extractors in library
+//! code.
+//!
+//! A single stray `unwrap()` in the measure or cube layer turns a
+//! recoverable "this group has no observations" condition into a crash of
+//! the whole study run. Library code must return `Result`/`Option` or use
+//! a contextual `expect` whose message names the invariant; `expect` is a
+//! separate, softer rule so the two can carry different severities in
+//! `Lint.toml`.
+
+use crate::lexer::Tok;
+use crate::rules::{emit, Finding, Rule, Severity};
+use crate::source::SourceFile;
+
+/// Flags `.unwrap()` in library (non-test, non-bin) code.
+pub struct UnwrapInLib;
+
+impl Rule for UnwrapInLib {
+    fn id(&self) -> &'static str {
+        "unwrap-in-lib"
+    }
+
+    fn summary(&self) -> &'static str {
+        "`.unwrap()` in library code: return Result/Option or use a contextual `expect`"
+    }
+
+    fn default_severity(&self) -> Severity {
+        Severity::Deny
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        check_method_call(self, file, "unwrap", out);
+    }
+}
+
+/// Flags `.expect(...)` in library (non-test, non-bin) code.
+pub struct ExpectInLib;
+
+impl Rule for ExpectInLib {
+    fn id(&self) -> &'static str {
+        "expect-in-lib"
+    }
+
+    fn summary(&self) -> &'static str {
+        "`.expect(...)` in library code: prefer Result, or document the invariant"
+    }
+
+    fn default_severity(&self) -> Severity {
+        Severity::Warn
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        check_method_call(self, file, "expect", out);
+    }
+}
+
+/// Shared matcher: `.name(` method-call syntax in library code. The
+/// leading `.` distinguishes calls from definitions (`fn unwrap`) and
+/// paths (`Option::unwrap`); flagging only call sites keeps the rules
+/// actionable.
+fn check_method_call(rule: &dyn Rule, file: &SourceFile, name: &str, out: &mut Vec<Finding>) {
+    let toks = &file.lexed.tokens;
+    for i in 1..toks.len() {
+        if toks[i].tok.is_ident(name)
+            && toks[i - 1].tok.is_punct('.')
+            && matches!(toks.get(i + 1).map(|t| &t.tok), Some(Tok::Punct('(')))
+            && file.is_library_code(toks[i].line)
+        {
+            emit(rule, file, toks[i].line, out);
+        }
+    }
+}

@@ -1,0 +1,24 @@
+// Fixture: expects that must NOT be flagged.
+
+pub fn shipped(x: Result<f64, String>) -> f64 {
+    // .expect("...") in a comment only
+    x.unwrap_or_default()
+}
+
+#[test]
+fn expect_is_fine_in_test_fns() {
+    let x: Option<u32> = Some(1);
+    assert_eq!(x.expect("present"), 1);
+}
+
+#[cfg(test)]
+mod tests {
+    fn helper(x: Option<u32>) -> u32 {
+        x.expect("test helper may panic")
+    }
+
+    #[test]
+    fn uses_helper() {
+        assert_eq!(helper(Some(2)), 2);
+    }
+}

@@ -1,0 +1,10 @@
+// Fixture: `.expect(...)` in library code.
+
+pub fn lookup(names: &[String], target: &str) -> usize {
+    names.iter().position(|n| n == target).expect("target registered") //~ expect-in-lib
+}
+
+pub fn normalize(total: Option<f64>) -> f64 {
+    let t = total.expect("total computed before normalize"); //~ expect-in-lib
+    1.0 / t
+}

@@ -1,0 +1,28 @@
+// Fixture: comparisons that must NOT be flagged — integer literals,
+// identifier-vs-identifier, epsilon helpers, strings/comments, tests.
+
+pub fn approx_zero(x: f64) -> bool {
+    // the sanctioned form: x == 0.0 becomes an epsilon band
+    x.abs() <= 1e-12
+}
+
+pub fn ints_are_exact(n: usize, k: u64) -> bool {
+    n == 0 && k != 10
+}
+
+pub fn idents_not_flagged(a: f64, b: f64) -> bool {
+    // needs type knowledge, deliberately out of lexical scope
+    a == b
+}
+
+pub fn strings_not_flagged() -> &'static str {
+    "total == 0.0"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exact_comparison_is_deliberate_in_tests() {
+        assert!(super::approx_zero(0.0) == (0.0 == 0.0));
+    }
+}

@@ -1,0 +1,16 @@
+// Fixture: raw float-literal equality in runtime code.
+
+pub fn is_empty(total: f64) -> bool {
+    total == 0.0 //~ float-eq
+}
+
+pub fn check(mass: f64, share: f32) -> bool {
+    if mass != 1.0 { //~ float-eq
+        return false;
+    }
+    0.5f32 == share //~ float-eq
+}
+
+pub fn exponent_form(x: f64) -> bool {
+    x == 1e-9 //~ float-eq
+}

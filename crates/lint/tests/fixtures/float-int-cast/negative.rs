@@ -1,0 +1,25 @@
+// Fixture: casts that must NOT be flagged — int→float widening, plain
+// identifier casts (type unknowable lexically), float→float rounding,
+// non-rounding calls, and audited helpers under an inline allow.
+
+pub fn int_to_float(n: usize) -> f64 {
+    n as f64
+}
+
+pub fn ident_cast(n: u64) -> u32 {
+    n as u32
+}
+
+pub fn float_to_float(x: f64) -> f64 {
+    x.round() as f64
+}
+
+pub fn plain_call(v: &[f64]) -> usize {
+    v.len() as usize
+}
+
+/// The audited single conversion point carries a justified suppression.
+pub fn floor_index(x: f64) -> usize {
+    debug_assert!(x.is_finite() && x >= 0.0);
+    x.floor() as usize // fbox-lint: allow(float-int-cast) audited helper
+}

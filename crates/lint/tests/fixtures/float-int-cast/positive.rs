@@ -1,0 +1,17 @@
+// Fixture: silent float→int truncation in rank arithmetic.
+
+pub fn literal_cast() -> usize {
+    0.75 as usize //~ float-int-cast
+}
+
+pub fn quota_floor(quotas: &[f64]) -> Vec<usize> {
+    quotas.iter().map(|q| q.floor() as usize).collect() //~ float-int-cast
+}
+
+pub fn scaled_mass(x: f64, total: f64, scale: u64) -> u64 {
+    ((x / total) * scale as f64).round() as u64 //~ float-int-cast
+}
+
+pub fn bucket(time_min: f64) -> u64 {
+    time_min.ceil() as u64 //~ float-int-cast
+}

@@ -1,0 +1,14 @@
+// Fixture: ad-hoc clock reads (this fixture stands in for any file
+// outside crates/telemetry; the telemetry allowance is path scoping in
+// Lint.toml, which the engine applies, not the rule).
+
+use std::time::Instant;
+
+pub fn timed_build() -> u128 {
+    let start = Instant::now(); //~ instant-outside-telemetry
+    start.elapsed().as_nanos()
+}
+
+pub fn fully_qualified() -> std::time::Instant {
+    std::time::Instant::now() //~ instant-outside-telemetry
+}

@@ -1,0 +1,33 @@
+// Fixture: constructors and functions that must NOT be flagged.
+
+pub struct Measure {
+    scale: f64,
+}
+
+impl Measure {
+    #[must_use]
+    pub fn new(scale: f64) -> Self {
+        Measure { scale }
+    }
+
+    /// Doc comments between the attribute and the fn are fine.
+    #[must_use]
+    pub fn from_scale(scale: f64) -> Self {
+        Measure { scale }
+    }
+
+    /// Not a constructor name.
+    pub fn compute(&self) -> f64 {
+        self.scale * 2.0
+    }
+
+    /// Constructor-shaped name but no return value.
+    pub fn with_side_effects(&mut self, scale: f64) {
+        self.scale = scale;
+    }
+
+    /// Private constructors are the implementation's own business.
+    fn new_inner(scale: f64) -> Self {
+        Measure { scale }
+    }
+}

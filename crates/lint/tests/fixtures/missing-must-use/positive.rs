@@ -1,0 +1,24 @@
+// Fixture: pure measure constructors without `#[must_use]`.
+
+pub struct Histogram {
+    counts: Vec<f64>,
+}
+
+impl Histogram {
+    pub fn new(bins: usize) -> Self { //~ missing-must-use
+        Histogram { counts: vec![0.0; bins] }
+    }
+
+    pub fn from_values(values: &[f64]) -> Self { //~ missing-must-use
+        Histogram { counts: values.to_vec() }
+    }
+
+    #[derive_stand_in]
+    pub fn with_bins(self, bins: usize) -> Self { //~ missing-must-use
+        Histogram { counts: vec![0.0; bins] }
+    }
+
+    pub(crate) fn from_counts(counts: Vec<f64>) -> Self { //~ missing-must-use
+        Histogram { counts }
+    }
+}

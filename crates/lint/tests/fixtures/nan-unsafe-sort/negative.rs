@@ -1,0 +1,28 @@
+// Fixture: NaN-safe comparators that must NOT be flagged.
+
+use std::cmp::Ordering;
+
+pub fn rank(scored: &mut Vec<(u32, f64)>) {
+    // the sanctioned form: IEEE 754 total order
+    scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+}
+
+pub fn defensive(a: f64, b: f64) -> Ordering {
+    a.partial_cmp(&b).unwrap_or(Ordering::Equal)
+}
+
+pub fn optioned(a: f64, b: f64) -> Option<Ordering> {
+    a.partial_cmp(&b)
+}
+
+pub fn mapped(a: f64, b: f64) -> bool {
+    a.partial_cmp(&b).map_or(false, |o| o.is_lt())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrapping_partial_cmp_on_fixed_inputs_is_fine_in_tests() {
+        assert!(1.0f64.partial_cmp(&2.0).unwrap().is_lt());
+    }
+}

@@ -1,0 +1,13 @@
+// Fixture: NaN-unsafe comparators.
+
+pub fn rank(scored: &mut Vec<(u32, f64)>) {
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap()); //~ nan-unsafe-sort
+}
+
+pub fn rank_with_message(scored: &mut Vec<(u32, f64)>) {
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN").then(a.0.cmp(&b.0))); //~ nan-unsafe-sort
+}
+
+pub fn compare_once(d1: f64, d2: f64) -> std::cmp::Ordering {
+    d1.partial_cmp(&d2).expect("never NaN") //~ nan-unsafe-sort
+}

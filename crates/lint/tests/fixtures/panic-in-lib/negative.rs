@@ -1,0 +1,26 @@
+// Fixture: panic-family uses that must NOT be flagged — contract
+// asserts, exhaustiveness markers, test code, and comment mentions.
+
+pub fn top_k_distance(p: f64) -> f64 {
+    // panic! would be wrong here, assert! documents the paper contract
+    assert!((0.0..=1.0).contains(&p), "penalty p must be in [0, 1]");
+    debug_assert!(p.is_finite());
+    p
+}
+
+pub fn classify(kind: u8) -> &'static str {
+    match kind {
+        0 => "search",
+        1 => "market",
+        _ => unreachable!("kind validated by the caller enum"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    #[should_panic]
+    fn panics_in_tests_are_fine() {
+        panic!("expected");
+    }
+}

@@ -1,0 +1,16 @@
+// Fixture: explicit panics in library code.
+
+pub fn score(relevance: f64) -> f64 {
+    if relevance < 0.0 {
+        panic!("negative relevance"); //~ panic-in-lib
+    }
+    relevance
+}
+
+pub fn future_feature() {
+    todo!("sharded cube build") //~ panic-in-lib
+}
+
+pub fn other_future_feature() {
+    unimplemented!() //~ panic-in-lib
+}

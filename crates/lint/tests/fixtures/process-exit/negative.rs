@@ -1,0 +1,23 @@
+// Fixture: exits that must NOT be flagged.
+
+pub fn propagate(ok: bool) -> Result<(), String> {
+    if !ok {
+        return Err("propagated upward instead of exiting".to_owned());
+    }
+    Ok(())
+}
+
+/// A method *named* exit without the `process::` path.
+pub fn exit(state: &mut Vec<u32>) {
+    state.clear();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exit_in_test_span_is_tolerated() {
+        if false {
+            std::process::exit(0);
+        }
+    }
+}

@@ -1,0 +1,12 @@
+// Fixture: process exits outside the repro binaries (the repro-bin
+// allowance is Lint.toml path scoping, applied by the engine).
+
+pub fn bail(code: i32) {
+    std::process::exit(code); //~ process-exit
+}
+
+use std::process;
+
+pub fn bail_short() {
+    process::exit(1); //~ process-exit
+}

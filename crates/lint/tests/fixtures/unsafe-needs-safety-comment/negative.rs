@@ -1,0 +1,13 @@
+// Fixture: documented unsafe (and mentions that are not the keyword).
+
+pub fn documented(bits: u64) -> f64 {
+    // SAFETY: any u64 bit pattern is a valid f64 (possibly NaN), and
+    // f64::from_bits has no other preconditions.
+    unsafe { std::mem::transmute(bits) }
+}
+
+pub fn mentioned_in_comment() -> f64 {
+    // the word unsafe in a comment is not a keyword
+    let label = "unsafe in a string is not a keyword either";
+    label.len() as f64
+}

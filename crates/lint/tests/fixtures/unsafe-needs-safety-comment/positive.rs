@@ -1,0 +1,9 @@
+// Fixture: undocumented unsafe.
+
+pub fn transmuted(bits: u64) -> f64 {
+    unsafe { std::mem::transmute(bits) } //~ unsafe-needs-safety-comment
+}
+
+pub unsafe fn raw_read(ptr: *const f64) -> f64 { //~ unsafe-needs-safety-comment
+    *ptr
+}

@@ -1,0 +1,12 @@
+// Fixture: `.unwrap()` in library code. Lines tagged `//~ <rule>` must
+// be flagged, nothing else.
+
+pub fn cell_value(cells: &[f64], idx: usize) -> f64 {
+    let first = cells.first().unwrap(); //~ unwrap-in-lib
+    let last = cells.get(idx).copied().unwrap(); //~ unwrap-in-lib
+    first + last
+}
+
+pub fn parse_rank(text: &str) -> usize {
+    text.trim().parse().unwrap() //~ unwrap-in-lib
+}

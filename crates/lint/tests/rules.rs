@@ -1,0 +1,146 @@
+//! Fixture-based rule tests: every rule has a positive fixture whose
+//! `//~ <rule-id>` markers must be matched exactly (rule id + line, no
+//! extras, no misses) and a negative fixture that must produce zero
+//! findings. Plus a findings JSON round-trip over the whole corpus and
+//! an end-to-end engine run over a synthetic workspace.
+
+use std::path::{Path, PathBuf};
+
+use fbox_lint::baseline::Baseline;
+use fbox_lint::config::Config;
+use fbox_lint::engine;
+use fbox_lint::rules::{all_rules, Finding, Rule};
+use fbox_lint::source::SourceFile;
+use fbox_telemetry::Registry;
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// Loads a fixture under a synthetic *library* path so library-tier
+/// rules apply regardless of where the fixture sits on disk.
+fn load_fixture(rule_id: &str, which: &str) -> SourceFile {
+    let path = fixture_dir().join(rule_id).join(which);
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing fixture {}: {e}", path.display()));
+    SourceFile::parse(&format!("crates/fixture/src/{rule_id}/{which}"), &text)
+}
+
+/// 1-based lines carrying a `//~ <rule-id>` marker.
+fn marked_lines(file: &SourceFile, rule_id: &str) -> Vec<u32> {
+    let marker = format!("//~ {rule_id}");
+    file.lines
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| l.contains(&marker))
+        .map(|(i, _)| (i + 1) as u32)
+        .collect()
+}
+
+fn check(rule: &dyn Rule, file: &SourceFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    rule.check(file, &mut out);
+    out
+}
+
+#[test]
+fn every_rule_has_an_exact_positive_fixture() {
+    for rule in all_rules() {
+        let file = load_fixture(rule.id(), "positive.rs");
+        let expected = marked_lines(&file, rule.id());
+        assert!(!expected.is_empty(), "{}: positive fixture has no //~ markers", rule.id());
+        let findings = check(rule.as_ref(), &file);
+        let got: Vec<u32> = findings.iter().map(|f| f.line).collect();
+        assert_eq!(got, expected, "{}: flagged lines differ from //~ markers", rule.id());
+        for f in &findings {
+            assert_eq!(f.rule, rule.id(), "finding carries the wrong rule id");
+            assert_eq!(f.file, file.path, "finding carries the wrong path");
+            assert_eq!(
+                f.snippet,
+                file.snippet(f.line),
+                "{}: snippet does not match the flagged line",
+                rule.id()
+            );
+        }
+    }
+}
+
+#[test]
+fn every_rule_has_a_clean_negative_fixture() {
+    for rule in all_rules() {
+        let file = load_fixture(rule.id(), "negative.rs");
+        let findings = check(rule.as_ref(), &file);
+        assert!(
+            findings.is_empty(),
+            "{}: negative fixture produced findings: {findings:?}",
+            rule.id()
+        );
+    }
+}
+
+#[test]
+fn findings_round_trip_through_json() {
+    let mut corpus: Vec<Finding> = Vec::new();
+    for rule in all_rules() {
+        let file = load_fixture(rule.id(), "positive.rs");
+        corpus.extend(check(rule.as_ref(), &file));
+    }
+    assert!(corpus.len() >= all_rules().len());
+    let json = serde::json::to_string_pretty(&corpus);
+    let back: Vec<Finding> = serde::json::from_str(&json).expect("findings JSON parses back");
+    assert_eq!(back, corpus);
+}
+
+/// End-to-end: engine walk + Lint.toml severities + baseline matching +
+/// stale detection over a synthetic workspace in the target tmpdir.
+#[test]
+fn engine_applies_config_baseline_and_stale_check() {
+    let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join("lint-e2e");
+    let _ = std::fs::remove_dir_all(&root); // stale state from prior runs
+    let src = root.join("crates/demo/src");
+    std::fs::create_dir_all(&src).expect("create synthetic workspace");
+    std::fs::write(
+        src.join("lib.rs"),
+        "pub fn f(x: Option<f64>) -> f64 { x.unwrap() }\n\
+         pub fn g(t: f64) -> bool { t == 0.0 }\n",
+    )
+    .expect("write lib.rs");
+
+    let config = Config::parse(
+        "[rules]\nfloat-eq = \"warn\"\n[crate.crates/demo]\npanic-in-lib = \"allow\"\n",
+    )
+    .expect("config parses");
+
+    // Baseline covers the unwrap (by snippet, not line) plus one stale
+    // entry for code that no longer exists.
+    let baseline = Baseline::from_json(
+        r#"{"version": 1, "entries": [
+            {"rule": "unwrap-in-lib", "file": "crates/demo/src/lib.rs",
+             "snippet": "pub fn f(x: Option<f64>) -> f64 { x.unwrap() }"},
+            {"rule": "unwrap-in-lib", "file": "crates/demo/src/gone.rs",
+             "snippet": "old.unwrap()"}
+        ]}"#,
+    )
+    .expect("baseline parses");
+
+    let registry = Registry::new();
+    let report = engine::run(&root, &config, &baseline, &registry);
+
+    assert_eq!(report.files_scanned, 1);
+    let unwrap = report
+        .findings
+        .iter()
+        .find(|r| r.finding.rule == "unwrap-in-lib")
+        .expect("unwrap finding reported");
+    assert!(unwrap.baselined, "baseline must cover the unwrap by snippet");
+    let float_eq = report
+        .findings
+        .iter()
+        .find(|r| r.finding.rule == "float-eq")
+        .expect("float-eq finding reported");
+    assert_eq!(float_eq.severity, "warn", "[rules] override applies");
+    assert_eq!(report.violations().count(), 0, "nothing denies");
+    assert_eq!(report.stale_baseline.len(), 1, "gone.rs entry is stale");
+    assert!(report.deny_failure(), "stale baseline entries alone must fail --deny");
+    assert!(registry.snapshot().counters.iter().any(|c| c.name == "lint.files_scanned"));
+}

@@ -27,7 +27,15 @@ pub struct CrawlStats {
 pub fn taskrabbit_universe() -> Universe {
     let mut u = Universe::with_all_groups(Schema::gender_ethnicity());
     for (_, _, name) in jobs::all_queries() {
-        u.add_query(name, Some(jobs::category_of(jobs::query_index(name).unwrap()).name));
+        u.add_query(
+            name,
+            Some(
+                jobs::category_of(
+                    jobs::query_index(name).expect("all_queries() names resolve to an index"),
+                )
+                .name,
+            ),
+        );
     }
     for c in city::CITIES.iter() {
         u.add_location(c.name, Some(c.region));

@@ -143,8 +143,7 @@ impl Marketplace {
             .collect();
         // Sort by score desc; ties by worker id for determinism.
         scored.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .expect("scores are never NaN")
+            b.1.total_cmp(&a.1)
                 .then(self.population.workers()[a.0].id.cmp(&self.population.workers()[b.0].id))
         });
         scored.truncate(self.page_size);
@@ -188,7 +187,7 @@ impl Marketplace {
                 )
             })
             .collect();
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN").then(a.0.cmp(&b.0)));
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         scored.truncate(self.page_size);
         Some(scored)
     }

@@ -62,7 +62,8 @@ pub fn stratified_demographics(count: usize, marginals: &PopulationMarginals) ->
         .collect();
 
     let quotas: Vec<f64> = cells.iter().map(|&(_, p)| p * count as f64).collect();
-    let mut counts: Vec<usize> = quotas.iter().map(|q| q.floor() as usize).collect();
+    let mut counts: Vec<usize> =
+        quotas.iter().map(|&q| fbox_core::measures::float::floor_index(q)).collect();
     let mut assigned: usize = counts.iter().sum();
     // Hand out the remaining seats by descending fractional remainder
     // (ties by cell order, deterministic).
@@ -70,7 +71,7 @@ pub fn stratified_demographics(count: usize, marginals: &PopulationMarginals) ->
     order.sort_by(|&a, &b| {
         let ra = quotas[a] - quotas[a].floor();
         let rb = quotas[b] - quotas[b].floor();
-        rb.partial_cmp(&ra).expect("quotas are finite").then(a.cmp(&b))
+        rb.total_cmp(&ra).then(a.cmp(&b))
     });
     let mut i = 0;
     while assigned < count {

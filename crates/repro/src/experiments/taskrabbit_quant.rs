@@ -186,6 +186,6 @@ fn location_job_extremes(fb: &FBox, city: &str) -> (String, String) {
             (c.to_string(), avg)
         })
         .collect();
-    ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+    ranked.sort_by(|a, b| a.1.total_cmp(&b.1));
     (ranked.first().expect("categories").0.clone(), ranked.last().expect("categories").0.clone())
 }

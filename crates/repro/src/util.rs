@@ -62,7 +62,7 @@ pub fn category_ranking(fb: &FBox, categories: &[&str]) -> Vec<(String, f64)> {
             (c.to_string(), avg)
         })
         .collect();
-    out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+    out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     out
 }
 

@@ -91,8 +91,10 @@ impl SearchEngine {
             None => None,
         };
         let ab_bucket = if self.noise.ab_buckets > 1 {
-            mix(mix_str(self.seed, "ab"), user.id ^ (ctx.time_min.floor() as u64))
-                % self.noise.ab_buckets
+            mix(
+                mix_str(self.seed, "ab"),
+                user.id ^ fbox_core::measures::float::floor_units(ctx.time_min),
+            ) % self.noise.ab_buckets
         } else {
             0
         };
@@ -119,7 +121,7 @@ impl SearchEngine {
                 (id, s)
             })
             .collect();
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("scores never NaN").then(a.0.cmp(&b.0)));
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         scored.truncate(RESULT_SIZE);
         scored.into_iter().map(|(id, _)| id).collect()
     }

@@ -49,7 +49,7 @@ mod sink;
 mod snapshot;
 mod span;
 
-pub use metrics::{Counter, Gauge, Histogram, HISTOGRAM_BUCKETS};
+pub use metrics::{Counter, Gauge, Histogram, HistogramTimer, HISTOGRAM_BUCKETS};
 pub use registry::{global, set_enabled, Registry};
 pub use report::{MetricDelta, Report};
 pub use sink::{JsonSink, Subscriber, TableSink};

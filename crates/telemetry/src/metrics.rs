@@ -5,7 +5,7 @@
 
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Number of histogram buckets. Bucket `i` (for `i > 0`) counts samples in
 /// `[2^i, 2^(i+1))` nanoseconds; bucket 0 covers `[0, 2)` ns and the last
@@ -127,6 +127,16 @@ impl Histogram {
         inner.max_ns.fetch_max(ns, Ordering::Relaxed);
     }
 
+    /// Starts a timer that records into this histogram when
+    /// [`HistogramTimer::observe`] is called. Dropping the timer without
+    /// observing records nothing — callers decide whether a code path
+    /// counts. This is the sanctioned way to time code outside the
+    /// telemetry crate (the `instant-outside-telemetry` lint denies raw
+    /// `Instant::now()` elsewhere).
+    pub fn timer(&self) -> HistogramTimer {
+        HistogramTimer { histogram: self.clone(), start: Instant::now() }
+    }
+
     /// Number of recorded samples.
     pub fn count(&self) -> u64 {
         self.0.count.load(Ordering::Relaxed)
@@ -146,6 +156,24 @@ impl Histogram {
         inner.sum_ns.store(0, Ordering::Relaxed);
         inner.min_ns.store(u64::MAX, Ordering::Relaxed);
         inner.max_ns.store(0, Ordering::Relaxed);
+    }
+}
+
+/// An explicit-stop timer handed out by [`Histogram::timer`]. Unlike a
+/// span guard, the sample is recorded only on [`observe`](Self::observe)
+/// — dropping the timer discards it, so conditional paths (e.g. a cube
+/// cell that turned out unobserved) can opt out of the histogram.
+#[must_use = "a timer records nothing until .observe() is called"]
+#[derive(Debug)]
+pub struct HistogramTimer {
+    histogram: Histogram,
+    start: Instant,
+}
+
+impl HistogramTimer {
+    /// Records the elapsed time since the timer started.
+    pub fn observe(self) {
+        self.histogram.record(self.start.elapsed());
     }
 }
 

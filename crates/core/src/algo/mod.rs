@@ -63,14 +63,23 @@ impl Restriction {
     }
 
     /// Resolves a dimension to the concrete id list: the subset if
-    /// restricted, else `0..total`.
+    /// restricted, else `0..total`. Duplicate ids in the subset are
+    /// dropped (first occurrence wins): a repeated id would otherwise
+    /// enter the same posting lists twice into the aggregation, skewing
+    /// averages and double-counting accesses.
     pub fn resolve(&self, dim: Dimension, total: usize) -> Vec<u32> {
         match self.subset(dim) {
             Some(ids) => {
+                let mut seen = vec![false; total];
+                let mut out = Vec::with_capacity(ids.len());
                 for &id in ids {
                     assert!((id as usize) < total, "{dim:?} id {id} out of range (< {total})");
+                    if !seen[id as usize] {
+                        seen[id as usize] = true;
+                        out.push(id);
+                    }
                 }
-                ids.to_vec()
+                out
             }
             None => (0..total as u32).collect(),
         }
@@ -112,6 +121,53 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn restriction_rejects_out_of_range() {
         Restriction::on(Dimension::Group, vec![5]).resolve(Dimension::Group, 3);
+    }
+
+    #[test]
+    fn resolve_dedups_preserving_first_occurrence_order() {
+        let r = Restriction::on(Dimension::Query, vec![2, 0, 2, 2, 1, 0]);
+        assert_eq!(r.resolve(Dimension::Query, 3), vec![2, 0, 1]);
+    }
+
+    /// Regression: duplicated ids in a restriction used to enter the same
+    /// posting lists twice into the aggregation, skewing every algorithm's
+    /// averages. A duplicated restriction must yield exactly the deduped
+    /// restriction's answers — for TA, NRA, and the naive scan alike.
+    #[test]
+    fn duplicated_restriction_matches_deduped_across_algorithms() {
+        use crate::cube::UnfairnessCube;
+        use crate::model::{GroupId, LocationId, QueryId};
+
+        let mut c = UnfairnessCube::with_dims(4, 3, 3);
+        let mut state = 0xDEAD_BEEFu64;
+        for g in 0..4u32 {
+            for q in 0..3u32 {
+                for l in 0..3u32 {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    let v = (state >> 11) as f64 / (1u64 << 53) as f64;
+                    c.set(GroupId(g), QueryId(q), LocationId(l), v);
+                }
+            }
+        }
+        let idx = crate::index::IndexSet::build(&c);
+
+        let dup = Restriction { queries: Some(vec![2, 0, 2, 2]), ..Restriction::none() };
+        let dedup = Restriction { queries: Some(vec![2, 0]), ..Restriction::none() };
+        type Run<'a> = Box<dyn Fn(&Restriction) -> TopKResult + 'a>;
+        for order in [RankOrder::MostUnfair, RankOrder::LeastUnfair] {
+            let runs: [(&str, Run); 3] = [
+                ("ta", Box::new(|r| top_k(&idx, Dimension::Group, 4, order, r))),
+                ("nra", Box::new(|r| nra_top_k(&idx, Dimension::Group, 4, order, r))),
+                ("naive", Box::new(|r| naive_top_k(&c, Dimension::Group, 4, order, r))),
+            ];
+            for (name, run) in runs {
+                let a = run(&dup).entries;
+                let b = run(&dedup).entries;
+                assert_eq!(a, b, "{name} {order:?}: duplicated restriction changed the answer");
+            }
+        }
     }
 
     #[test]

@@ -97,11 +97,13 @@ pub fn nra_top_k(
                 RankOrder::MostUnfair => list.sorted_desc(cursors[li]),
                 RankOrder::LeastUnfair => list.sorted_asc(cursors[li]),
             };
-            stats.sorted_accesses += 1;
             let Some((e, v)) = accessed else {
                 frontier[li] = f64::NEG_INFINITY; // list exhausted
+                                                  // No access happened: leave `sorted_accesses` alone so
+                                                  // `cells_scanned == sorted + random` holds.
                 continue;
             };
+            stats.sorted_accesses += 1;
             cursors[li] += 1;
             stats.cells_scanned += 1;
             frontier[li] = sign * v;
@@ -277,6 +279,22 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Regression: same counter bug as TA — a sorted access past the end
+    /// of an exhausted list must not count. NRA makes no random accesses,
+    /// so after a run to exhaustion (k > dim_len) `sorted_accesses` must
+    /// equal exactly `cells_scanned`: lists × entities.
+    #[test]
+    fn exhausted_lists_do_not_inflate_access_counters() {
+        let c = cube(4);
+        let idx = crate::index::IndexSet::build(&c);
+        let r = nra_top_k(&idx, Dimension::Group, 10, RankOrder::MostUnfair, &Restriction::none());
+        assert_eq!(r.entries.len(), 4);
+        // 9 (q, l) lists × 4 groups, each cell read exactly once.
+        assert_eq!(r.stats.sorted_accesses, 9 * 4);
+        assert_eq!(r.stats.random_accesses, 0);
+        assert_eq!(r.stats.cells_scanned, r.stats.sorted_accesses + r.stats.random_accesses);
     }
 
     #[test]

@@ -149,11 +149,13 @@ pub fn top_k(
                 RankOrder::MostUnfair => list.sorted_desc(cursors[pi]),
                 RankOrder::LeastUnfair => list.sorted_asc(cursors[pi]),
             };
-            stats.sorted_accesses += 1;
             let Some((e, v)) = accessed else {
-                // List exhausted; its last value keeps bounding τ.
+                // List exhausted; its last value keeps bounding τ. No
+                // access happened, so the counter must not move — it
+                // would break `cells_scanned == sorted + random`.
                 continue;
             };
+            stats.sorted_accesses += 1;
             cursors[pi] += 1;
             stats.cells_scanned += 1;
             last_seen[pi] = v;
@@ -277,6 +279,21 @@ mod tests {
         for w in r.entries.windows(2) {
             assert!(w[0].1 >= w[1].1);
         }
+    }
+
+    /// Regression: with k > dim_len every list is walked to exhaustion and
+    /// the final round's failed sorted accesses used to be counted, so
+    /// `sorted_accesses` exceeded the cells actually read and broke the
+    /// invariant `cells_scanned == sorted + random`.
+    #[test]
+    fn exhausted_lists_do_not_inflate_access_counters() {
+        let idx = crate::index::IndexSet::build(&cube());
+        let r = top_k(&idx, Dimension::Group, 10, RankOrder::MostUnfair, &Restriction::none());
+        // 4 lists × 4 groups fully read; each of the 4 first-seen entities
+        // triggers 3 random accesses into the other lists.
+        assert_eq!(r.stats.sorted_accesses, 16);
+        assert_eq!(r.stats.random_accesses, 12);
+        assert_eq!(r.stats.cells_scanned, r.stats.sorted_accesses + r.stats.random_accesses);
     }
 
     #[test]

@@ -10,9 +10,10 @@ use crate::algo::{self, RankOrder, Restriction, TopKResult};
 use crate::cube::UnfairnessCube;
 use crate::index::{Dimension, IndexSet};
 use crate::model::{GroupId, LocationId, QueryId, Universe};
-use crate::observations::{MarketObservations, SearchObservations};
+use crate::observations::{MarketObservations, MarketRanking, SearchObservations, UserList};
 use crate::unfairness::{
-    market_cell_unfairness, search_cell_unfairness, MarketMeasure, SearchMeasure,
+    market_cell_unfairness, search_cell_unfairness, MarketCellEval, MarketMeasure, MeasureContext,
+    SearchCellEval, SearchMeasure,
 };
 
 /// The assembled fairness framework for one study.
@@ -27,7 +28,46 @@ impl FBox {
     /// Builds the F-Box from search-engine observations (Google-style:
     /// per-user ranked lists), computing `d⟨g,q,l⟩` by Eq. 1 for every
     /// registered group at every observed `(q, l)` cell.
+    ///
+    /// The `(q, l)` cells are partitioned across [`fbox_par`] workers
+    /// (`FBOX_THREADS`, default: available parallelism); each worker
+    /// evaluates all groups of its cells through a shared-work
+    /// [`SearchCellEval`] and the per-worker shards are merged in
+    /// deterministic cell order, so the cube is byte-identical to
+    /// [`from_search_serial`](Self::from_search_serial) at any thread
+    /// count.
     pub fn from_search(
+        universe: Universe,
+        observations: &SearchObservations,
+        measure: SearchMeasure,
+    ) -> Self {
+        let _span = fbox_telemetry::span!("fbox.from_search");
+        // Telemetry is armed once, before the fan-out, and shared by
+        // reference: a `FBOX_TELEMETRY` toggle mid-build cannot leave some
+        // shards counted and others not.
+        let cells = CellTelemetry::new("search", measure.label());
+        let mut cell_data: Vec<((QueryId, LocationId), &[UserList])> =
+            observations.cells().collect();
+        cell_data.sort_unstable_by_key(|&((q, l), _)| (q.0, l.0));
+        let cube = {
+            let ctx = MeasureContext::new(&universe);
+            let shards = fbox_par::par_map(&cell_data, |&(_, lists)| {
+                let mut eval = SearchCellEval::new(&ctx, lists, measure);
+                evaluate_cell_groups(&ctx, &cells, |g| eval.group(g))
+            });
+            merge_shards(&universe, &cell_data, shards)
+        };
+        cells.finish_cube(&cube);
+        Self::from_cube(universe, cube)
+    }
+
+    /// Reference implementation of [`from_search`](Self::from_search): the
+    /// serial per-`(cell, group)` double loop over
+    /// [`search_cell_unfairness`], with no cross-group work sharing. Kept
+    /// as the correctness oracle the parallel build is tested bit-for-bit
+    /// against, and as the baseline of `fbox-bench`'s `BENCH_parallel`
+    /// comparison.
+    pub fn from_search_serial(
         universe: Universe,
         observations: &SearchObservations,
         measure: SearchMeasure,
@@ -50,7 +90,36 @@ impl FBox {
     /// Builds the F-Box from marketplace observations (TaskRabbit-style:
     /// ranked workers), computing `d⟨g,q,l⟩` by Eq. 2 (EMD) or §3.3.2
     /// (exposure) for every registered group at every observed cell.
+    ///
+    /// Parallel like [`from_search`](Self::from_search): cells are
+    /// sharded across `FBOX_THREADS` workers (each using a shared-work
+    /// [`MarketCellEval`]) and merged deterministically, byte-identical
+    /// to [`from_market_serial`](Self::from_market_serial).
     pub fn from_market(
+        universe: Universe,
+        observations: &MarketObservations,
+        measure: MarketMeasure,
+    ) -> Self {
+        let _span = fbox_telemetry::span!("fbox.from_market");
+        let cells = CellTelemetry::new("market", measure.label());
+        let mut cell_data: Vec<((QueryId, LocationId), &MarketRanking)> =
+            observations.cells().collect();
+        cell_data.sort_unstable_by_key(|&((q, l), _)| (q.0, l.0));
+        let cube = {
+            let ctx = MeasureContext::new(&universe);
+            let shards = fbox_par::par_map(&cell_data, |&(_, ranking)| {
+                let mut eval = MarketCellEval::new(&ctx, ranking, measure);
+                evaluate_cell_groups(&ctx, &cells, |g| eval.group(g))
+            });
+            merge_shards(&universe, &cell_data, shards)
+        };
+        cells.finish_cube(&cube);
+        Self::from_cube(universe, cube)
+    }
+
+    /// Reference implementation of [`from_market`](Self::from_market) —
+    /// see [`from_search_serial`](Self::from_search_serial).
+    pub fn from_market_serial(
         universe: Universe,
         observations: &MarketObservations,
         measure: MarketMeasure,
@@ -193,11 +262,52 @@ impl FBox {
     }
 }
 
+/// Evaluates every group of one `(q, l)` cell through a shared-work
+/// evaluator, with per-group telemetry, returning the cell's values in
+/// group-id order. Runs inside a [`fbox_par`] worker.
+fn evaluate_cell_groups(
+    ctx: &MeasureContext<'_>,
+    cells: &CellTelemetry,
+    mut eval_group: impl FnMut(GroupId) -> Option<f64>,
+) -> Vec<Option<f64>> {
+    ctx.universe()
+        .group_ids()
+        .map(|g| {
+            let start = cells.start();
+            let v = eval_group(g);
+            cells.finish(start, v.is_some());
+            v
+        })
+        .collect()
+}
+
+/// Merges per-cell value shards (one `Vec<Option<f64>>` per cell, group-id
+/// order, aligned with `cell_data`) into a fresh cube. Each `(g, q, l)`
+/// slot is written exactly once, so the result is independent of the order
+/// workers produced the shards in.
+fn merge_shards<T>(
+    universe: &Universe,
+    cell_data: &[((QueryId, LocationId), T)],
+    shards: Vec<Vec<Option<f64>>>,
+) -> UnfairnessCube {
+    let mut cube = UnfairnessCube::empty(universe);
+    for (&((q, l), _), shard) in cell_data.iter().zip(shards) {
+        for (g, v) in universe.group_ids().zip(shard) {
+            cube.set_opt(g, q, l, v);
+        }
+    }
+    cube
+}
+
 /// Per-cell instrumentation for the cube build loops: counts computed vs
 /// empty cells into `cube.cells_computed` / `cube.cells_empty`, times each
 /// measure evaluation into `measure.<platform>.<label>`, and reports cells
 /// never visited (unobserved (q, l) pairs) into `cube.cells_unobserved`.
 /// Inert — no clock reads, no atomics — while telemetry is disabled.
+///
+/// `Sync`: one instance is constructed before the parallel fan-out and
+/// shared by reference across the build workers, so the visited counter is
+/// an [`AtomicU64`](std::sync::atomic::AtomicU64).
 struct CellTelemetry {
     active: Option<CellTelemetryInner>,
 }
@@ -207,7 +317,7 @@ struct CellTelemetryInner {
     empty: fbox_telemetry::Counter,
     unobserved: fbox_telemetry::Counter,
     timings: fbox_telemetry::Histogram,
-    visited: std::cell::Cell<u64>,
+    visited: std::sync::atomic::AtomicU64,
 }
 
 impl CellTelemetry {
@@ -222,7 +332,7 @@ impl CellTelemetry {
                 empty: t.counter("cube.cells_empty"),
                 unobserved: t.counter("cube.cells_unobserved"),
                 timings: t.histogram(&format!("measure.{platform}.{measure_label}")),
-                visited: std::cell::Cell::new(0),
+                visited: std::sync::atomic::AtomicU64::new(0),
             }),
         }
     }
@@ -243,13 +353,14 @@ impl CellTelemetry {
         } else {
             inner.empty.inc();
         }
-        inner.visited.set(inner.visited.get() + 1);
+        inner.visited.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     }
 
     fn finish_cube(&self, cube: &UnfairnessCube) {
         if let Some(inner) = self.active.as_ref() {
             let total = (cube.n_groups() * cube.n_queries() * cube.n_locations()) as u64;
-            inner.unobserved.add(total.saturating_sub(inner.visited.get()));
+            let visited = inner.visited.load(std::sync::atomic::Ordering::Relaxed);
+            inner.unobserved.add(total.saturating_sub(visited));
         }
     }
 }

@@ -53,41 +53,49 @@ pub struct IndexSet {
     complete: bool,
 }
 
+/// Pairs `(a, b)` with `a < na`, `b < nb`, in `a`-major order — the slot
+/// order of one posting-list family.
+fn pair_grid(na: usize, nb: usize) -> Vec<(u32, u32)> {
+    let mut pairs = Vec::with_capacity(na * nb);
+    for a in 0..na as u32 {
+        for b in 0..nb as u32 {
+            pairs.push((a, b));
+        }
+    }
+    pairs
+}
+
+/// Builds one posting-list family: the lists are chunked across
+/// [`fbox_par`] workers and re-flattened in slot order, so the family is
+/// identical to the serial build at any thread count.
+fn build_family(
+    pairs: &[(u32, u32)],
+    values_for: impl Fn(u32, u32) -> Vec<Option<f64>> + Sync,
+) -> Vec<PostingList> {
+    // ~64 lists per unit of work: one sort each, cheap enough to batch.
+    let chunks = fbox_par::par_chunks(pairs, 64, |chunk| {
+        chunk.iter().map(|&(a, b)| PostingList::from_values(values_for(a, b))).collect::<Vec<_>>()
+    });
+    chunks.into_iter().flatten().collect()
+}
+
 impl IndexSet {
-    /// Builds all three families from a cube.
+    /// Builds all three families from a cube. Each family's posting lists
+    /// are built in parallel across `FBOX_THREADS` workers (deterministic:
+    /// every list lands in its canonical slot regardless of thread count).
     pub fn build(cube: &UnfairnessCube) -> Self {
         let _span = fbox_telemetry::span!("index.build");
         let (ng, nq, nl) = (cube.n_groups(), cube.n_queries(), cube.n_locations());
 
-        let mut group_lists = Vec::with_capacity(nq * nl);
-        for q in 0..nq as u32 {
-            for l in 0..nl as u32 {
-                let values = (0..ng as u32)
-                    .map(|g| cube.get(GroupId(g), QueryId(q), LocationId(l)))
-                    .collect();
-                group_lists.push(PostingList::from_values(values));
-            }
-        }
-
-        let mut query_lists = Vec::with_capacity(ng * nl);
-        for g in 0..ng as u32 {
-            for l in 0..nl as u32 {
-                let values = (0..nq as u32)
-                    .map(|q| cube.get(GroupId(g), QueryId(q), LocationId(l)))
-                    .collect();
-                query_lists.push(PostingList::from_values(values));
-            }
-        }
-
-        let mut location_lists = Vec::with_capacity(ng * nq);
-        for g in 0..ng as u32 {
-            for q in 0..nq as u32 {
-                let values = (0..nl as u32)
-                    .map(|l| cube.get(GroupId(g), QueryId(q), LocationId(l)))
-                    .collect();
-                location_lists.push(PostingList::from_values(values));
-            }
-        }
+        let group_lists = build_family(&pair_grid(nq, nl), |q, l| {
+            (0..ng as u32).map(|g| cube.get(GroupId(g), QueryId(q), LocationId(l))).collect()
+        });
+        let query_lists = build_family(&pair_grid(ng, nl), |g, l| {
+            (0..nq as u32).map(|q| cube.get(GroupId(g), QueryId(q), LocationId(l))).collect()
+        });
+        let location_lists = build_family(&pair_grid(ng, nq), |g, q| {
+            (0..nl as u32).map(|l| cube.get(GroupId(g), QueryId(q), LocationId(l))).collect()
+        });
 
         let t = fbox_telemetry::global();
         if t.enabled() {

@@ -235,6 +235,260 @@ fn average(values: &[f64]) -> Option<f64> {
     }
 }
 
+/// The comparability structure of a universe — each group's comparable
+/// group ids — resolved once per cube build and shared read-only across
+/// the build workers.
+///
+/// [`search_cell_unfairness`] and [`market_cell_unfairness`] re-resolve
+/// this per `(cell, group)` call (label lookups, hash probes, label-vector
+/// clones); over the 5,361-cell TaskRabbit grid that is ~59k redundant
+/// resolutions of an 11-row table. The context hoists it to one.
+#[derive(Debug)]
+pub struct MeasureContext<'u> {
+    universe: &'u Universe,
+    /// `comparables[g]` in the exact order [`Universe::comparable_group_ids`]
+    /// returns, so cached evaluation visits groups in the reference order.
+    comparables: Vec<Vec<GroupId>>,
+}
+
+impl<'u> MeasureContext<'u> {
+    /// Resolves the comparability structure of `universe`.
+    pub fn new(universe: &'u Universe) -> Self {
+        let comparables = universe.group_ids().map(|g| universe.comparable_group_ids(g)).collect();
+        Self { universe, comparables }
+    }
+
+    /// The underlying universe.
+    pub fn universe(&self) -> &'u Universe {
+        self.universe
+    }
+
+    /// The comparable groups of `g`, in reference order.
+    pub fn comparables(&self, g: GroupId) -> &[GroupId] {
+        &self.comparables[g.0 as usize]
+    }
+}
+
+/// All-groups evaluator for one search cell: computes `d⟨g,q,l⟩` for every
+/// registered group over one `(q, l)` sample, sharing work the per-group
+/// reference function recomputes —
+///
+/// - group membership of each user list is decided once per `(group,
+///   list)` instead of once per `(group, comparable, list)`;
+/// - pairwise list distances are memoized per **ordered** `(u, u')` index
+///   pair. Overlapping groups (every user is in a gender, an ethnicity,
+///   and a full lattice group) request many ordered pairs repeatedly; the
+///   ordered key keeps each cached value the exact `f64` the reference
+///   computes, without assuming the distance is bitwise symmetric
+///   (Kendall's `K^(p)` sums penalties in union order, which swaps with
+///   its arguments).
+///
+/// Equivalence contract, enforced by tests and the parallel-determinism
+/// property suite: `eval.group(g)` is bit-for-bit identical to
+/// [`search_cell_unfairness`]`(universe, lists, g, measure)`.
+#[derive(Debug)]
+pub struct SearchCellEval<'a, 'u> {
+    ctx: &'a MeasureContext<'u>,
+    lists: &'a [UserList],
+    measure: SearchMeasure,
+    /// Per group: indices into `lists` of its members, in list order.
+    members: Vec<Vec<u32>>,
+    /// Memoized `measure.distance(lists[i], lists[j])` keyed by `(i, j)`.
+    distances: std::collections::HashMap<(u32, u32), f64>,
+}
+
+impl<'a, 'u> SearchCellEval<'a, 'u> {
+    /// Prepares the evaluator: one membership pass per group.
+    pub fn new(ctx: &'a MeasureContext<'u>, lists: &'a [UserList], measure: SearchMeasure) -> Self {
+        let members = ctx
+            .universe
+            .group_ids()
+            .map(|g| {
+                let label = ctx.universe.group(g);
+                lists
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, u)| label.matches(&u.assignment).then_some(i as u32))
+                    .collect()
+            })
+            .collect();
+        Self { ctx, lists, measure, members, distances: std::collections::HashMap::new() }
+    }
+
+    /// `d⟨g,q,l⟩` for this cell — bit-identical to the reference.
+    pub fn group(&mut self, g: GroupId) -> Option<f64> {
+        let Self { ctx, lists, measure, members, distances } = self;
+        let g_members = &members[g.0 as usize];
+        if g_members.is_empty() {
+            return None;
+        }
+        let mut per_group = Vec::new();
+        for &g_cmp in ctx.comparables(g) {
+            let others = &members[g_cmp.0 as usize];
+            if others.is_empty() {
+                continue;
+            }
+            let mut sum = 0.0;
+            let mut n = 0usize;
+            for &ui in g_members {
+                for &vi in others {
+                    let d = *distances.entry((ui, vi)).or_insert_with(|| {
+                        measure.distance(&lists[ui as usize].results, &lists[vi as usize].results)
+                    });
+                    sum += d;
+                    n += 1;
+                }
+            }
+            per_group.push(sum / n as f64);
+        }
+        average(&per_group)
+    }
+}
+
+/// All-groups evaluator for one marketplace cell — the market counterpart
+/// of [`SearchCellEval`], sharing per-cell work across the group loop:
+///
+/// - group membership of each ranked worker is decided once per group
+///   (the reference re-matches per comparable);
+/// - per-worker exposure (`model.exposure(rank)`, a log) and relevance
+///   are computed once per cell instead of once per group;
+/// - for EMD, each group's relevance histogram is built once and pairwise
+///   distances are memoized under an **unordered** key —
+///   [`measures::emd_1d_normalized`] is bitwise symmetric (`|x − y|` per
+///   bin in fixed bin order), so `(g, g')` and `(g', g)` share one entry.
+///
+/// Equivalence contract: `eval.group(g)` is bit-for-bit identical to
+/// [`market_cell_unfairness`]`(universe, ranking, g, measure)`.
+#[derive(Debug)]
+pub struct MarketCellEval<'a, 'u> {
+    ctx: &'a MeasureContext<'u>,
+    measure: MarketMeasure,
+    /// `membership[g][i]`: whether ranked worker `i` is in group `g`.
+    membership: Vec<Vec<bool>>,
+    /// Per worker `model.exposure(rank)` (exposure measure only).
+    exposures: Vec<f64>,
+    /// Per worker relevance (exposure measure only).
+    relevances: Vec<f64>,
+    /// Per group relevance histogram (EMD measure only).
+    histograms: Vec<Histogram>,
+    /// Memoized normalized EMD keyed by unordered group id pair.
+    emd_cache: std::collections::HashMap<(u32, u32), Option<f64>>,
+}
+
+impl<'a, 'u> MarketCellEval<'a, 'u> {
+    /// Prepares the evaluator: membership masks plus the per-measure
+    /// shared tables.
+    pub fn new(
+        ctx: &'a MeasureContext<'u>,
+        ranking: &'a MarketRanking,
+        measure: MarketMeasure,
+    ) -> Self {
+        let membership: Vec<Vec<bool>> = ctx
+            .universe
+            .group_ids()
+            .map(|g| {
+                let label = ctx.universe.group(g);
+                ranking.workers().iter().map(|w| label.matches(&w.assignment)).collect()
+            })
+            .collect();
+        let (mut exposures, mut relevances, mut histograms) = (Vec::new(), Vec::new(), Vec::new());
+        match measure {
+            MarketMeasure::Exposure { model } => {
+                exposures = ranking.workers().iter().map(|w| model.exposure(w.rank)).collect();
+                relevances = (0..ranking.len()).map(|i| ranking.relevance(i)).collect();
+            }
+            MarketMeasure::Emd { bins } => {
+                let cfg = BinConfig::unit(bins);
+                histograms = membership
+                    .iter()
+                    .map(|mask| {
+                        let mut h = Histogram::empty(cfg);
+                        for (i, &in_g) in mask.iter().enumerate() {
+                            if in_g {
+                                h.add(ranking.relevance(i));
+                            }
+                        }
+                        h
+                    })
+                    .collect();
+            }
+        }
+        Self {
+            ctx,
+            measure,
+            membership,
+            exposures,
+            relevances,
+            histograms,
+            emd_cache: std::collections::HashMap::new(),
+        }
+    }
+
+    /// `d⟨g,q,l⟩` for this cell — bit-identical to the reference.
+    pub fn group(&mut self, g: GroupId) -> Option<f64> {
+        match self.measure {
+            MarketMeasure::Emd { .. } => self.group_emd(g),
+            MarketMeasure::Exposure { .. } => self.group_exposure(g),
+        }
+    }
+
+    fn group_emd(&mut self, g: GroupId) -> Option<f64> {
+        let g_hist = &self.histograms[g.0 as usize];
+        if g_hist.is_empty() {
+            return None;
+        }
+        let mut dists = Vec::new();
+        for &g_cmp in self.ctx.comparables(g) {
+            let key = (g.0.min(g_cmp.0), g.0.max(g_cmp.0));
+            let (histograms, emd_cache) = (&self.histograms, &mut self.emd_cache);
+            let d = *emd_cache.entry(key).or_insert_with(|| {
+                measures::emd_1d_normalized(
+                    &histograms[g.0 as usize],
+                    &histograms[g_cmp.0 as usize],
+                )
+            });
+            if let Some(d) = d {
+                dists.push(d);
+            }
+        }
+        average(&dists)
+    }
+
+    fn group_exposure(&self, g: GroupId) -> Option<f64> {
+        let comparables = self.ctx.comparables(g);
+        if comparables.is_empty() {
+            return None;
+        }
+        let g_mask = &self.membership[g.0 as usize];
+        let (mut g_exp, mut g_rel) = (0.0f64, 0.0f64);
+        let (mut pool_exp, mut pool_rel) = (0.0f64, 0.0f64);
+        let mut g_seen = false;
+        let mut cmp_seen = false;
+        for (i, &in_g) in g_mask.iter().enumerate() {
+            let in_cmp = comparables.iter().any(|&c| self.membership[c.0 as usize][i]);
+            if !in_g && !in_cmp {
+                continue;
+            }
+            let exp = self.exposures[i];
+            let rel = self.relevances[i];
+            pool_exp += exp;
+            pool_rel += rel;
+            if in_g {
+                g_exp += exp;
+                g_rel += rel;
+                g_seen = true;
+            }
+            if in_cmp {
+                cmp_seen = true;
+            }
+        }
+        if !g_seen || !cmp_seen {
+            return None;
+        }
+        exposure_unfairness(g_exp, pool_exp, g_rel, pool_rel)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -336,6 +590,44 @@ mod tests {
         let male = universe.group_id_by_text("gender=Male").unwrap();
         let d = market_cell_unfairness(&universe, &ranking, male, MarketMeasure::emd()).unwrap();
         assert!(d > 0.4, "segregated groups should be clearly unfair, got {d}");
+    }
+
+    #[test]
+    fn search_cell_eval_matches_reference_bit_for_bit() {
+        for identical in [true, false] {
+            let (u, lists) = two_group_lists(identical);
+            let ctx = MeasureContext::new(&u);
+            for m in [SearchMeasure::kendall(), SearchMeasure::JaccardDistance] {
+                let mut eval = SearchCellEval::new(&ctx, &lists, m);
+                for g in u.group_ids() {
+                    let fast = eval.group(g);
+                    let reference = search_cell_unfairness(&u, &lists, g, m);
+                    assert_eq!(
+                        fast.map(f64::to_bits),
+                        reference.map(f64::to_bits),
+                        "{m:?} group {g:?} identical={identical}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn market_cell_eval_matches_reference_bit_for_bit() {
+        let (u, ranking) = paper_toy::table3_ranking();
+        let ctx = MeasureContext::new(&u);
+        for m in [MarketMeasure::emd(), MarketMeasure::exposure()] {
+            let mut eval = MarketCellEval::new(&ctx, &ranking, m);
+            for g in u.group_ids() {
+                let fast = eval.group(g);
+                let reference = market_cell_unfairness(&u, &ranking, g, m);
+                assert_eq!(
+                    fast.map(f64::to_bits),
+                    reference.map(f64::to_bits),
+                    "{m:?} group {g:?}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -45,24 +45,38 @@ pub fn taskrabbit_universe() -> Universe {
 
 /// Crawls the whole grid: every offered (sub-query, city) pair once.
 ///
+/// The (sub-query, city) pairs are fanned out across `FBOX_THREADS`
+/// workers ([`fbox_par::par_map`]); results are merged back in grid order,
+/// so the observations are identical to a serial crawl at any thread
+/// count.
+///
 /// Returns the universe, the observations keyed by the universe's ids, and
 /// summary statistics.
 pub fn crawl(marketplace: &Marketplace) -> (Universe, MarketObservations, CrawlStats) {
     let _span = fbox_telemetry::span!("marketplace.crawl");
     let universe = taskrabbit_universe();
-    let mut observations = MarketObservations::new();
-    let mut n_queries = 0usize;
-    let mut n_skipped = 0usize;
+
+    let mut grid = Vec::new();
     for (flat_q, (_, _, name)) in jobs::all_queries().enumerate() {
         let q = universe.query_id(name).expect("universe registered all sub-queries");
         for (ci, c) in city::CITIES.iter().enumerate() {
-            let Some(ranking) = marketplace.run_query(flat_q, ci) else {
-                n_skipped += 1;
-                continue;
-            };
             let l = universe.location_id(c.name).expect("universe registered all cities");
-            observations.insert(q, l, ranking);
-            n_queries += 1;
+            grid.push((flat_q, q, ci, l));
+        }
+    }
+    let rankings =
+        fbox_par::par_map(&grid, |&(flat_q, _, ci, _)| marketplace.run_query(flat_q, ci));
+
+    let mut observations = MarketObservations::new();
+    let mut n_queries = 0usize;
+    let mut n_skipped = 0usize;
+    for (&(_, q, _, l), ranking) in grid.iter().zip(rankings) {
+        match ranking {
+            Some(ranking) => {
+                observations.insert(q, l, ranking);
+                n_queries += 1;
+            }
+            None => n_skipped += 1,
         }
     }
     let t = fbox_telemetry::global();

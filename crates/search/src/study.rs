@@ -129,9 +129,23 @@ fn city_region(name: &str) -> Option<&'static str> {
     fbox_marketplace::city::city(name).map(|c| c.region)
 }
 
+/// One participant's assignment: identity plus where their lists go.
+/// Enumerated in serial recruitment order so ids — and therefore the
+/// derived user seeds — are independent of how the sessions are scheduled.
+struct Participant {
+    user: SearchUser,
+    location: &'static str,
+    l: fbox_core::model::LocationId,
+}
+
 /// Runs the full study: for every location and every full demographic
 /// group, `participants_per_group` users each execute all 20 queries via
 /// the extension protocol.
+///
+/// Participant sessions are independent (each starts a fresh clock), so
+/// they are fanned out across `FBOX_THREADS` workers; each cell's lists
+/// are merged back in recruitment order, making the observations
+/// identical to a serial run at any thread count.
 pub fn run_study(
     design: &StudyDesign,
     engine: &SearchEngine,
@@ -139,8 +153,7 @@ pub fn run_study(
 ) -> (Universe, SearchObservations, StudyStats) {
     let _span = fbox_telemetry::span!("search.run_study");
     let universe = google_universe();
-    let mut observations = SearchObservations::new();
-    let mut n_participants = 0usize;
+    let mut participants = Vec::new();
     let mut user_id = 0u64;
 
     for (li, &location) in LOCATIONS.iter().enumerate() {
@@ -153,20 +166,39 @@ pub fn run_study(
                         Demographic { gender, ethnicity },
                     );
                     user_id += 1;
-                    n_participants += 1;
-                    // Each participant's session starts fresh; queries run
-                    // back-to-back under the protocol's spacing.
-                    let mut clock = 0.0f64;
-                    for (qi, (query, category)) in QUERIES.iter().enumerate() {
-                        let q = universe.query_id(query).expect("registered");
-                        let (list, end) =
-                            runner.run_query(engine, &user, query, category, location, clock);
-                        clock = end;
-                        observations.push(q, l, list);
-                        let _ = qi;
-                    }
+                    participants.push(Participant { user, location, l });
                 }
             }
+        }
+    }
+    let n_participants = participants.len();
+
+    let sessions = fbox_par::par_map(&participants, |participant| {
+        // Each participant's session starts fresh; queries run
+        // back-to-back under the protocol's spacing.
+        let mut clock = 0.0f64;
+        QUERIES
+            .iter()
+            .map(|(query, category)| {
+                let q = universe.query_id(query).expect("registered");
+                let (list, end) = runner.run_query(
+                    engine,
+                    &participant.user,
+                    query,
+                    category,
+                    participant.location,
+                    clock,
+                );
+                clock = end;
+                (q, list)
+            })
+            .collect::<Vec<_>>()
+    });
+
+    let mut observations = SearchObservations::new();
+    for (participant, session) in participants.iter().zip(sessions) {
+        for (q, list) in session {
+            observations.push(q, participant.l, list);
         }
     }
 

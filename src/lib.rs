@@ -18,6 +18,7 @@
 pub use fbox_core as core;
 pub use fbox_crowd as crowd;
 pub use fbox_marketplace as marketplace;
+pub use fbox_par as par;
 pub use fbox_repro as repro;
 pub use fbox_search as search;
 

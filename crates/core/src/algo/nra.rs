@@ -33,12 +33,13 @@ struct Partial {
 }
 
 /// NRA top-k over the pre-built indices: same contract as
-/// [`top_k`](super::top_k) (complete cube required, ties by ascending
-/// entity id), but never issues a random access.
+/// [`top_k`](super::top_k) (ties by ascending entity id), but the search
+/// phase issues only sorted accesses (direct reads appear only in the
+/// final completion of the winning entities).
 ///
-/// # Panics
-///
-/// Panics if the index was built from an incomplete cube.
+/// On an *incomplete* cube (degraded crawls) the aggregate is the average
+/// over *present* cells, matching [`naive_top_k`](super::naive_top_k);
+/// see [`nra_top_k_partial`] for the adapted bounds.
 pub fn nra_top_k(
     indices: &IndexSet,
     dim: Dimension,
@@ -46,10 +47,9 @@ pub fn nra_top_k(
     order: RankOrder,
     restrict: &Restriction,
 ) -> TopKResult {
-    assert!(
-        indices.is_complete(),
-        "NRA requires a complete unfairness cube; use naive_top_k for incomplete data"
-    );
+    if !indices.is_complete() {
+        return nra_top_k_partial(indices, dim, k, order, restrict);
+    }
     let _span = fbox_telemetry::span!("algo.nra");
     let mut stats = TopKStats::default();
 
@@ -234,6 +234,207 @@ pub fn nra_top_k(
     }
 }
 
+/// NRA over an incomplete cube. An entity's aggregate is the average over
+/// its *present* cells, so entities no longer share a common divisor and
+/// all bounds live in **average** space:
+///
+/// - an exhausted list that never reported an entity proves the entity has
+///   *no cell* there (sorted access walks whole lists), so it drops out of
+///   that entity's bound entirely;
+/// - lower bound: the subset average is monotone as floor-valued cells are
+///   added, so the minimum is either "absent from every unresolved list"
+///   (`s/n`) or "present everywhere at the floor"
+///   (`(s + |R|·floor) / (n + |R|)`), whichever is smaller;
+/// - upper bound: water-fill — include unresolved lists in descending
+///   frontier order while the frontier exceeds the running average (adding
+///   a value raises an average exactly when the value is above it);
+/// - an entirely unseen entity's upper bound is the maximum frontier over
+///   non-exhausted lists (a subset average never exceeds the subset's
+///   largest possible element); once every list exhausts, unseen entities
+///   have no cells at all and are omitted — the naive scan's rule.
+fn nra_top_k_partial(
+    indices: &IndexSet,
+    dim: Dimension,
+    k: usize,
+    order: RankOrder,
+    restrict: &Restriction,
+) -> TopKResult {
+    let _span = fbox_telemetry::span!("algo.nra");
+    let mut stats = TopKStats::default();
+
+    let (da, db) = dim.others();
+    let ents_a = restrict.resolve(da, indices.dim_len(da));
+    let ents_b = restrict.resolve(db, indices.dim_len(db));
+    let mut pairs = Vec::with_capacity(ents_a.len() * ents_b.len());
+    for &a in &ents_a {
+        for &b in &ents_b {
+            pairs.push((a, b));
+        }
+    }
+    let candidates: Option<Vec<bool>> = restrict.subset(dim).map(|ids| {
+        let mut mask = vec![false; indices.dim_len(dim)];
+        for &id in ids {
+            mask[id as usize] = true;
+        }
+        mask
+    });
+    let is_candidate = |e: u32| candidates.as_ref().is_none_or(|m| m[e as usize]);
+
+    if k == 0 || pairs.is_empty() {
+        stats.publish("nra");
+        return TopKResult { entries: Vec::new(), stats };
+    }
+
+    let sign = match order {
+        RankOrder::MostUnfair => 1.0,
+        RankOrder::LeastUnfair => -1.0,
+    };
+    // Worst possible sign-space value of a present cell (unfairness lies
+    // in [0, 1]).
+    let floor = match order {
+        RankOrder::MostUnfair => 0.0,
+        RankOrder::LeastUnfair => -1.0,
+    };
+    let n_lists = pairs.len();
+    let mut cursors = vec![0usize; n_lists];
+    let mut frontier = vec![f64::INFINITY; n_lists];
+    let mut exhausted = vec![false; n_lists];
+    let mut partials: HashMap<u32, Partial> = HashMap::new();
+
+    // The best subset average `e` could still reach, given the lists that
+    // might yet contain it.
+    let upper_bound = |p: &Partial, frontier: &[f64], exhausted: &[bool]| -> f64 {
+        let mut unresolved: Vec<f64> = (0..n_lists)
+            .filter(|&li| !p.seen[li] && !exhausted[li])
+            .map(|li| frontier[li])
+            .collect();
+        unresolved.sort_by_key(|&f| std::cmp::Reverse(OrdF64(f)));
+        let mut avg = p.sum / p.n_seen as f64;
+        let mut n = p.n_seen as f64;
+        for f in unresolved {
+            if f > avg {
+                avg = (avg * n + f) / (n + 1.0);
+                n += 1.0;
+            } else {
+                break;
+            }
+        }
+        avg
+    };
+    let lower_bound = |p: &Partial, exhausted: &[bool]| -> f64 {
+        let unresolved = (0..n_lists).filter(|&li| !p.seen[li] && !exhausted[li]).count();
+        let base = p.sum / p.n_seen as f64;
+        let all_floor = (p.sum + unresolved as f64 * floor) / (p.n_seen + unresolved) as f64;
+        base.min(all_floor)
+    };
+
+    loop {
+        stats.rounds += 1;
+        let mut progressed = false;
+        for (li, &pair) in pairs.iter().enumerate() {
+            if exhausted[li] {
+                continue;
+            }
+            let list = indices.list_for(dim, pair);
+            let accessed = match order {
+                RankOrder::MostUnfair => list.sorted_desc(cursors[li]),
+                RankOrder::LeastUnfair => list.sorted_asc(cursors[li]),
+            };
+            let Some((e, v)) = accessed else {
+                exhausted[li] = true;
+                frontier[li] = f64::NEG_INFINITY;
+                continue;
+            };
+            stats.sorted_accesses += 1;
+            cursors[li] += 1;
+            stats.cells_scanned += 1;
+            frontier[li] = sign * v;
+            progressed = true;
+            if !is_candidate(e) {
+                continue;
+            }
+            let p = partials.entry(e).or_insert_with(|| Partial {
+                sum: 0.0,
+                seen: vec![false; n_lists],
+                n_seen: 0,
+            });
+            if !p.seen[li] {
+                p.seen[li] = true;
+                p.n_seen += 1;
+                p.sum += sign * v;
+            }
+        }
+
+        let mut lowers: Vec<(u32, f64)> =
+            partials.iter().map(|(&e, p)| (e, lower_bound(p, &exhausted))).collect();
+        lowers.sort_by(|a, b| OrdF64(b.1).cmp(&OrdF64(a.1)).then(a.0.cmp(&b.0)));
+
+        if lowers.len() >= k {
+            let kth_lower = lowers[k - 1].1;
+            let topk_ids: Vec<u32> = lowers[..k].iter().map(|&(e, _)| e).collect();
+            let mut all_dominated = true;
+            for (&e, p) in &partials {
+                if topk_ids.contains(&e) {
+                    continue;
+                }
+                if upper_bound(p, &frontier, &exhausted) > kth_lower {
+                    all_dominated = false;
+                    break;
+                }
+            }
+            if all_dominated {
+                let unseen_upper = frontier
+                    .iter()
+                    .filter(|f| f.is_finite())
+                    .fold(f64::NEG_INFINITY, |m, &f| m.max(f));
+                let any_unseen_possible = partials.len()
+                    < candidate_count(indices, dim, &candidates)
+                    && !exhausted.iter().all(|&x| x);
+                if !any_unseen_possible || unseen_upper <= kth_lower {
+                    // The set is fixed; finish each winner with direct
+                    // reads of the lists that might still hold it.
+                    let mut entries: Vec<(u32, f64)> = topk_ids
+                        .iter()
+                        .map(|&e| {
+                            let p = &partials[&e];
+                            let mut sum = p.sum;
+                            let mut present = p.n_seen;
+                            for (li, &pair) in pairs.iter().enumerate() {
+                                if p.seen[li] || exhausted[li] {
+                                    continue;
+                                }
+                                stats.random_accesses += 1;
+                                stats.cells_scanned += 1;
+                                if let Some(v) = indices.list_for(dim, pair).random_access(e) {
+                                    sum += sign * v;
+                                    present += 1;
+                                }
+                            }
+                            (e, sign * sum / present as f64)
+                        })
+                        .collect();
+                    entries.sort_by(|a, b| {
+                        OrdF64(sign * b.1).cmp(&OrdF64(sign * a.1)).then(a.0.cmp(&b.0))
+                    });
+                    stats.publish("nra");
+                    return TopKResult { entries, stats };
+                }
+            }
+        }
+
+        if !progressed {
+            // Every list exhausted: each seen entity's present cells have
+            // all been reported.
+            let mut entries: Vec<(u32, f64)> =
+                partials.iter().map(|(&e, p)| (e, sign * p.sum / p.n_seen as f64)).collect();
+            entries.sort_by(|a, b| OrdF64(sign * b.1).cmp(&OrdF64(sign * a.1)).then(a.0.cmp(&b.0)));
+            entries.truncate(k);
+            stats.publish("nra");
+            return TopKResult { entries, stats };
+        }
+    }
+}
+
 fn candidate_count(indices: &IndexSet, dim: Dimension, mask: &Option<Vec<bool>>) -> usize {
     match mask {
         Some(m) => m.iter().filter(|&&b| b).count(),
@@ -360,11 +561,55 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "complete")]
-    fn nra_rejects_incomplete() {
-        let mut c = UnfairnessCube::with_dims(2, 1, 1);
-        c.set(GroupId(0), QueryId(0), LocationId(0), 0.5);
+    fn nra_partial_matches_naive() {
+        // Knock out a pseudo-random ~20% of cells, including one group's
+        // entire row (it must be omitted, not returned as 0).
+        let mut c = cube(30);
+        let mut state = 0xD1CE_5EEDu64;
+        for g in 0..30u32 {
+            for q in 0..3u32 {
+                for l in 0..3u32 {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    if g == 11 || state.is_multiple_of(5) {
+                        c.set_opt(GroupId(g), QueryId(q), LocationId(l), None);
+                    }
+                }
+            }
+        }
         let idx = crate::index::IndexSet::build(&c);
-        nra_top_k(&idx, Dimension::Group, 1, RankOrder::MostUnfair, &Restriction::none());
+        assert!(!idx.is_complete());
+        for order in [RankOrder::MostUnfair, RankOrder::LeastUnfair] {
+            for k in [1usize, 5, 30] {
+                let nra = nra_top_k(&idx, Dimension::Group, k, order, &Restriction::none());
+                let nv = naive_top_k(&c, Dimension::Group, k, order, &Restriction::none());
+                assert_eq!(nra.entries.len(), nv.entries.len(), "{order:?} k={k}");
+                assert!(nra.entries.iter().all(|&(e, _)| e != 11), "missing row omitted");
+                for (a, b) in nra.entries.iter().zip(&nv.entries) {
+                    assert!((a.1 - b.1).abs() < 1e-9, "{order:?} k={k}: {a:?} vs {b:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nra_partial_handles_fully_missing_list() {
+        // Query 1 never returns: two of the nine lists are empty and must
+        // exhaust immediately without wedging the bound arithmetic.
+        let mut c = cube(12);
+        for g in 0..12u32 {
+            for l in 0..3u32 {
+                c.set_opt(GroupId(g), QueryId(1), LocationId(l), None);
+            }
+        }
+        let idx = crate::index::IndexSet::build(&c);
+        let nra =
+            nra_top_k(&idx, Dimension::Group, 12, RankOrder::MostUnfair, &Restriction::none());
+        let nv = naive_top_k(&c, Dimension::Group, 12, RankOrder::MostUnfair, &Restriction::none());
+        assert_eq!(nra.entries.len(), 12);
+        for (a, b) in nra.entries.iter().zip(&nv.entries) {
+            assert!((a.1 - b.1).abs() < 1e-9);
+        }
     }
 }

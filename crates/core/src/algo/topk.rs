@@ -77,12 +77,13 @@ pub struct TopKResult {
 /// (or least) unfair, aggregating over the other two dimensions, subject to
 /// a [`Restriction`].
 ///
-/// # Panics
-///
-/// Panics if the index was built from an incomplete cube. The threshold
-/// bound assumes every entity appears in every list; for incomplete data
-/// use [`naive_top_k`](super::naive_top_k), which averages over present
-/// cells.
+/// On a *complete* cube this is the classic TA with `τ` = average of the
+/// cursor values. On an *incomplete* cube (degraded crawls: failed cells
+/// become missing observations) the aggregate is the average over
+/// *present* cells — matching [`naive_top_k`](super::naive_top_k) — and
+/// `τ` becomes the maximum cursor value across non-exhausted lists, which
+/// bounds any unseen entity's subset average. Entities with no present
+/// cells are omitted.
 pub fn top_k(
     indices: &IndexSet,
     dim: Dimension,
@@ -90,10 +91,9 @@ pub fn top_k(
     order: RankOrder,
     restrict: &Restriction,
 ) -> TopKResult {
-    assert!(
-        indices.is_complete(),
-        "threshold algorithm requires a complete unfairness cube; use naive_top_k for incomplete data"
-    );
+    if !indices.is_complete() {
+        return top_k_partial(indices, dim, k, order, restrict);
+    }
     let _span = fbox_telemetry::span!("algo.ta");
     let mut stats = TopKStats::default();
 
@@ -222,6 +222,142 @@ pub fn top_k(
     TopKResult { entries, stats }
 }
 
+/// TA over an incomplete cube. Differences from the complete path:
+///
+/// - an entity's aggregate is the average over its *present* cells (the
+///   semantics [`naive_top_k`](super::naive_top_k) already uses, so the
+///   two agree on degraded data);
+/// - a random access probing a missing cell still counts as an access
+///   (same honesty rule as the naive scan) but contributes nothing;
+/// - `τ` is the **maximum** cursor value over non-exhausted lists in
+///   sign space: an unseen entity only has cells in non-exhausted lists
+///   (anything in an exhausted list was already seen), each such cell is
+///   bounded by its list's cursor, and an average over a subset is
+///   bounded by the subset's maximum. The complete path's tighter
+///   average-of-cursors bound is unsound here because an unseen entity
+///   need not appear in the lists with low cursors.
+fn top_k_partial(
+    indices: &IndexSet,
+    dim: Dimension,
+    k: usize,
+    order: RankOrder,
+    restrict: &Restriction,
+) -> TopKResult {
+    let _span = fbox_telemetry::span!("algo.ta");
+    let mut stats = TopKStats::default();
+
+    let (da, db) = dim.others();
+    let ents_a = restrict.resolve(da, indices.dim_len(da));
+    let ents_b = restrict.resolve(db, indices.dim_len(db));
+    let mut pairs = Vec::with_capacity(ents_a.len() * ents_b.len());
+    for &a in &ents_a {
+        for &b in &ents_b {
+            pairs.push((a, b));
+        }
+    }
+    let candidates: Option<Vec<bool>> = restrict.subset(dim).map(|ids| {
+        let mut mask = vec![false; indices.dim_len(dim)];
+        for &id in ids {
+            mask[id as usize] = true;
+        }
+        mask
+    });
+    let is_candidate = |e: u32| candidates.as_ref().is_none_or(|m| m[e as usize]);
+
+    if k == 0 || pairs.is_empty() {
+        stats.publish("ta");
+        return TopKResult { entries: Vec::new(), stats };
+    }
+
+    let sign = match order {
+        RankOrder::MostUnfair => 1.0,
+        RankOrder::LeastUnfair => -1.0,
+    };
+    let key = |v: f64, e: u32| (Reverse(OrdF64(sign * v)), e);
+
+    let mut heap: BinaryHeap<(Reverse<OrdF64>, u32)> = BinaryHeap::new();
+    let mut cursors = vec![0usize; pairs.len()];
+    // Cursor value per list in sign space; `NEG_INFINITY` marks an
+    // exhausted list, which stops bounding τ.
+    let mut frontier = vec![f64::INFINITY; pairs.len()];
+    let mut seen = vec![false; indices.dim_len(dim)];
+
+    loop {
+        stats.rounds += 1;
+        let mut progressed = false;
+        for (pi, &pair) in pairs.iter().enumerate() {
+            let list = indices.list_for(dim, pair);
+            let accessed = match order {
+                RankOrder::MostUnfair => list.sorted_desc(cursors[pi]),
+                RankOrder::LeastUnfair => list.sorted_asc(cursors[pi]),
+            };
+            let Some((e, v)) = accessed else {
+                frontier[pi] = f64::NEG_INFINITY;
+                continue;
+            };
+            stats.sorted_accesses += 1;
+            cursors[pi] += 1;
+            stats.cells_scanned += 1;
+            frontier[pi] = sign * v;
+            progressed = true;
+            if !is_candidate(e) || seen[e as usize] {
+                continue;
+            }
+            seen[e as usize] = true;
+
+            // Complete the subset aggregate: probe every other list, skip
+            // the missing cells.
+            let mut sum = v;
+            let mut present = 1usize;
+            for (pj, &other) in pairs.iter().enumerate() {
+                if pj == pi {
+                    continue;
+                }
+                stats.random_accesses += 1;
+                stats.cells_scanned += 1;
+                if let Some(val) = indices.list_for(dim, other).random_access(e) {
+                    sum += val;
+                    present += 1;
+                }
+            }
+            let aggregate = sum / present as f64;
+
+            if heap.len() < k {
+                heap.push(key(aggregate, e));
+            } else if let Some(&top) = heap.peek() {
+                let cand = key(aggregate, e);
+                if cand < top {
+                    heap.pop();
+                    heap.push(cand);
+                }
+            }
+        }
+
+        // τ: the best subset average any unseen entity could still reach.
+        let tau =
+            frontier.iter().filter(|f| f.is_finite()).fold(f64::NEG_INFINITY, |m, &f| m.max(f));
+        if heap.len() >= k {
+            let &(Reverse(OrdF64(worst)), _) = heap.peek().expect("heap non-empty");
+            if worst >= tau {
+                break;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+
+    let mut entries: Vec<(u32, f64)> =
+        heap.into_iter().map(|(Reverse(OrdF64(sv)), e)| (e, sign * sv)).collect();
+    entries.sort_by(|a, b| {
+        let va = OrdF64(sign * a.1);
+        let vb = OrdF64(sign * b.1);
+        vb.cmp(&va).then(a.0.cmp(&b.0))
+    });
+    stats.publish("ta");
+    TopKResult { entries, stats }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -331,13 +467,75 @@ mod tests {
         assert_eq!(rl.entries.len(), 2);
     }
 
+    /// A degraded cube: group 3 lost one cell, group 1 lost all but one,
+    /// group 0 lost everything. TA must agree with the naive scan's
+    /// subset-average semantics, including the omission of group 0.
+    fn degraded_cube() -> UnfairnessCube {
+        let mut c = cube();
+        c.set_opt(GroupId(3), QueryId(0), LocationId(0), None);
+        for (q, l) in [(0, 0), (0, 1), (1, 0)] {
+            c.set_opt(GroupId(1), QueryId(q), LocationId(l), None);
+        }
+        for q in 0..2u32 {
+            for l in 0..2u32 {
+                c.set_opt(GroupId(0), QueryId(q), LocationId(l), None);
+            }
+        }
+        c
+    }
+
     #[test]
-    #[should_panic(expected = "complete")]
-    fn incomplete_cube_rejected() {
-        let mut c = UnfairnessCube::with_dims(2, 1, 1);
-        c.set(GroupId(0), QueryId(0), LocationId(0), 0.5);
+    fn partial_cube_matches_naive() {
+        let c = degraded_cube();
         let idx = crate::index::IndexSet::build(&c);
-        top_k(&idx, Dimension::Group, 1, RankOrder::MostUnfair, &Restriction::none());
+        assert!(!idx.is_complete());
+        for order in [RankOrder::MostUnfair, RankOrder::LeastUnfair] {
+            for k in [1usize, 2, 4, 10] {
+                let ta = top_k(&idx, Dimension::Group, k, order, &Restriction::none());
+                let nv =
+                    crate::algo::naive_top_k(&c, Dimension::Group, k, order, &Restriction::none());
+                assert_eq!(ta.entries.len(), nv.entries.len(), "{order:?} k={k}");
+                for (a, b) in ta.entries.iter().zip(&nv.entries) {
+                    assert_eq!(a.0, b.0, "{order:?} k={k}");
+                    assert!((a.1 - b.1).abs() < 1e-9, "{order:?} k={k}: {a:?} vs {b:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partial_cube_omits_entities_with_no_cells() {
+        let c = degraded_cube();
+        let idx = crate::index::IndexSet::build(&c);
+        let r = top_k(&idx, Dimension::Group, 10, RankOrder::MostUnfair, &Restriction::none());
+        assert_eq!(r.entries.len(), 3, "group 0 has no present cells");
+        assert!(r.entries.iter().all(|&(e, _)| e != 0));
+    }
+
+    #[test]
+    fn fully_missing_list_does_not_wedge_partial_ta() {
+        // Every cell of query 1 is missing: two of the four posting lists
+        // are empty, so they exhaust immediately and must stop bounding τ.
+        let mut c = cube();
+        for g in 0..4u32 {
+            for l in 0..2u32 {
+                c.set_opt(GroupId(g), QueryId(1), LocationId(l), None);
+            }
+        }
+        let idx = crate::index::IndexSet::build(&c);
+        let ta = top_k(&idx, Dimension::Group, 4, RankOrder::MostUnfair, &Restriction::none());
+        let nv = crate::algo::naive_top_k(
+            &c,
+            Dimension::Group,
+            4,
+            RankOrder::MostUnfair,
+            &Restriction::none(),
+        );
+        assert_eq!(ta.entries.len(), 4);
+        for (a, b) in ta.entries.iter().zip(&nv.entries) {
+            assert_eq!(a.0, b.0);
+            assert!((a.1 - b.1).abs() < 1e-9);
+        }
     }
 
     #[test]

@@ -178,8 +178,11 @@ impl FBox {
     }
 
     /// Problem 1 over any dimension. Uses the threshold algorithm when the
-    /// cube is complete, falling back to the naive scan otherwise (the TA
-    /// bound needs every entity in every list).
+    /// cube is complete and the naive scan otherwise. (The TA and NRA both
+    /// handle incomplete cubes directly these days with subset-average
+    /// bounds; the naive scan is kept here because on the sparse tail of a
+    /// degraded cube its single pass is the cheaper plan, and it pins this
+    /// method's historical output bytes.)
     pub fn top_k(
         &self,
         dim: Dimension,

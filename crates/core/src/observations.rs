@@ -44,6 +44,40 @@ pub struct RankedWorker {
     pub score: Option<f64>,
 }
 
+/// Why a crawled result page failed validation and cannot become a
+/// [`MarketRanking`]. Resilient ingestion quarantines such pages instead
+/// of aborting the crawl (see `fbox-marketplace`'s crawl).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RankingError {
+    /// Two workers claim the same rank.
+    DuplicateRank {
+        /// The rank that appears more than once.
+        rank: usize,
+    },
+    /// The sorted rank sequence skips a value (e.g. 1, 2, 4).
+    GapInRanks {
+        /// The rank that was expected at this position.
+        expected: usize,
+        /// The rank that was found instead.
+        found: usize,
+    },
+}
+
+impl std::fmt::Display for RankingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::DuplicateRank { rank } => {
+                write!(f, "duplicate rank {rank} in result page")
+            }
+            Self::GapInRanks { expected, found } => {
+                write!(f, "gap in rank sequence: expected {expected}, found {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RankingError {}
+
 /// The ranked worker list returned by a marketplace for one
 /// `(query, location)`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
@@ -53,24 +87,42 @@ pub struct MarketRanking {
 
 impl MarketRanking {
     /// Builds a ranking, sorting by rank and validating that ranks are the
+    /// contiguous sequence `1..=N`. Returns a typed [`RankingError`] on
+    /// duplicate or gapped ranks so callers (the resilient crawl) can
+    /// quarantine the page instead of crashing.
+    pub fn try_new(mut workers: Vec<RankedWorker>) -> Result<Self, RankingError> {
+        workers.sort_by_key(|w| w.rank);
+        for (i, w) in workers.iter().enumerate() {
+            let expected = i + 1;
+            if w.rank != expected {
+                return Err(if w.rank < expected {
+                    // Sorted order: a rank below its position means it
+                    // also appeared at an earlier position.
+                    RankingError::DuplicateRank { rank: w.rank }
+                } else {
+                    RankingError::GapInRanks { expected, found: w.rank }
+                });
+            }
+        }
+        Ok(Self { workers })
+    }
+
+    /// Builds a ranking, sorting by rank and validating that ranks are the
     /// contiguous sequence `1..=N`.
     ///
     /// # Panics
     ///
-    /// Panics on duplicate or gapped ranks — a crawled result page always
-    /// yields a contiguous ranking, so anything else is a data bug.
-    pub fn new(mut workers: Vec<RankedWorker>) -> Self {
-        workers.sort_by_key(|w| w.rank);
-        for (i, w) in workers.iter().enumerate() {
-            assert_eq!(
-                w.rank,
-                i + 1,
-                "ranks must be the contiguous sequence 1..=N (got {} at position {})",
-                w.rank,
-                i
-            );
-        }
-        Self { workers }
+    /// Panics on duplicate or gapped ranks — use [`MarketRanking::try_new`]
+    /// when malformed pages must be handled gracefully.
+    pub fn new(workers: Vec<RankedWorker>) -> Self {
+        Self::try_new(workers).expect("ranks must be the contiguous sequence 1..=N")
+    }
+
+    /// Consumes the ranking, returning its workers in rank order. Used by
+    /// fault injection to perturb a page and re-validate it.
+    #[must_use]
+    pub fn into_workers(self) -> Vec<RankedWorker> {
+        self.workers
     }
 
     /// The workers, sorted by rank.
@@ -141,10 +193,25 @@ impl MarketObservations {
         Self::default()
     }
 
-    /// Records the ranking crawled for `(q, l)`. Replaces any previous
-    /// ranking for the same cell (a re-crawl supersedes the old page).
+    /// Records the ranking crawled for `(q, l)`. **Last write wins**: any
+    /// previous ranking for the same cell is silently replaced (a re-crawl
+    /// supersedes the old page). Single-pass ingestion that expects each
+    /// cell exactly once should use [`MarketObservations::insert_new`],
+    /// which catches accidental double writes in debug builds.
     pub fn insert(&mut self, q: QueryId, l: LocationId, ranking: MarketRanking) {
         self.rankings.insert((q, l), ranking);
+    }
+
+    /// Records the ranking for a cell that must not have been observed
+    /// yet. A double write indicates an ingestion bug (the crawl visits
+    /// each grid cell exactly once); `debug_assert` catches it in tests
+    /// while release builds degrade to last-write-wins.
+    pub fn insert_new(&mut self, q: QueryId, l: LocationId, ranking: MarketRanking) {
+        let previous = self.rankings.insert((q, l), ranking);
+        debug_assert!(
+            previous.is_none(),
+            "cell ({q:?}, {l:?}) observed twice in a single-pass ingestion"
+        );
     }
 
     /// The ranking observed for `(q, l)`, if any.
@@ -199,6 +266,58 @@ mod tests {
             RankedWorker { assignment: vec![], rank: 1, score: None },
             RankedWorker { assignment: vec![], rank: 1, score: None },
         ]);
+    }
+
+    #[test]
+    fn try_new_reports_typed_errors() {
+        let dup = MarketRanking::try_new(vec![
+            RankedWorker { assignment: vec![], rank: 1, score: None },
+            RankedWorker { assignment: vec![], rank: 1, score: None },
+        ]);
+        assert_eq!(dup.unwrap_err(), RankingError::DuplicateRank { rank: 1 });
+
+        let gap = MarketRanking::try_new(vec![
+            RankedWorker { assignment: vec![], rank: 1, score: None },
+            RankedWorker { assignment: vec![], rank: 3, score: None },
+        ]);
+        let gap = gap.unwrap_err();
+        assert_eq!(gap, RankingError::GapInRanks { expected: 2, found: 3 });
+
+        // Errors render for quarantine logs.
+        assert!(gap.to_string().contains("gap"));
+    }
+
+    #[test]
+    fn into_workers_round_trips() {
+        let workers = vec![
+            RankedWorker { assignment: vec![vid(0)], rank: 1, score: None },
+            RankedWorker { assignment: vec![vid(1)], rank: 2, score: None },
+        ];
+        let r = MarketRanking::new(workers.clone());
+        assert_eq!(r.into_workers(), workers);
+    }
+
+    #[test]
+    fn insert_last_write_wins() {
+        let q = QueryId(0);
+        let l = LocationId(0);
+        let mut m = MarketObservations::new();
+        m.insert(q, l, MarketRanking::new(vec![]));
+        m.insert(
+            q,
+            l,
+            MarketRanking::new(vec![RankedWorker { assignment: vec![], rank: 1, score: None }]),
+        );
+        assert_eq!(m.get(q, l).unwrap().len(), 1, "re-crawl supersedes the old page");
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "observed twice")]
+    fn insert_new_catches_double_writes() {
+        let mut m = MarketObservations::new();
+        m.insert_new(QueryId(0), LocationId(0), MarketRanking::new(vec![]));
+        m.insert_new(QueryId(0), LocationId(0), MarketRanking::new(vec![]));
     }
 
     #[test]

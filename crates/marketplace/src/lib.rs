@@ -27,7 +27,10 @@ pub mod population;
 pub mod scoring;
 
 pub use bias::{BiasOverride, BiasProfile, OverrideAction};
-pub use crawl::{crawl, taskrabbit_universe, CrawlStats};
+pub use crawl::{
+    crawl, crawl_resilient, taskrabbit_universe, CellOutcome, CellRecord, CrawlJournal, CrawlRun,
+    CrawlStats,
+};
 pub use demographics::{Demographic, Ethnicity, Gender, PopulationMarginals};
 pub use engine::{Marketplace, PAGE_SIZE};
 pub use population::{Population, Worker};

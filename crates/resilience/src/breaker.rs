@@ -1,0 +1,191 @@
+//! A deterministic circuit breaker.
+//!
+//! When a platform starts failing a whole region (an IP ban, a city-level
+//! outage), hammering every remaining cell with full retry budgets wastes
+//! the crawl's time budget and invites harder bans. The classic answer is
+//! a circuit breaker: after `threshold` *consecutive* failures the circuit
+//! **opens** and subsequent cells are skipped outright; after `cooldown`
+//! skipped cells it goes **half-open** and lets one probe through — a
+//! success closes the circuit, a failure re-opens it.
+//!
+//! Determinism: the breaker is a sequential state machine, so its verdicts
+//! depend on the *order* it is driven in. Consumers must drive it in
+//! canonical cell order (the crawl grid order), never in thread-completion
+//! order. That works because every failure here is plan-injected: whether
+//! a cell would fail is known from the [`FaultPlan`](crate::FaultPlan)
+//! without executing the expensive query, so the crawl evaluates breaker
+//! admission in its deterministic planning pass and only then fans the
+//! admitted cells out to the worker pool.
+
+/// Breaker tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive failures that open the circuit.
+    pub threshold: u32,
+    /// Cells skipped while open before a half-open probe is allowed.
+    pub cooldown: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        Self { threshold: 3, cooldown: 5 }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Closed { consecutive_failures: u32 },
+    Open { remaining: u32 },
+    HalfOpen,
+}
+
+/// One circuit (the crawl keeps one per city).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    state: State,
+    trips: u32,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker.
+    #[must_use]
+    pub fn new(config: BreakerConfig) -> Self {
+        assert!(config.threshold >= 1, "threshold must be at least 1");
+        Self { config, state: State::Closed { consecutive_failures: 0 }, trips: 0 }
+    }
+
+    /// Asks whether the next cell may run. While open this *consumes* one
+    /// cooldown step and returns `false`; when the cooldown is spent the
+    /// breaker turns half-open and admits a probe.
+    pub fn admit(&mut self) -> bool {
+        match self.state {
+            State::Closed { .. } | State::HalfOpen => true,
+            State::Open { remaining } => {
+                if remaining <= 1 {
+                    self.state = State::HalfOpen;
+                } else {
+                    self.state = State::Open { remaining: remaining - 1 };
+                }
+                false
+            }
+        }
+    }
+
+    /// Reports the outcome of an admitted cell.
+    pub fn record(&mut self, ok: bool) {
+        match (self.state, ok) {
+            (State::Closed { .. }, true) => {
+                self.state = State::Closed { consecutive_failures: 0 };
+            }
+            (State::Closed { consecutive_failures }, false) => {
+                let failures = consecutive_failures + 1;
+                if failures >= self.config.threshold {
+                    self.trip();
+                } else {
+                    self.state = State::Closed { consecutive_failures: failures };
+                }
+            }
+            (State::HalfOpen, true) => {
+                self.state = State::Closed { consecutive_failures: 0 };
+            }
+            (State::HalfOpen, false) => self.trip(),
+            // `record` without a preceding successful `admit` is a driver
+            // bug, but a breaker should never panic a crawl: treat it as
+            // a no-op observation.
+            (State::Open { .. }, _) => {}
+        }
+    }
+
+    fn trip(&mut self) {
+        self.trips += 1;
+        self.state = State::Open { remaining: self.config.cooldown.max(1) };
+    }
+
+    /// Whether the circuit is currently open (skipping cells).
+    #[must_use]
+    pub fn is_open(&self) -> bool {
+        matches!(self.state, State::Open { .. })
+    }
+
+    /// How many times this circuit tripped open.
+    #[must_use]
+    pub fn trips(&self) -> u32 {
+        self.trips
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker() -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig { threshold: 3, cooldown: 2 })
+    }
+
+    #[test]
+    fn stays_closed_on_success() {
+        let mut b = breaker();
+        for _ in 0..10 {
+            assert!(b.admit());
+            b.record(true);
+        }
+        assert_eq!(b.trips(), 0);
+        assert!(!b.is_open());
+    }
+
+    #[test]
+    fn interleaved_failures_do_not_trip() {
+        let mut b = breaker();
+        for _ in 0..10 {
+            assert!(b.admit());
+            b.record(false);
+            assert!(b.admit());
+            b.record(true);
+        }
+        assert_eq!(b.trips(), 0);
+    }
+
+    #[test]
+    fn consecutive_failures_trip_then_cooldown_then_probe() {
+        let mut b = breaker();
+        for _ in 0..3 {
+            assert!(b.admit());
+            b.record(false);
+        }
+        assert!(b.is_open());
+        assert_eq!(b.trips(), 1);
+        // Two cells skipped during cooldown.
+        assert!(!b.admit());
+        assert!(!b.admit());
+        // Half-open probe succeeds → closed again.
+        assert!(b.admit());
+        b.record(true);
+        assert!(!b.is_open());
+        // …and the failure streak was reset by the probe.
+        assert!(b.admit());
+        b.record(false);
+        assert!(!b.is_open());
+    }
+
+    #[test]
+    fn failed_probe_reopens() {
+        let mut b = breaker();
+        for _ in 0..3 {
+            b.admit();
+            b.record(false);
+        }
+        assert!(!b.admit());
+        assert!(!b.admit());
+        assert!(b.admit()); // half-open probe
+        b.record(false);
+        assert!(b.is_open());
+        assert_eq!(b.trips(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn zero_threshold_rejected() {
+        let _ = CircuitBreaker::new(BreakerConfig { threshold: 0, cooldown: 1 });
+    }
+}

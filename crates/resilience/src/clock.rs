@@ -1,0 +1,52 @@
+//! A virtual clock for retry backoff.
+//!
+//! The ingestion pipeline is *simulated*: there is no real network to wait
+//! on, and real sleeps would (a) make test runtime proportional to the
+//! injected fault rate and (b) reintroduce wall-clock reads that the
+//! `instant-outside-telemetry` lint bans and that determinism forbids —
+//! a backoff measured with `Instant::now()` varies run to run, so any
+//! decision derived from it would too. Backoff therefore advances a
+//! per-cell [`VirtualClock`]: a plain millisecond counter that the retry
+//! loop bumps by each computed backoff. The accumulated simulated time is
+//! what lands in telemetry and in the crawl statistics.
+
+/// Simulated time, advanced by retry backoff instead of real sleeps.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VirtualClock {
+    now_ms: u64,
+}
+
+impl VirtualClock {
+    /// A clock at virtual time zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advances the clock by `ms` simulated milliseconds.
+    pub fn advance_ms(&mut self, ms: u64) {
+        self.now_ms = self.now_ms.saturating_add(ms);
+    }
+
+    /// Current simulated time in milliseconds since the clock started.
+    #[must_use]
+    pub fn now_ms(&self) -> u64 {
+        self.now_ms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advances_and_saturates() {
+        let mut c = VirtualClock::new();
+        assert_eq!(c.now_ms(), 0);
+        c.advance_ms(250);
+        c.advance_ms(750);
+        assert_eq!(c.now_ms(), 1000);
+        c.advance_ms(u64::MAX);
+        assert_eq!(c.now_ms(), u64::MAX);
+    }
+}

@@ -1,0 +1,255 @@
+//! Seeded, schedule-independent fault injection.
+//!
+//! A [`FaultPlan`] answers one question: *what goes wrong on attempt `n`
+//! of cell `key`?* The answer is a pure function of `(seed, key, attempt)`
+//! — nothing else — so the same plan produces the same fault stream
+//! whether the crawl runs on one thread or eight, in one process or
+//! resumed across two. Probabilities are expressed in integer per-mille to
+//! keep the decision path free of floating point.
+//!
+//! The four fault kinds mirror what live-platform audits actually see
+//! (flaky transports, 429 bursts, half-rendered result pages, rank
+//! sequences mangled by scraping):
+//!
+//! - [`FaultKind::Transient`]: the request fails; retryable.
+//! - [`FaultKind::RateLimited`]: the platform throttles; retryable with a
+//!   stiffer backoff penalty.
+//! - [`FaultKind::Truncated`]: the page arrives but only the top half of
+//!   the results rendered; the (still contiguous) prefix is usable.
+//! - [`FaultKind::Corrupted`]: the page arrives with a mangled rank
+//!   sequence; the parser must reject it and quarantine the cell.
+
+use crate::hash::mix;
+
+/// What the injected failure looks like to the ingestion layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Request-level failure (timeout, reset); nothing arrives.
+    Transient,
+    /// Throttled by the platform; nothing arrives, back off harder.
+    RateLimited,
+    /// The page arrives truncated to its top half.
+    Truncated,
+    /// The page arrives with a corrupted (duplicate/gapped) rank sequence.
+    Corrupted,
+}
+
+/// Per-mille probabilities of each fault kind per attempt. The remainder
+/// up to 1000 is a clean response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultProfile {
+    /// Probability (per mille) of a transient failure.
+    pub transient_pm: u32,
+    /// Probability (per mille) of a rate-limit rejection.
+    pub rate_limited_pm: u32,
+    /// Probability (per mille) of a truncated page.
+    pub truncated_pm: u32,
+    /// Probability (per mille) of a corrupted rank sequence.
+    pub corrupted_pm: u32,
+}
+
+impl FaultProfile {
+    /// No faults at all — the plan is inert and the pipeline behaves
+    /// exactly as if no resilience layer existed.
+    #[must_use]
+    pub const fn none() -> Self {
+        Self { transient_pm: 0, rate_limited_pm: 0, truncated_pm: 0, corrupted_pm: 0 }
+    }
+
+    /// Occasional hiccups: the crawl recovers almost everything through
+    /// retries; a few cells degrade.
+    #[must_use]
+    pub const fn mild() -> Self {
+        Self { transient_pm: 80, rate_limited_pm: 30, truncated_pm: 20, corrupted_pm: 10 }
+    }
+
+    /// A bad day: heavy transient failure and visible data loss. Retry
+    /// budgets run out, pages truncate and corrupt, breakers may trip.
+    #[must_use]
+    pub const fn heavy() -> Self {
+        Self { transient_pm: 250, rate_limited_pm: 100, truncated_pm: 60, corrupted_pm: 40 }
+    }
+
+    /// Rate-limit dominated: consecutive attempts keep drawing 429s, which
+    /// is how throttling bursts present in practice.
+    #[must_use]
+    pub const fn bursty() -> Self {
+        Self { transient_pm: 50, rate_limited_pm: 300, truncated_pm: 10, corrupted_pm: 10 }
+    }
+
+    /// Resolves a profile by name (`none`, `mild`, `heavy`, `bursty`).
+    #[must_use]
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name {
+            "none" => Some(Self::none()),
+            "mild" => Some(Self::mild()),
+            "heavy" => Some(Self::heavy()),
+            "bursty" => Some(Self::bursty()),
+            _ => None,
+        }
+    }
+
+    /// Total per-mille probability of *any* fault per attempt.
+    #[must_use]
+    pub fn total_pm(&self) -> u32 {
+        self.transient_pm + self.rate_limited_pm + self.truncated_pm + self.corrupted_pm
+    }
+
+    /// Whether this profile can ever inject a fault.
+    #[must_use]
+    pub fn is_inert(&self) -> bool {
+        self.total_pm() == 0
+    }
+}
+
+/// A seeded fault plan: the deterministic source of everything that goes
+/// wrong during one ingestion run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    seed: u64,
+    profile: FaultProfile,
+}
+
+impl FaultPlan {
+    /// A plan injecting faults per `profile`, streamed from `seed`.
+    #[must_use]
+    pub fn new(seed: u64, profile: FaultProfile) -> Self {
+        assert!(profile.total_pm() <= 1000, "fault probabilities exceed 1000 per mille");
+        Self { seed, profile }
+    }
+
+    /// The inert plan: never injects anything.
+    #[must_use]
+    pub fn none() -> Self {
+        Self::new(0, FaultProfile::none())
+    }
+
+    /// The plan's seed.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The plan's fault profile.
+    #[must_use]
+    pub fn profile(&self) -> &FaultProfile {
+        &self.profile
+    }
+
+    /// Whether the plan can ever inject a fault.
+    #[must_use]
+    pub fn is_inert(&self) -> bool {
+        self.profile.is_inert()
+    }
+
+    /// The fault injected on attempt `attempt` (0-based) of cell `key`, or
+    /// `None` for a clean response. Pure in `(seed, key, attempt)`.
+    #[must_use]
+    pub fn fault(&self, key: u64, attempt: u32) -> Option<FaultKind> {
+        if self.profile.is_inert() {
+            return None;
+        }
+        let draw = (mix(mix(self.seed, key), u64::from(attempt) ^ 0xA77E_0000) % 1000) as u32;
+        let p = &self.profile;
+        let mut bound = p.transient_pm;
+        if draw < bound {
+            return Some(FaultKind::Transient);
+        }
+        bound += p.rate_limited_pm;
+        if draw < bound {
+            return Some(FaultKind::RateLimited);
+        }
+        bound += p.truncated_pm;
+        if draw < bound {
+            return Some(FaultKind::Truncated);
+        }
+        bound += p.corrupted_pm;
+        if draw < bound {
+            return Some(FaultKind::Corrupted);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inert_plan_never_faults() {
+        let plan = FaultPlan::none();
+        for key in 0..100u64 {
+            for attempt in 0..8 {
+                assert_eq!(plan.fault(key, attempt), None);
+            }
+        }
+    }
+
+    #[test]
+    fn faults_are_deterministic_and_key_local() {
+        let plan = FaultPlan::new(42, FaultProfile::heavy());
+        for key in 0..50u64 {
+            for attempt in 0..4 {
+                assert_eq!(plan.fault(key, attempt), plan.fault(key, attempt));
+            }
+        }
+        // Different seeds give different streams somewhere.
+        let other = FaultPlan::new(43, FaultProfile::heavy());
+        let differs = (0..200u64).any(|k| plan.fault(k, 0) != other.fault(k, 0));
+        assert!(differs, "seed must matter");
+    }
+
+    #[test]
+    fn empirical_rates_match_profile() {
+        let profile = FaultProfile::heavy();
+        let plan = FaultPlan::new(7, profile);
+        let n = 20_000u64;
+        let mut counts = [0u32; 4];
+        let mut clean = 0u32;
+        for key in 0..n {
+            match plan.fault(key, 0) {
+                Some(FaultKind::Transient) => counts[0] += 1,
+                Some(FaultKind::RateLimited) => counts[1] += 1,
+                Some(FaultKind::Truncated) => counts[2] += 1,
+                Some(FaultKind::Corrupted) => counts[3] += 1,
+                None => clean += 1,
+            }
+        }
+        let expect = [
+            profile.transient_pm,
+            profile.rate_limited_pm,
+            profile.truncated_pm,
+            profile.corrupted_pm,
+        ];
+        for (got, pm) in counts.iter().zip(expect) {
+            let expected = n as u32 * pm / 1000;
+            let slack = expected / 5 + 50;
+            assert!(
+                got.abs_diff(expected) < slack,
+                "kind rate off: got {got}, expected ~{expected}"
+            );
+        }
+        assert!(clean > 0);
+    }
+
+    #[test]
+    fn profiles_resolve_by_name() {
+        assert_eq!(FaultProfile::by_name("none"), Some(FaultProfile::none()));
+        assert_eq!(FaultProfile::by_name("mild"), Some(FaultProfile::mild()));
+        assert_eq!(FaultProfile::by_name("heavy"), Some(FaultProfile::heavy()));
+        assert_eq!(FaultProfile::by_name("bursty"), Some(FaultProfile::bursty()));
+        assert_eq!(FaultProfile::by_name("chaotic-evil"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "per mille")]
+    fn overfull_profile_rejected() {
+        let p = FaultProfile {
+            transient_pm: 800,
+            rate_limited_pm: 300,
+            truncated_pm: 0,
+            corrupted_pm: 0,
+        };
+        let _ = FaultPlan::new(0, p);
+    }
+}

@@ -1,0 +1,65 @@
+//! Stable, zero-dependency hashing for fault keys.
+//!
+//! Fault injection must be *byte-deterministic at any thread count*, so a
+//! cell's fault stream may only depend on stable identity — query and city
+//! names, participant coordinates — never on `HashMap` iteration order,
+//! scheduling, or `std::hash::RandomState`. These are the same splitmix64
+//! finalizer and FNV-1a string fold the simulators use for their own seed
+//! derivation, reimplemented here so the crate stays dependency-free.
+
+/// splitmix64 finalizer: mixes two words into one well-distributed word.
+#[must_use]
+pub fn mix(a: u64, b: u64) -> u64 {
+    let mut z = a ^ b.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Folds a string into a seed: FNV-1a over the bytes, then a final mix so
+/// similar strings land far apart.
+#[must_use]
+pub fn mix_str(seed: u64, s: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in s.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    mix(seed, h)
+}
+
+/// A stable cell key from a namespace and two identifying names — the
+/// `(query, city)` key of a marketplace cell, for instance. Order matters:
+/// `cell_key(ns, a, b) != cell_key(ns, b, a)`.
+#[must_use]
+pub fn cell_key(namespace: &str, a: &str, b: &str) -> u64 {
+    mix_str(mix_str(mix_str(0xFB0C_5EED, namespace), a), b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_is_stable_and_sensitive() {
+        assert_eq!(mix(1, 2), mix(1, 2));
+        assert_ne!(mix(1, 2), mix(2, 1));
+        assert_ne!(mix(1, 2), mix(1, 3));
+    }
+
+    #[test]
+    fn mix_str_distinguishes_similar_names() {
+        let a = mix_str(7, "Lawn Mowing");
+        let b = mix_str(7, "Lawn Mowing ");
+        let c = mix_str(8, "Lawn Mowing");
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn cell_key_is_order_sensitive() {
+        assert_ne!(cell_key("crawl", "a", "b"), cell_key("crawl", "b", "a"));
+        assert_ne!(cell_key("crawl", "a", "b"), cell_key("study", "a", "b"));
+        assert_eq!(cell_key("crawl", "a", "b"), cell_key("crawl", "a", "b"));
+    }
+}

@@ -1,0 +1,105 @@
+//! An in-memory write-ahead journal for interruptible ingestion.
+//!
+//! A months-long crawl dies mid-flight — the process is killed, the
+//! machine reboots — and the expensive part is the cells already
+//! retrieved. The journal records each cell's *final disposition* as it
+//! completes; a resumed run replays journaled cells instead of re-running
+//! them and only executes the remainder. Because every cell's outcome is
+//! deterministic, a crawl interrupted at any point and resumed from its
+//! journal reconstructs byte-identical observations, statistics, and
+//! cubes (see `tests/chaos.rs` at the workspace root).
+//!
+//! The journal is deliberately storage-agnostic: an ordered map from a
+//! stable `u64` cell key to an arbitrary payload. Persistence (serializing
+//! entries to disk between runs) layers on top without touching consumers.
+
+use std::collections::HashMap;
+
+/// Append-only journal of completed work, keyed by stable cell key.
+#[derive(Debug, Clone, Default)]
+pub struct Journal<T> {
+    entries: Vec<(u64, T)>,
+    index: HashMap<u64, usize>,
+}
+
+impl<T> Journal<T> {
+    /// An empty journal.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { entries: Vec::new(), index: HashMap::new() }
+    }
+
+    /// Records the final disposition of cell `key`. Keys must be unique: a
+    /// double append means the crawl executed a cell it should have
+    /// replayed, which `debug_assert` catches in tests; release builds
+    /// keep the first record (the write-ahead rule: what was journaled
+    /// happened).
+    pub fn append(&mut self, key: u64, value: T) {
+        debug_assert!(
+            !self.index.contains_key(&key),
+            "journal key {key:#x} appended twice — resumed crawl re-ran a completed cell"
+        );
+        if self.index.contains_key(&key) {
+            return;
+        }
+        self.index.insert(key, self.entries.len());
+        self.entries.push((key, value));
+    }
+
+    /// The journaled disposition of `key`, if completed.
+    #[must_use]
+    pub fn get(&self, key: u64) -> Option<&T> {
+        self.index.get(&key).map(|&i| &self.entries[i].1)
+    }
+
+    /// Whether `key` has completed.
+    #[must_use]
+    pub fn contains(&self, key: u64) -> bool {
+        self.index.contains_key(&key)
+    }
+
+    /// Number of completed cells.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing has completed yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entries in append (completion) order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &T)> {
+        self.entries.iter().map(|(k, v)| (*k, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_replays() {
+        let mut j: Journal<&str> = Journal::new();
+        assert!(j.is_empty());
+        j.append(1, "one");
+        j.append(2, "two");
+        assert_eq!(j.len(), 2);
+        assert!(j.contains(1));
+        assert_eq!(j.get(2), Some(&"two"));
+        assert_eq!(j.get(3), None);
+        let order: Vec<u64> = j.iter().map(|(k, _)| k).collect();
+        assert_eq!(order, vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "appended twice")]
+    #[cfg(debug_assertions)]
+    fn double_append_caught_in_debug() {
+        let mut j: Journal<u8> = Journal::new();
+        j.append(7, 1);
+        j.append(7, 2);
+    }
+}

@@ -1,0 +1,104 @@
+//! Capped exponential backoff with deterministic jitter.
+//!
+//! Real retry loops jitter their backoff to avoid thundering herds; a
+//! reproduction needs the jitter without the nondeterminism. Here the
+//! jitter is a pure function of `(key, attempt)` — the classic
+//! "equal jitter" scheme (half fixed, half hashed) over a capped
+//! exponential base — so two runs of the same plan back off identically,
+//! and the accumulated delay is virtual time (see
+//! [`VirtualClock`](crate::VirtualClock)), not wall-clock sleeps.
+
+use crate::hash::mix;
+
+/// Retry budget and backoff shape for one ingestion run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum attempts per cell (first try included). At least 1.
+    pub max_attempts: u32,
+    /// Base backoff before the first retry, in virtual milliseconds.
+    pub base_ms: u64,
+    /// Cap on a single backoff step, in virtual milliseconds.
+    pub cap_ms: u64,
+    /// Extra penalty added when the failure was a rate-limit rejection.
+    pub rate_limit_penalty_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self { max_attempts: 4, base_ms: 100, cap_ms: 5_000, rate_limit_penalty_ms: 1_000 }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff before retrying attempt `attempt` (0-based: the value
+    /// for `attempt = 0` is the delay after the *first* failure), in
+    /// virtual milliseconds: `min(cap, base · 2^attempt)`, equal-jittered
+    /// deterministically by `key`.
+    #[must_use]
+    pub fn backoff_ms(&self, key: u64, attempt: u32) -> u64 {
+        let exp = self.base_ms.saturating_mul(1u64.checked_shl(attempt).unwrap_or(u64::MAX));
+        let full = exp.min(self.cap_ms);
+        let half = full / 2;
+        // Equal jitter: half fixed + a hashed draw from [0, half].
+        half + if half == 0 { 0 } else { mix(key, 0xBAC0_FF00 ^ u64::from(attempt)) % (half + 1) }
+    }
+
+    /// Retries available after the first attempt.
+    #[must_use]
+    pub fn max_retries(&self) -> u32 {
+        self.max_attempts.saturating_sub(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_and_capped() {
+        let p = RetryPolicy::default();
+        for attempt in 0..10 {
+            let a = p.backoff_ms(99, attempt);
+            let b = p.backoff_ms(99, attempt);
+            assert_eq!(a, b);
+            assert!(a <= p.cap_ms, "attempt {attempt}: {a} > cap");
+        }
+    }
+
+    #[test]
+    fn backoff_grows_then_saturates() {
+        let p =
+            RetryPolicy { max_attempts: 8, base_ms: 100, cap_ms: 1_000, rate_limit_penalty_ms: 0 };
+        // The jittered value lives in [full/2, full]; the deterministic
+        // lower bound therefore doubles until the cap kicks in.
+        assert!(p.backoff_ms(1, 0) >= 50 && p.backoff_ms(1, 0) <= 100);
+        assert!(p.backoff_ms(1, 2) >= 200 && p.backoff_ms(1, 2) <= 400);
+        assert!(p.backoff_ms(1, 9) >= 500 && p.backoff_ms(1, 9) <= 1_000);
+    }
+
+    #[test]
+    fn jitter_varies_by_key() {
+        let p = RetryPolicy::default();
+        let distinct: std::collections::HashSet<u64> =
+            (0..32u64).map(|k| p.backoff_ms(k, 3)).collect();
+        assert!(distinct.len() > 1, "jitter must depend on the key");
+    }
+
+    #[test]
+    fn huge_attempt_does_not_overflow() {
+        let p = RetryPolicy {
+            max_attempts: 4,
+            base_ms: 1 << 40,
+            cap_ms: u64::MAX,
+            rate_limit_penalty_ms: 0,
+        };
+        let v = p.backoff_ms(5, 63);
+        assert!(v >= (u64::MAX / 2) - 1);
+    }
+
+    #[test]
+    fn zero_base_backs_off_zero() {
+        let p = RetryPolicy { max_attempts: 4, base_ms: 0, cap_ms: 100, rate_limit_penalty_ms: 0 };
+        assert_eq!(p.backoff_ms(1, 0), 0);
+    }
+}

@@ -1,0 +1,24 @@
+//! `FBOX_FAULTS` environment parsing, isolated in its own test binary so
+//! the env mutation cannot race any other test.
+
+use fbox_resilience::{FaultProfile, Resilience, FAULTS_ENV};
+
+#[test]
+fn from_env_round_trips_and_tolerates_garbage() {
+    // SAFETY/caveat: this is the only test in this binary, so nothing else
+    // reads the variable concurrently.
+    std::env::remove_var(FAULTS_ENV);
+    assert!(!Resilience::from_env().enabled(), "unset env must be inert");
+
+    std::env::set_var(FAULTS_ENV, "42:heavy");
+    let r = Resilience::from_env();
+    assert!(r.enabled());
+    assert_eq!(r.plan.seed(), 42);
+    assert_eq!(*r.plan.profile(), FaultProfile::heavy());
+
+    // A malformed flag must never change pipeline output: fall back to inert.
+    std::env::set_var(FAULTS_ENV, "not-a-spec");
+    assert!(!Resilience::from_env().enabled());
+
+    std::env::remove_var(FAULTS_ENV);
+}

@@ -30,5 +30,7 @@ pub use engine::SearchEngine;
 pub use extension::ExtensionRunner;
 pub use noise::{NoiseModel, RequestContext};
 pub use personalize::{PersonalizationOverride, PersonalizationProfile};
-pub use study::{google_universe, run_study, StudyDesign, StudyStats, LOCATIONS, QUERIES};
+pub use study::{
+    google_universe, run_study, run_study_resilient, StudyDesign, StudyStats, LOCATIONS, QUERIES,
+};
 pub use user::SearchUser;

@@ -21,6 +21,7 @@ use crate::user::SearchUser;
 use fbox_core::model::{Schema, Universe};
 use fbox_core::observations::SearchObservations;
 use fbox_marketplace::demographics::{Demographic, Ethnicity, Gender};
+use fbox_resilience::{hash, Disposition, PayloadFault, Resilience};
 use serde::{Deserialize, Serialize};
 
 /// The study's locations: the paper's ten plus Washington, DC.
@@ -110,6 +111,20 @@ pub struct StudyStats {
     pub n_queries: usize,
     /// Total search requests issued (incl. repeats and formulations).
     pub n_requests_lower_bound: usize,
+    /// Participant lists lost to exhausted retry budgets.
+    pub n_failed: usize,
+    /// Participant lists dropped because the payload arrived corrupted.
+    pub n_quarantined: usize,
+    /// Participant lists delivered truncated (their top half is used).
+    pub n_truncated: usize,
+    /// Total retries across all (participant, query) sessions.
+    pub n_retries: u64,
+    /// Total virtual backoff time spent in retries, in milliseconds.
+    pub backoff_virtual_ms: u64,
+    /// Fraction of participant lists delivered:
+    /// `delivered / (delivered + n_failed + n_quarantined)`; 1.0 for a
+    /// fault-free study.
+    pub coverage: f64,
 }
 
 /// The universe of the Google study: 11-group lattice, the 20 queries with
@@ -131,16 +146,34 @@ fn city_region(name: &str) -> Option<&'static str> {
 
 /// One participant's assignment: identity plus where their lists go.
 /// Enumerated in serial recruitment order so ids — and therefore the
-/// derived user seeds — are independent of how the sessions are scheduled.
+/// derived user seeds and fault keys — are independent of how the
+/// sessions are scheduled.
 struct Participant {
+    /// Recruitment-order id: the stable identity faults are keyed by.
+    uid: u64,
     user: SearchUser,
     location: &'static str,
     l: fbox_core::model::LocationId,
 }
 
-/// Runs the full study: for every location and every full demographic
-/// group, `participants_per_group` users each execute all 20 queries via
-/// the extension protocol.
+/// What one (participant, query) session delivered, with its resilience
+/// accounting.
+struct SessionCell {
+    q: fbox_core::model::QueryId,
+    /// `None` when the list was lost (budget exhausted or corrupted).
+    list: Option<fbox_core::observations::UserList>,
+    truncated: bool,
+    quarantined: bool,
+    failed: bool,
+    retries: u32,
+    backoff_ms: u64,
+}
+
+/// Runs the full study under the resilience configuration from the
+/// environment ([`Resilience::from_env`]; inert unless `FBOX_FAULTS` is
+/// set): for every location and every full demographic group,
+/// `participants_per_group` users each execute all 20 queries via the
+/// extension protocol.
 ///
 /// Participant sessions are independent (each starts a fresh clock), so
 /// they are fanned out across `FBOX_THREADS` workers; each cell's lists
@@ -150,6 +183,27 @@ pub fn run_study(
     design: &StudyDesign,
     engine: &SearchEngine,
     runner: &ExtensionRunner,
+) -> (Universe, SearchObservations, StudyStats) {
+    run_study_resilient(design, engine, runner, &Resilience::from_env())
+}
+
+/// [`run_study`] under an explicit [`Resilience`] configuration.
+///
+/// Faults are keyed per `(participant, query)` — a pure function of the
+/// participant's recruitment id and the query name — so the degraded
+/// observations are byte-identical at any `FBOX_THREADS`. Transient and
+/// rate-limit faults are absorbed by retries (the engine is deterministic,
+/// so a retry re-delivers the same page; the cost is virtual backoff
+/// time); a corrupted payload drops the list into quarantine; a truncated
+/// payload keeps its top half; an exhausted retry budget loses the list.
+/// Lost lists simply shrink the affected `(query, location)` cell — and if
+/// a cell loses every list it becomes a missing cube cell, which the
+/// downstream algorithms handle (see `fbox-core`'s partial-cube top-k).
+pub fn run_study_resilient(
+    design: &StudyDesign,
+    engine: &SearchEngine,
+    runner: &ExtensionRunner,
+    resilience: &Resilience,
 ) -> (Universe, SearchObservations, StudyStats) {
     let _span = fbox_telemetry::span!("search.run_study");
     let universe = google_universe();
@@ -165,8 +219,8 @@ pub fn run_study(
                         design.seed ^ crate::hash::mix(user_id, (li as u64) << 32 | p as u64),
                         Demographic { gender, ethnicity },
                     );
+                    participants.push(Participant { uid: user_id, user, location, l });
                     user_id += 1;
-                    participants.push(Participant { user, location, l });
                 }
             }
         }
@@ -175,32 +229,81 @@ pub fn run_study(
 
     let sessions = fbox_par::par_map(&participants, |participant| {
         // Each participant's session starts fresh; queries run
-        // back-to-back under the protocol's spacing.
+        // back-to-back under the protocol's spacing. The protocol clock is
+        // deliberately not advanced by retry backoff: fault injection must
+        // stay orthogonal to the engine's noise model, or the fault seed
+        // would leak into the *content* of recovered pages.
         let mut clock = 0.0f64;
         QUERIES
             .iter()
             .map(|(query, category)| {
                 let q = universe.query_id(query).expect("registered");
-                let (list, end) = runner.run_query(
-                    engine,
-                    &participant.user,
-                    query,
-                    category,
-                    participant.location,
-                    clock,
+                let key = hash::mix(
+                    hash::cell_key("search.study", participant.location, query),
+                    participant.uid,
                 );
-                clock = end;
-                (q, list)
+                let plan = resilience.plan_cell(key);
+                let mut cell = SessionCell {
+                    q,
+                    list: None,
+                    truncated: false,
+                    quarantined: false,
+                    failed: false,
+                    retries: plan.retries,
+                    backoff_ms: plan.backoff_ms,
+                };
+                match plan.disposition {
+                    Disposition::Exhausted => cell.failed = true,
+                    Disposition::Run(payload) => {
+                        let (mut list, end) = runner.run_query(
+                            engine,
+                            &participant.user,
+                            query,
+                            category,
+                            participant.location,
+                            clock,
+                        );
+                        clock = end;
+                        match payload {
+                            None => cell.list = Some(list),
+                            Some(PayloadFault::Truncate) => {
+                                let keep = list.results.len().div_ceil(2);
+                                list.results.truncate(keep);
+                                cell.truncated = true;
+                                cell.list = Some(list);
+                            }
+                            Some(PayloadFault::Corrupt) => cell.quarantined = true,
+                        }
+                    }
+                }
+                cell
             })
             .collect::<Vec<_>>()
     });
 
     let mut observations = SearchObservations::new();
+    let mut n_failed = 0usize;
+    let mut n_quarantined = 0usize;
+    let mut n_truncated = 0usize;
+    let mut n_retries = 0u64;
+    let mut backoff_virtual_ms = 0u64;
+    let mut delivered = 0usize;
     for (participant, session) in participants.iter().zip(sessions) {
-        for (q, list) in session {
-            observations.push(q, participant.l, list);
+        for cell in session {
+            n_retries += u64::from(cell.retries);
+            backoff_virtual_ms += cell.backoff_ms;
+            n_failed += usize::from(cell.failed);
+            n_quarantined += usize::from(cell.quarantined);
+            n_truncated += usize::from(cell.truncated);
+            if let Some(list) = cell.list {
+                observations.push(cell.q, participant.l, list);
+                delivered += 1;
+            }
         }
     }
+    let lost = n_failed + n_quarantined;
+    let coverage =
+        if delivered + lost == 0 { 0.0 } else { delivered as f64 / (delivered + lost) as f64 };
 
     let stats = StudyStats {
         n_studies: LOCATIONS.len() * 6,
@@ -210,11 +313,25 @@ pub fn run_study(
             * QUERIES.len()
             * crate::terms::N_FORMULATIONS
             * runner.repeats,
+        n_failed,
+        n_quarantined,
+        n_truncated,
+        n_retries,
+        backoff_virtual_ms,
+        coverage,
     };
     let t = fbox_telemetry::global();
     if t.enabled() {
         t.counter("study.participants").add(stats.n_participants as u64);
         t.counter("study.requests").add(stats.n_requests_lower_bound as u64);
+        t.counter("study.retries").add(n_retries);
+        t.counter("study.lists_failed").add(n_failed as u64);
+        t.counter("study.lists_quarantined").add(n_quarantined as u64);
+        t.counter("study.lists_truncated").add(n_truncated as u64);
+        if backoff_virtual_ms > 0 {
+            t.histogram("study.backoff_virtual_ms")
+                .record(std::time::Duration::from_millis(backoff_virtual_ms));
+        }
     }
     (universe, observations, stats)
 }
@@ -253,6 +370,50 @@ mod tests {
         let q = universe.query_id("yard work").unwrap();
         let l = universe.location_id("Boston, MA").unwrap();
         assert_eq!(obs.get(q, l).unwrap().len(), 6 * 2);
+    }
+
+    #[test]
+    fn faulted_study_degrades_gracefully() {
+        use fbox_resilience::{FaultPlan, FaultProfile};
+        let design = StudyDesign { participants_per_group: 2, seed: 1 };
+        let engine = SearchEngine::new(PersonalizationProfile::uniform(0.1), NoiseModel::none(), 3);
+        let runner = ExtensionRunner { repeats: 1, max_extra_runs: 0, ..Default::default() };
+        let r = Resilience::with_plan(FaultPlan::new(5, FaultProfile::heavy()));
+        let (_, obs, stats) = run_study_resilient(&design, &engine, &runner, &r);
+        let (_, clean_obs, clean) = run_study(&design, &engine, &runner);
+
+        // The clean run is inert and fully covered…
+        assert_eq!(clean.n_failed + clean.n_quarantined + clean.n_truncated, 0);
+        assert_eq!(clean.coverage, 1.0);
+        assert_eq!(clean_obs.n_cells(), 220);
+        // …the faulted run loses lists in every mode but keeps going.
+        assert!(stats.n_failed > 0);
+        assert!(stats.n_quarantined > 0);
+        assert!(stats.n_truncated > 0);
+        assert!(stats.n_retries > 0);
+        assert!(stats.backoff_virtual_ms > 0);
+        assert!(stats.coverage > 0.5 && stats.coverage < 1.0);
+        // Lost lists shrink cells; with 12 participants per cell it is
+        // unlikely (but legal) for a whole cell to vanish.
+        let total_lists: usize = obs.cells().map(|(_, lists)| lists.len()).sum();
+        let clean_total: usize = clean_obs.cells().map(|(_, lists)| lists.len()).sum();
+        assert!(total_lists < clean_total);
+    }
+
+    #[test]
+    fn faulted_study_is_deterministic() {
+        use fbox_resilience::{FaultPlan, FaultProfile};
+        let design = StudyDesign { participants_per_group: 1, seed: 9 };
+        let engine = SearchEngine::new(PersonalizationProfile::none(), NoiseModel::none(), 3);
+        let runner = ExtensionRunner { repeats: 1, max_extra_runs: 0, ..Default::default() };
+        let r = Resilience::with_plan(FaultPlan::new(13, FaultProfile::bursty()));
+        let (_, obs1, stats1) = run_study_resilient(&design, &engine, &runner, &r);
+        let (_, obs2, stats2) = run_study_resilient(&design, &engine, &runner, &r);
+        assert_eq!(stats1, stats2);
+        assert_eq!(obs1.n_cells(), obs2.n_cells());
+        for ((q, l), lists) in obs1.cells() {
+            assert_eq!(obs2.get(q, l), Some(lists));
+        }
     }
 
     #[test]

@@ -22,7 +22,7 @@
 
 use super::{topk::RankOrder, OrdF64, Restriction, TopKResult, TopKStats};
 use crate::index::{Dimension, IndexSet};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Per-entity bookkeeping: which lists have reported it and the partial
 /// sum of reported values.
@@ -86,7 +86,7 @@ pub fn nra_top_k(
     // Current cursor value per list, in sign space (bound for unseen
     // positions of that list).
     let mut frontier = vec![f64::INFINITY; n_lists];
-    let mut partials: HashMap<u32, Partial> = HashMap::new();
+    let mut partials: BTreeMap<u32, Partial> = BTreeMap::new();
 
     loop {
         stats.rounds += 1;
@@ -299,7 +299,7 @@ fn nra_top_k_partial(
     let mut cursors = vec![0usize; n_lists];
     let mut frontier = vec![f64::INFINITY; n_lists];
     let mut exhausted = vec![false; n_lists];
-    let mut partials: HashMap<u32, Partial> = HashMap::new();
+    let mut partials: BTreeMap<u32, Partial> = BTreeMap::new();
 
     // The best subset average `e` could still reach, given the lists that
     // might yet contain it.

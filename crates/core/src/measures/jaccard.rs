@@ -7,16 +7,19 @@
 //!
 //! Within the F-Box, unfairness must grow when lists diverge, so the
 //! drivers use [`distance`] (= 1 − index). Both directions are exposed.
+//!
+//! Sets are `BTreeSet`s (`T: Ord`), keeping every walk over them in a
+//! deterministic order — this module sits inside the cube-build cone
+//! checked by the `det-hash-iter` lint.
 
-use std::collections::HashSet;
-use std::hash::Hash;
+use std::collections::BTreeSet;
 
 /// Jaccard index `|A ∩ B| / |A ∪ B|` of the *sets* of items in the two
 /// lists (duplicates are collapsed). Two empty lists have index 1
 /// (identical) by convention.
-pub fn index<T: Eq + Hash>(a: &[T], b: &[T]) -> f64 {
-    let sa: HashSet<&T> = a.iter().collect();
-    let sb: HashSet<&T> = b.iter().collect();
+pub fn index<T: Ord>(a: &[T], b: &[T]) -> f64 {
+    let sa: BTreeSet<&T> = a.iter().collect();
+    let sb: BTreeSet<&T> = b.iter().collect();
     if sa.is_empty() && sb.is_empty() {
         return 1.0;
     }
@@ -28,18 +31,18 @@ pub fn index<T: Eq + Hash>(a: &[T], b: &[T]) -> f64 {
 /// Jaccard distance `1 − index(a, b)` ∈ `[0, 1]`; 0 for identical sets,
 /// 1 for disjoint ones. This is the orientation used in Eq. 1, where higher
 /// values mean more divergent result sets and hence more unfairness.
-pub fn distance<T: Eq + Hash>(a: &[T], b: &[T]) -> f64 {
+pub fn distance<T: Ord>(a: &[T], b: &[T]) -> f64 {
     1.0 - index(a, b)
 }
 
 /// Jaccard index of the top-`k` prefixes of two ranked lists — the usual
 /// way to compare truncated search-result pages at a fixed depth.
-pub fn index_at_k<T: Eq + Hash>(a: &[T], b: &[T], k: usize) -> f64 {
+pub fn index_at_k<T: Ord>(a: &[T], b: &[T], k: usize) -> f64 {
     index(&a[..a.len().min(k)], &b[..b.len().min(k)])
 }
 
 /// Jaccard distance of the top-`k` prefixes.
-pub fn distance_at_k<T: Eq + Hash>(a: &[T], b: &[T], k: usize) -> f64 {
+pub fn distance_at_k<T: Ord>(a: &[T], b: &[T], k: usize) -> f64 {
     1.0 - index_at_k(a, b, k)
 }
 

@@ -21,7 +21,7 @@
 
 use crate::model::{LocationId, QueryId, ValueId};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One study participant's observed result list for one `(query, location)`.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -151,7 +151,7 @@ impl MarketRanking {
 /// All search-engine observations of a study, keyed by `(query, location)`.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct SearchObservations {
-    samples: HashMap<(QueryId, LocationId), Vec<UserList>>,
+    samples: BTreeMap<(QueryId, LocationId), Vec<UserList>>,
 }
 
 impl SearchObservations {
@@ -184,7 +184,7 @@ impl SearchObservations {
 /// All marketplace observations of a study, keyed by `(query, location)`.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct MarketObservations {
-    rankings: HashMap<(QueryId, LocationId), MarketRanking>,
+    rankings: BTreeMap<(QueryId, LocationId), MarketRanking>,
 }
 
 impl MarketObservations {

@@ -111,7 +111,13 @@ mod tests {
     use super::*;
 
     fn finding(rule: &str, file: &str, line: u32, snippet: &str) -> Finding {
-        Finding { rule: rule.to_owned(), file: file.to_owned(), line, snippet: snippet.to_owned() }
+        Finding {
+            rule: rule.to_owned(),
+            file: file.to_owned(),
+            line,
+            snippet: snippet.to_owned(),
+            path: Vec::new(),
+        }
     }
 
     #[test]

@@ -22,11 +22,19 @@
 //!
 //! [crate.crates/bench]       # per-crate severity overrides
 //! unwrap-in-lib = "allow"
+//!
+//! [sema]                     # determinism roots for the det-* rules
+//! roots = ["FBox::from_search", "study::run_study"]
 //! ```
+//!
+//! Rule ids are validated against the union of the lexical and semantic
+//! rule registries; an unknown id anywhere is a hard config error, so a
+//! typo can never silently disable a rule.
 
 use std::collections::BTreeMap;
 
 use crate::rules::{all_rules, Severity};
+use crate::sema::all_sema_rules;
 
 /// Parsed `Lint.toml`.
 #[derive(Debug, Default, Clone)]
@@ -41,12 +49,16 @@ pub struct Config {
     pub allow_paths: BTreeMap<String, Vec<String>>,
     /// `[rule.<id>] apply-paths`: the rule runs ONLY under these prefixes.
     pub apply_paths: BTreeMap<String, Vec<String>>,
+    /// `[sema] roots`: qualified-name suffix patterns overriding the
+    /// built-in determinism roots (empty = use the defaults).
+    pub sema_roots: Vec<String>,
 }
 
 impl Config {
     /// Parses `Lint.toml` text. Errors carry the offending line number.
     pub fn parse(text: &str) -> Result<Config, String> {
-        let known: Vec<&'static str> = all_rules().iter().map(|r| r.id()).collect();
+        let mut known: Vec<&'static str> = all_rules().iter().map(|r| r.id()).collect();
+        known.extend(all_sema_rules().iter().map(|r| r.id()));
         let mut cfg = Config::default();
         let mut section = String::new();
         for (idx, raw) in text.lines().enumerate() {
@@ -73,6 +85,10 @@ impl Config {
                 "paths" => match key {
                     "exclude" => cfg.exclude = string_array(value, lineno)?,
                     _ => return Err(format!("Lint.toml:{lineno}: unknown [paths] key `{key}`")),
+                },
+                "sema" => match key {
+                    "roots" => cfg.sema_roots = string_array(value, lineno)?,
+                    _ => return Err(format!("Lint.toml:{lineno}: unknown [sema] key `{key}`")),
                 },
                 s => {
                     if let Some(rule) = s.strip_prefix("rule.") {
@@ -214,5 +230,29 @@ unwrap-in-lib = "allow"
         assert!(Config::parse("[rules]\nno-such-rule = \"deny\"\n").is_err());
         assert!(Config::parse("[crate.crates/core]\nno-such-rule = \"warn\"\n").is_err());
         assert!(Config::parse("[rules]\nfloat-eq = \"forbid\"\n").is_err());
+        assert!(Config::parse("[rule.no-such-rule]\nallow-paths = [\"x\"]\n").is_err());
+        // The error names the offending line and id.
+        let err = Config::parse("[rules]\ndet-hash-itre = \"deny\"\n").expect_err("typo rejected");
+        assert!(err.contains(":2:") && err.contains("det-hash-itre"), "{err}");
+    }
+
+    #[test]
+    fn sema_rule_ids_are_known_everywhere() {
+        let cfg = Config::parse(
+            "[rules]\ndet-hash-iter = \"warn\"\n\
+             [crate.crates/bench]\npar-panic-reachable = \"allow\"\n\
+             [rule.det-env-read]\nallow-paths = [\"crates/par\"]\n",
+        )
+        .expect("sema ids are valid in every section");
+        assert_eq!(cfg.rule_severity.get("det-hash-iter"), Some(&Severity::Warn));
+        assert!(!cfg.rule_applies_to("det-env-read", "crates/par/src/lib.rs"));
+    }
+
+    #[test]
+    fn sema_roots_section_parses_and_rejects_unknown_keys() {
+        let cfg = Config::parse("[sema]\nroots = [\"FBox::from_search\", \"study::run_study\"]\n")
+            .expect("sema section parses");
+        assert_eq!(cfg.sema_roots, ["FBox::from_search", "study::run_study"]);
+        assert!(Config::parse("[sema]\nrotos = [\"x\"]\n").is_err(), "unknown [sema] key");
     }
 }

@@ -50,18 +50,20 @@ impl Report {
     }
 }
 
-/// Runs the full analysis over `root`.
+/// Runs the full analysis over `root`: the per-file lexical pass, then
+/// the whole-workspace semantic pass over the call graph.
 pub fn run(root: &Path, config: &Config, baseline: &Baseline, registry: &Registry) -> Report {
     let _span = SpanGuard::enter(registry, "lint.run");
     let rules = all_rules();
-    let files = walk(root, config);
     let mut report = Report::default();
     let mut raw: Vec<(Finding, Severity)> = Vec::new();
 
-    for rel in &files {
-        let Some(file) = crate::source::load(root, rel) else {
-            continue;
-        };
+    // The semantic pass needs every file at once (the call graph spans
+    // the workspace), so sources are held in memory for both passes.
+    let sources: Vec<crate::source::SourceFile> =
+        walk(root, config).iter().filter_map(|rel| crate::source::load(root, rel)).collect();
+
+    for file in &sources {
         report.files_scanned += 1;
         report.lines_scanned += file.lines.len() as u32;
         for rule in &rules {
@@ -73,10 +75,38 @@ pub fn run(root: &Path, config: &Config, baseline: &Baseline, registry: &Registr
                 continue;
             }
             let mut found = Vec::new();
-            rule.check(&file, &mut found);
+            rule.check(file, &mut found);
             for f in found {
                 raw.push((f, severity));
             }
+        }
+    }
+
+    // Semantic pass. Severity and path scoping are resolved per finding
+    // (the sink's file), since one rule's findings span many files.
+    let model = {
+        let _span = SpanGuard::enter(registry, "lint.sema");
+        crate::sema::Model::build(&sources, config)
+    };
+    registry.counter("lint.sema.nodes").add(model.nodes.len() as u64);
+    registry.counter("lint.sema.edges").add(model.edge_count() as u64);
+    registry.counter("lint.sema.det_roots").add(model.det_roots.len() as u64);
+    registry.counter("lint.sema.par_roots").add(model.par_roots.len() as u64);
+    let labels: std::collections::BTreeMap<&str, &str> =
+        sources.iter().map(|f| (f.path.as_str(), f.crate_label.as_str())).collect();
+    for rule in crate::sema::all_sema_rules() {
+        let mut found = Vec::new();
+        rule.check(&model, &mut found);
+        for f in found {
+            if !config.rule_applies_to(rule.id(), &f.file) {
+                continue;
+            }
+            let label = labels.get(f.file.as_str()).copied().unwrap_or_default();
+            let severity = config.severity(rule.id(), label, rule.default_severity());
+            if severity == Severity::Allow {
+                continue;
+            }
+            raw.push((f, severity));
         }
     }
 
@@ -153,6 +183,7 @@ mod tests {
             file: "a.rs".into(),
             line: 1,
             snippet: "x.unwrap()".into(),
+            path: Vec::new(),
         };
         let mut report = Report::default();
         report.findings.push(Reported { finding, severity: "deny".into(), baselined: true });

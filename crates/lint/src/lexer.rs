@@ -30,8 +30,10 @@ pub enum Tok {
     Int(String),
     /// Float literal (`0.0`, `1.`, `2e-3`, `1f64`).
     Float(String),
-    /// Any string literal (`"..."`, `r#"..."#`, `b"..."`); content elided.
-    Str,
+    /// Any string literal (`"..."`, `r#"..."#`, `b"..."`). The content is
+    /// elided; only its character count is kept (rules distinguish
+    /// `expect("named invariant")` from `expect("")` by emptiness).
+    Str(usize),
     /// Char or byte literal (`'x'`, `b'\n'`); content elided.
     Char,
     /// Multi-character operator (`==`, `!=`, `::`, `->`, `..`, ...).
@@ -179,13 +181,11 @@ impl Lexer {
     fn string(&mut self) {
         let line = self.line;
         self.pos += 1;
+        let start = self.pos;
         while let Some(c) = self.peek(0) {
             match c {
                 '\\' => self.skip_escape(),
-                '"' => {
-                    self.pos += 1;
-                    break;
-                }
+                '"' => break,
                 '\n' => {
                     self.line += 1;
                     self.pos += 1;
@@ -193,7 +193,9 @@ impl Lexer {
                 _ => self.pos += 1,
             }
         }
-        self.push(Tok::Str, line);
+        let len = self.pos - start;
+        self.pos += 1; // closing quote (or EOF)
+        self.push(Tok::Str(len), line);
     }
 
     /// Handles `r"..."`, `r#"..."#`, `b"..."`, `br#"..."#`, `b'x'`.
@@ -232,6 +234,8 @@ impl Lexer {
         let raw = first == 'r' || self.peek(1) == Some('r');
         let line = self.line;
         self.pos += i + hashes + 1;
+        let content_start = self.pos;
+        let mut len = None;
         // Scan until closing quote followed by the same number of hashes.
         while let Some(c) = self.peek(0) {
             match c {
@@ -248,16 +252,19 @@ impl Lexer {
                             break;
                         }
                     }
-                    self.pos += 1;
                     if ok {
-                        self.pos += hashes;
+                        len = Some(self.pos - content_start);
+                        self.pos += 1 + hashes;
                         break;
                     }
+                    self.pos += 1;
                 }
                 _ => self.pos += 1,
             }
         }
-        self.push(Tok::Str, line);
+        // Unterminated literal: the rest of the file is the content.
+        let len = len.unwrap_or_else(|| self.pos.saturating_sub(content_start));
+        self.push(Tok::Str(len), line);
         true
     }
 
@@ -419,7 +426,7 @@ mod tests {
     #[test]
     fn raw_strings_and_lifetimes() {
         let lexed = lex("r#\"raw \" quote\"# b\"bytes\" 'a' '\\n' fn f<'a>(x: &'a str) {}");
-        let strs = lexed.tokens.iter().filter(|t| t.tok == Tok::Str).count();
+        let strs = lexed.tokens.iter().filter(|t| matches!(t.tok, Tok::Str(_))).count();
         let chars = lexed.tokens.iter().filter(|t| t.tok == Tok::Char).count();
         let lifetimes = lexed.tokens.iter().filter(|t| matches!(t.tok, Tok::Lifetime(_))).count();
         assert_eq!((strs, chars, lifetimes), (2, 2, 2));
@@ -458,5 +465,19 @@ mod tests {
         let a = &lexed.tokens[0];
         let b = &lexed.tokens[2];
         assert_eq!((a.line, b.line), (1, 6));
+    }
+
+    #[test]
+    fn string_literals_carry_their_content_length() {
+        let lexed = lex("\"\" \"abc\" r#\"xy\"# b\"q\"");
+        let lens: Vec<usize> = lexed
+            .tokens
+            .iter()
+            .filter_map(|t| match t.tok {
+                Tok::Str(n) => Some(n),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(lens, vec![0, 3, 2, 1]);
     }
 }

@@ -12,8 +12,15 @@
 //!
 //! - [`lexer`] — a comment/string/attribute-aware Rust token scanner
 //!   (no full parse);
+//! - [`parser`] — a lightweight item-level parser over the token stream
+//!   (modules, fns, impls, use-trees, closures) feeding [`sema`];
 //! - [`rules`] — the [`Rule`](rules::Rule) engine with domain-tailored
 //!   lexical rules (see `fbox-lint --list-rules`);
+//! - [`sema`] — the workspace symbol table, the intra-workspace call
+//!   graph with closure-capture edges, and the transitive determinism /
+//!   concurrency rule family (`det-*`, `par-panic-reachable`,
+//!   `race-static-mut`) whose findings carry the full root → violation
+//!   call path;
 //! - [`engine`] + [`config`] + [`baseline`] — the workspace walker,
 //!   `Lint.toml` severity/scoping configuration, and the
 //!   `lint-baseline.json` allowlist with stale-entry detection.
@@ -25,5 +32,7 @@ pub mod baseline;
 pub mod config;
 pub mod engine;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
+pub mod sema;
 pub mod source;

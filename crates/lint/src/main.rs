@@ -9,6 +9,7 @@ use fbox_lint::baseline::Baseline;
 use fbox_lint::config::Config;
 use fbox_lint::engine::{self, Report};
 use fbox_lint::rules::all_rules;
+use fbox_lint::sema::all_sema_rules;
 use fbox_telemetry::{JsonSink, Registry, Subscriber, TableSink};
 
 const USAGE: &str = "\
@@ -25,6 +26,7 @@ OPTIONS:
     --json              Emit the report as JSON instead of a table
     --metrics           Append scan telemetry (table, or snapshot JSON with --json)
     --write-baseline    Rewrite the baseline from current deny findings and exit
+    --check-baseline    Exit 1 unless the baseline is minimal (re-emitting produces no diff)
     --list-rules        Print the rule set and exit
     -h, --help          Show this help
 ";
@@ -37,6 +39,7 @@ struct Options {
     json: bool,
     metrics: bool,
     write_baseline: bool,
+    check_baseline: bool,
     list_rules: bool,
     help: bool,
 }
@@ -81,6 +84,7 @@ fn parse_args() -> Result<Options, String> {
         json: false,
         metrics: false,
         write_baseline: false,
+        check_baseline: false,
         list_rules: false,
         help: false,
     };
@@ -97,6 +101,7 @@ fn parse_args() -> Result<Options, String> {
             "--json" => opts.json = true,
             "--metrics" => opts.metrics = true,
             "--write-baseline" => opts.write_baseline = true,
+            "--check-baseline" => opts.check_baseline = true,
             "--list-rules" => opts.list_rules = true,
             "-h" | "--help" => opts.help = true,
             other => return Err(format!("unknown option `{other}`")),
@@ -139,6 +144,30 @@ fn run(opts: &Options) -> Result<bool, String> {
         return Ok(false);
     }
 
+    if opts.check_baseline {
+        // Minimal means: every entry matches a live deny finding (no
+        // stale leftovers) and re-emitting would produce the same file.
+        let fresh = Baseline::from_findings(
+            report.findings.iter().filter(|r| r.severity == "deny").map(|r| &r.finding),
+        );
+        if fresh == baseline && report.stale_baseline.is_empty() {
+            println!(
+                "baseline is minimal ({} entr{})",
+                baseline.entries.len(),
+                if baseline.entries.len() == 1 { "y" } else { "ies" }
+            );
+            return Ok(false);
+        }
+        println!(
+            "baseline is NOT minimal: {} entr{} on disk, re-emitting produces {} ({} stale)",
+            baseline.entries.len(),
+            if baseline.entries.len() == 1 { "y" } else { "ies" },
+            fresh.entries.len(),
+            report.stale_baseline.len(),
+        );
+        return Ok(true);
+    }
+
     if opts.json {
         println!("{}", serde::json::to_string_pretty(&report));
     } else {
@@ -173,9 +202,24 @@ fn discover_root() -> Result<PathBuf, String> {
 
 fn print_rules() {
     let rules = all_rules();
-    let width = rules.iter().map(|r| r.id().len()).max().unwrap_or(4);
+    let sema = all_sema_rules();
+    let width = rules
+        .iter()
+        .map(|r| r.id().len())
+        .chain(sema.iter().map(|r| r.id().len()))
+        .max()
+        .unwrap_or(4);
     println!("{:<width$}  {:<7}  summary", "rule", "default");
     for rule in &rules {
+        println!(
+            "{:<width$}  {:<7}  {}",
+            rule.id(),
+            rule.default_severity().as_str(),
+            rule.summary()
+        );
+    }
+    println!("\nsemantic (call-graph) rules:");
+    for rule in &sema {
         println!(
             "{:<width$}  {:<7}  {}",
             rule.id(),
@@ -205,6 +249,11 @@ fn print_table(report: &Report) {
                 "  {:<5} {:<rule_width$}  {:<loc_width$}  {}{}",
                 r.severity, r.finding.rule, loc, r.finding.snippet, mark
             );
+            // Semantic findings: render the root → violation call path.
+            for (i, hop) in r.finding.path.iter().enumerate() {
+                let arrow = if i == 0 { "via" } else { " ->" };
+                let _ = writeln!(out, "        {arrow} {hop}");
+            }
         }
     }
     if !report.stale_baseline.is_empty() {

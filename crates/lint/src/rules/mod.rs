@@ -33,6 +33,10 @@ pub struct Finding {
     /// Trimmed source line, used both for display and for baseline
     /// matching (line-number-free, so pure code motion never goes stale).
     pub snippet: String,
+    /// For semantic rules: the root → violation call path, one
+    /// `qname (file:line)` hop per entry. Empty for lexical findings and
+    /// for declaration-site findings.
+    pub path: Vec<String>,
 }
 
 /// A domain-tailored static-analysis rule.
@@ -111,6 +115,7 @@ pub(crate) fn emit(rule: &dyn Rule, file: &SourceFile, line: u32, out: &mut Vec<
         file: file.path.clone(),
         line,
         snippet: file.snippet(line),
+        path: Vec::new(),
     });
 }
 

@@ -1,0 +1,92 @@
+//! `det-env-read` — environment reads reachable from a determinism root.
+//!
+//! `std::env::var` makes the output of a run depend on ambient process
+//! state, which breaks byte-identical reproduction and makes archived
+//! run reports unverifiable. Environment access is sanctioned only in
+//! the config entry points that snapshot the value once at startup
+//! (`FBOX_THREADS` in `fbox-par`, `FAULTS_ENV` in `fbox-resilience`,
+//! `FBOX_TELEMETRY` in `fbox-telemetry`); those files are carved out via
+//! `[rule.det-env-read] allow-paths` in `Lint.toml`.
+
+use crate::lexer::Tok;
+use crate::rules::{Finding, Severity};
+use crate::sema::{for_each_own_token, Model, SemaRule};
+
+/// See the module docs.
+pub struct DetEnvRead;
+
+/// `std::env` readers that observe ambient process state.
+const ENV_READERS: &[&str] = &["var", "var_os", "vars", "vars_os"];
+
+impl SemaRule for DetEnvRead {
+    fn id(&self) -> &'static str {
+        "det-env-read"
+    }
+
+    fn summary(&self) -> &'static str {
+        "environment read in code reachable from a determinism root"
+    }
+
+    fn default_severity(&self) -> Severity {
+        Severity::Deny
+    }
+
+    fn check(&self, model: &Model, out: &mut Vec<Finding>) {
+        for_each_own_token(model, |node_id, i| {
+            if !model.det.reached(node_id) {
+                return;
+            }
+            let node = &model.nodes[node_id];
+            let file = &model.files[node.file];
+            let toks = &file.lexed.tokens;
+            // `env::var(…)` (also matches the tail of `std::env::var`).
+            if !toks[i].tok.is_ident("env") || !toks.get(i + 1).is_some_and(|t| t.tok.is_op("::")) {
+                return;
+            }
+            let Some(Tok::Ident(reader)) = toks.get(i + 2).map(|t| &t.tok) else { return };
+            if !ENV_READERS.contains(&reader.as_str()) {
+                return;
+            }
+            let path =
+                model.det.path_to(node_id).map(|p| model.render_path(&p)).unwrap_or_default();
+            model.emit(self, node.file, toks[i].line, path, out);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use crate::source::SourceFile;
+
+    fn findings(src: &str, roots: &[&str]) -> Vec<Finding> {
+        let files = vec![SourceFile::parse("crates/core/src/x.rs", src)];
+        let cfg = Config {
+            sema_roots: roots.iter().map(|s| (*s).to_owned()).collect(),
+            ..Config::default()
+        };
+        let model = Model::build(&files, &cfg);
+        let mut out = Vec::new();
+        DetEnvRead.check(&model, &mut out);
+        out
+    }
+
+    #[test]
+    fn transitive_env_read_is_flagged_with_path() {
+        let src = "pub fn run_study() { configure(); }\n\
+                   fn configure() { read_threads(); }\n\
+                   fn read_threads() -> Option<String> { std::env::var(\"T\").ok() }\n";
+        let out = findings(src, &["run_study"]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, 3);
+        assert_eq!(out[0].path.len(), 3, "{:?}", out[0].path);
+    }
+
+    #[test]
+    fn unreachable_env_read_is_not_flagged() {
+        let src = "pub fn run_study() {}\n\
+                   fn read_threads() -> Option<String> { std::env::var(\"T\").ok() }\n";
+        assert!(findings(src, &["run_study"]).is_empty());
+    }
+}

@@ -1,0 +1,264 @@
+//! `det-hash-iter` — HashMap/HashSet iteration reachable from a
+//! determinism root.
+//!
+//! `HashMap` iteration order is randomized per process (and even under a
+//! fixed hasher it is insertion-layout dependent), so any hash-container
+//! walk in code reachable from a cube build, crawl, study, or report
+//! root can change the byte output between runs. The fix is always the
+//! same: switch the container to `BTreeMap`/`BTreeSet`, or collect and
+//! sort before iterating.
+
+use std::collections::BTreeSet;
+
+use crate::lexer::Tok;
+use crate::rules::{Finding, Severity};
+use crate::sema::{for_each_own_token, Model, SemaRule};
+use crate::source::SourceFile;
+
+/// See the module docs.
+pub struct DetHashIter;
+
+/// Container methods whose call means "visit entries in storage order".
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "retain",
+    "intersection",
+    "union",
+    "difference",
+    "symmetric_difference",
+];
+
+impl SemaRule for DetHashIter {
+    fn id(&self) -> &'static str {
+        "det-hash-iter"
+    }
+
+    fn summary(&self) -> &'static str {
+        "HashMap/HashSet iteration in code reachable from a determinism root"
+    }
+
+    fn default_severity(&self) -> Severity {
+        Severity::Deny
+    }
+
+    fn check(&self, model: &Model, out: &mut Vec<Finding>) {
+        let hash_names: Vec<BTreeSet<String>> = model.files.iter().map(hash_bound_names).collect();
+        let mut seen: BTreeSet<(usize, u32)> = BTreeSet::new();
+        for_each_own_token(model, |node_id, i| {
+            let node = &model.nodes[node_id];
+            if !model.det.reached(node_id) {
+                return;
+            }
+            let file = &model.files[node.file];
+            let toks = &file.lexed.tokens;
+            let Tok::Ident(name) = &toks[i].tok else { return };
+            if !hash_names[node.file].contains(name.as_str()) {
+                return;
+            }
+            if !is_iteration_site(toks, i) {
+                return;
+            }
+            let line = toks[i].line;
+            if !seen.insert((node.file, line)) {
+                return;
+            }
+            let path =
+                model.det.path_to(node_id).map(|p| model.render_path(&p)).unwrap_or_default();
+            model.emit(self, node.file, line, path, out);
+        });
+    }
+}
+
+/// Whether the identifier at `i` is being iterated: either
+/// `name.iter_method(` or the head of a `for … in [&[mut]] name {` loop.
+fn is_iteration_site(toks: &[crate::lexer::Token], i: usize) -> bool {
+    // `name.method(` where method visits entries in storage order.
+    if toks.get(i + 1).is_some_and(|t| t.tok.is_punct('.')) {
+        if let Some(Tok::Ident(m)) = toks.get(i + 2).map(|t| &t.tok) {
+            if ITER_METHODS.contains(&m.as_str())
+                && toks.get(i + 3).is_some_and(|t| t.tok.is_punct('('))
+            {
+                return true;
+            }
+        }
+    }
+    // `for pat in [&[mut ]][self.]name {` — walk back over the receiver
+    // shape looking for the `in` keyword.
+    if toks.get(i + 1).is_some_and(|t| t.tok.is_punct('{')) {
+        let mut j = i;
+        for _ in 0..6 {
+            if j == 0 {
+                break;
+            }
+            j -= 1;
+            match &toks[j].tok {
+                Tok::Ident(w) if w == "in" => return true,
+                Tok::Ident(w) if w == "mut" || w == "self" => continue,
+                Tok::Punct('&') | Tok::Punct('.') => continue,
+                _ => break,
+            }
+        }
+    }
+    false
+}
+
+/// Names bound to a hash container anywhere in `file`: `name:
+/// HashMap<…>` (lets, params, struct fields, struct-literal inits) and
+/// `name = HashMap::new()` / `HashSet::from(…)` style assignments.
+fn hash_bound_names(file: &SourceFile) -> BTreeSet<String> {
+    let toks = &file.lexed.tokens;
+    let mut names = BTreeSet::new();
+    for (i, t) in toks.iter().enumerate() {
+        let Tok::Ident(ty) = &t.tok else { continue };
+        if ty != "HashMap" && ty != "HashSet" {
+            continue;
+        }
+        // Walk back over a `std::collections::` path prefix.
+        let mut j = i;
+        while j >= 2 && toks[j - 1].tok.is_op("::") && matches!(toks[j - 2].tok, Tok::Ident(_)) {
+            j -= 2;
+        }
+        if j == 0 {
+            continue;
+        }
+        match &toks[j - 1].tok {
+            // `name: HashMap<…>` — possibly through `&`/`&mut`.
+            Tok::Punct(':') => {
+                if let Some(name) = binding_before(toks, j - 1) {
+                    names.insert(name);
+                }
+            }
+            Tok::Punct('&') => {
+                let mut k = j - 1;
+                if k >= 1 && toks[k - 1].tok.is_ident("mut") {
+                    k -= 1;
+                }
+                if k >= 1 && toks[k - 1].tok.is_punct(':') {
+                    if let Some(name) = binding_before(toks, k - 1) {
+                        names.insert(name);
+                    }
+                }
+            }
+            // `name = HashMap::new()` or `name: Ty = HashMap::new()`.
+            Tok::Punct('=') => {
+                if let Some(name) = assignment_target(toks, j - 1) {
+                    names.insert(name);
+                }
+            }
+            _ => {}
+        }
+    }
+    names
+}
+
+/// The identifier directly before the `:` at `colon` (skipping `mut`).
+fn binding_before(toks: &[crate::lexer::Token], colon: usize) -> Option<String> {
+    let k = colon.checked_sub(1)?;
+    match &toks[k].tok {
+        Tok::Ident(name) if !crate::parser::is_keyword(name) => Some(name.clone()),
+        _ => None,
+    }
+}
+
+/// The binding target of the `=` at `eq`: handles `name =` and
+/// `name: Ty<…> =` (skipping a generic type annotation backwards).
+fn assignment_target(toks: &[crate::lexer::Token], eq: usize) -> Option<String> {
+    let mut k = eq.checked_sub(1)?;
+    // Skip a `: Type<…>` annotation backwards: balanced `<…>` then the
+    // type name, then `:`.
+    let mut depth = 0i32;
+    loop {
+        match &toks[k].tok {
+            Tok::Op(">>") => depth += 2,
+            Tok::Punct('>') => depth += 1,
+            Tok::Op("<<") => depth -= 2,
+            Tok::Punct('<') => depth -= 1,
+            Tok::Ident(name) if depth == 0 && !crate::parser::is_keyword(name) => {
+                // Either the binding itself (`name =`) or a plain type
+                // (`name: Ty =`): if a `:` precedes, keep walking back.
+                if k >= 1 && toks[k - 1].tok.is_punct(':') {
+                    return binding_before(toks, k - 1);
+                }
+                return Some(name.clone());
+            }
+            _ if depth == 0 => return None,
+            _ => {}
+        }
+        k = k.checked_sub(1)?;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+
+    fn findings(src: &str, roots: &[&str]) -> Vec<Finding> {
+        let files = vec![SourceFile::parse("crates/core/src/x.rs", src)];
+        let cfg = Config {
+            sema_roots: roots.iter().map(|s| (*s).to_owned()).collect(),
+            ..Config::default()
+        };
+        let model = Model::build(&files, &cfg);
+        let mut out = Vec::new();
+        DetHashIter.check(&model, &mut out);
+        out
+    }
+
+    #[test]
+    fn direct_iteration_in_a_root_is_flagged() {
+        let src = "use std::collections::HashMap;\n\
+                   pub fn build() {\n\
+                       let counts: HashMap<u64, u32> = HashMap::new();\n\
+                       for (k, v) in counts.iter() { drop((k, v)); }\n\
+                   }\n";
+        let out = findings(src, &["build"]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, 4);
+        assert!(out[0].path[0].contains("core::x::build"), "{:?}", out[0].path);
+    }
+
+    #[test]
+    fn unreachable_iteration_is_not_flagged() {
+        let src = "use std::collections::HashMap;\n\
+                   pub fn cold() {\n\
+                       let counts: HashMap<u64, u32> = HashMap::new();\n\
+                       for (k, v) in counts.iter() { drop((k, v)); }\n\
+                   }\n\
+                   pub fn build() {}\n";
+        assert!(findings(src, &["build"]).is_empty());
+    }
+
+    #[test]
+    fn btree_containers_are_fine() {
+        let src = "use std::collections::BTreeMap;\n\
+                   pub fn build() {\n\
+                       let counts: BTreeMap<u64, u32> = BTreeMap::new();\n\
+                       for (k, v) in counts.iter() { drop((k, v)); }\n\
+                   }\n";
+        assert!(findings(src, &["build"]).is_empty());
+    }
+
+    #[test]
+    fn transitive_iteration_carries_the_full_path() {
+        let src = "use std::collections::HashMap;\n\
+                   pub fn build() { mid(); }\n\
+                   fn mid() { leaf(&HashMap::new()); }\n\
+                   fn leaf(m: &HashMap<u64, u32>) {\n\
+                       for k in m.keys() { drop(k); }\n\
+                   }\n";
+        let out = findings(src, &["build"]);
+        assert_eq!(out.len(), 1);
+        let hops: Vec<&str> =
+            out[0].path.iter().map(|h| h.split(' ').next().unwrap_or_default()).collect();
+        assert_eq!(hops, ["core::x::build", "core::x::mid", "core::x::leaf"]);
+    }
+}

@@ -1,0 +1,91 @@
+//! `det-wall-clock` — wall-clock reads reachable from a determinism
+//! root.
+//!
+//! The lexical `instant-outside-telemetry` rule flags `Instant::now()`
+//! where it is written; this rule upgrades it transitively: a timing
+//! call hidden inside a helper is a violation the moment that helper
+//! becomes reachable from a cube build, crawl, study, or report root.
+//! Timing belongs in `fbox-telemetry` spans (carved out via
+//! `[rule.det-wall-clock] allow-paths`), never in result-producing code.
+
+use crate::lexer::Tok;
+use crate::rules::{Finding, Severity};
+use crate::sema::{for_each_own_token, Model, SemaRule};
+
+/// See the module docs.
+pub struct DetWallClock;
+
+/// Types whose `now()` observes the wall clock.
+const CLOCK_TYPES: &[&str] = &["Instant", "SystemTime"];
+
+impl SemaRule for DetWallClock {
+    fn id(&self) -> &'static str {
+        "det-wall-clock"
+    }
+
+    fn summary(&self) -> &'static str {
+        "wall-clock read in code reachable from a determinism root"
+    }
+
+    fn default_severity(&self) -> Severity {
+        Severity::Deny
+    }
+
+    fn check(&self, model: &Model, out: &mut Vec<Finding>) {
+        for_each_own_token(model, |node_id, i| {
+            if !model.det.reached(node_id) {
+                return;
+            }
+            let node = &model.nodes[node_id];
+            let file = &model.files[node.file];
+            let toks = &file.lexed.tokens;
+            let Tok::Ident(ty) = &toks[i].tok else { return };
+            if !CLOCK_TYPES.contains(&ty.as_str())
+                || !toks.get(i + 1).is_some_and(|t| t.tok.is_op("::"))
+                || !toks.get(i + 2).is_some_and(|t| t.tok.is_ident("now"))
+            {
+                return;
+            }
+            let path =
+                model.det.path_to(node_id).map(|p| model.render_path(&p)).unwrap_or_default();
+            model.emit(self, node.file, toks[i].line, path, out);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use crate::source::SourceFile;
+
+    fn findings(src: &str, roots: &[&str]) -> Vec<Finding> {
+        let files = vec![SourceFile::parse("crates/core/src/x.rs", src)];
+        let cfg = Config {
+            sema_roots: roots.iter().map(|s| (*s).to_owned()).collect(),
+            ..Config::default()
+        };
+        let model = Model::build(&files, &cfg);
+        let mut out = Vec::new();
+        DetWallClock.check(&model, &mut out);
+        out
+    }
+
+    #[test]
+    fn transitive_clock_read_is_flagged() {
+        let src = "pub fn crawl() { step(); }\n\
+                   fn step() { stamp(); }\n\
+                   fn stamp() { let _t = std::time::Instant::now(); }\n";
+        let out = findings(src, &["crawl"]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, 3);
+        assert_eq!(out[0].path.len(), 3);
+    }
+
+    #[test]
+    fn clock_read_outside_the_cone_is_ignored() {
+        let src = "pub fn crawl() {}\n\
+                   fn stamp() { let _t = std::time::SystemTime::now(); }\n";
+        assert!(findings(src, &["crawl"]).is_empty());
+    }
+}

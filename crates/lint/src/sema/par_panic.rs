@@ -1,0 +1,140 @@
+//! `par-panic-reachable` — panics reachable from closures handed to the
+//! `fbox-par` fan-out entry points.
+//!
+//! A panic inside a worker closure tears down the whole thread pool and
+//! turns a recoverable data problem into an aborted run; `fbox-par`
+//! deliberately has no panic recovery so that serial and parallel
+//! execution stay observably identical. Roots are every closure passed
+//! to `par_map` / `par_chunks` / `scope` / `with_threads`; sinks are
+//! `panic!` / `todo!` / `unimplemented!`, `.unwrap()`, and `.expect(…)`
+//! whose argument is *not* a single non-empty string literal — the
+//! workspace's sanctioned invariant style, `.expect("named invariant")`,
+//! stays allowed.
+
+use crate::lexer::Tok;
+use crate::rules::{Finding, Severity};
+use crate::sema::{for_each_own_token, Model, SemaRule};
+
+/// See the module docs.
+pub struct ParPanicReachable;
+
+/// Macros that unconditionally panic.
+const PANIC_MACROS: &[&str] = &["panic", "todo", "unimplemented"];
+
+impl SemaRule for ParPanicReachable {
+    fn id(&self) -> &'static str {
+        "par-panic-reachable"
+    }
+
+    fn summary(&self) -> &'static str {
+        "panic/unwrap/bare-expect reachable from a parallel worker closure"
+    }
+
+    fn default_severity(&self) -> Severity {
+        Severity::Deny
+    }
+
+    fn check(&self, model: &Model, out: &mut Vec<Finding>) {
+        for_each_own_token(model, |node_id, i| {
+            if !model.par.reached(node_id) {
+                return;
+            }
+            let node = &model.nodes[node_id];
+            let file = &model.files[node.file];
+            let toks = &file.lexed.tokens;
+            if !is_panic_sink(toks, i) {
+                return;
+            }
+            let path =
+                model.par.path_to(node_id).map(|p| model.render_path(&p)).unwrap_or_default();
+            model.emit(self, node.file, toks[i].line, path, out);
+        });
+    }
+}
+
+/// Whether the token at `i` starts a panic sink.
+fn is_panic_sink(toks: &[crate::lexer::Token], i: usize) -> bool {
+    let Tok::Ident(name) = &toks[i].tok else { return false };
+    // `panic!(` / `todo!(` / `unimplemented!(`.
+    if PANIC_MACROS.contains(&name.as_str()) && toks.get(i + 1).is_some_and(|t| t.tok.is_punct('!'))
+    {
+        return true;
+    }
+    let after_dot = i >= 1 && toks[i - 1].tok.is_punct('.');
+    if !after_dot || !toks.get(i + 1).is_some_and(|t| t.tok.is_punct('(')) {
+        return false;
+    }
+    match name.as_str() {
+        "unwrap" => true,
+        "expect" => {
+            // Sanctioned: `.expect("non-empty literal")` — exactly one
+            // non-empty string literal argument.
+            !matches!(
+                (toks.get(i + 2).map(|t| &t.tok), toks.get(i + 3).map(|t| &t.tok)),
+                (Some(Tok::Str(n)), Some(Tok::Punct(')'))) if *n > 0
+            )
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use crate::source::SourceFile;
+
+    fn findings(src: &str) -> Vec<Finding> {
+        let files = vec![SourceFile::parse("crates/core/src/x.rs", src)];
+        let model = Model::build(&files, &Config::default());
+        let mut out = Vec::new();
+        ParPanicReachable.check(&model, &mut out);
+        out
+    }
+
+    #[test]
+    fn unwrap_inside_a_par_closure_is_flagged() {
+        let src = "pub fn build(xs: &[u64]) {\n\
+                       par_map(xs, |x| x.checked_mul(2).unwrap());\n\
+                   }\n";
+        let out = findings(src);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].path[0].contains("build"), "{:?}", out[0].path);
+        assert!(out[0].path.last().expect("non-empty path").contains("{closure@2}"));
+    }
+
+    #[test]
+    fn transitive_panic_through_a_helper_is_flagged() {
+        let src = "pub fn build(xs: &[u64]) {\n\
+                       par_chunks(xs, 8, |c| step(c));\n\
+                   }\n\
+                   fn step(c: &[u64]) -> u64 { inner(c) }\n\
+                   fn inner(c: &[u64]) -> u64 { panic!(\"bad chunk: {c:?}\") }\n";
+        let out = findings(src);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, 5);
+        assert!(out[0].path.len() >= 3, "{:?}", out[0].path);
+    }
+
+    #[test]
+    fn named_invariant_expect_is_sanctioned() {
+        let src = "pub fn build(xs: &[u64]) {\n\
+                       par_map(xs, |x| x.checked_mul(2).expect(\"shares are bounded\"));\n\
+                   }\n";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn empty_or_computed_expect_is_flagged() {
+        let src = "pub fn build(xs: &[u64]) {\n\
+                       par_map(xs, |x| x.checked_mul(2).expect(\"\"));\n\
+                   }\n";
+        assert_eq!(findings(src).len(), 1);
+    }
+
+    #[test]
+    fn panic_outside_any_par_closure_is_ignored() {
+        let src = "pub fn serial(xs: &[u64]) -> u64 { xs.first().copied().unwrap() }\n";
+        assert!(findings(src).is_empty());
+    }
+}

@@ -1,0 +1,154 @@
+//! `race-static-mut` — mutable or non-`Sync` shared statics.
+//!
+//! A `static mut` (or a `static` holding a non-`Sync` cell type) is a
+//! data race waiting for the first `par_map` to touch it, and even
+//! single-threaded it is global mutable state that makes runs
+//! order-dependent. The declaration itself is flagged anywhere in the
+//! workspace; every *use* of a `static mut` inside code reachable from a
+//! determinism root or a parallel closure additionally carries the call
+//! path that reaches it. Shared state belongs behind `Mutex`, `RwLock`,
+//! `OnceLock`, or an atomic.
+
+use std::collections::BTreeSet;
+
+use crate::lexer::Tok;
+use crate::parser::{Item, ItemKind};
+use crate::rules::{Finding, Severity};
+use crate::sema::{for_each_own_token, Model, SemaRule};
+
+/// See the module docs.
+pub struct RaceStaticMut;
+
+/// Interior-mutability cell types that are not `Sync` (unless wrapped).
+const NON_SYNC_TYPES: &[&str] = &["Cell", "RefCell", "OnceCell", "LazyCell", "Rc", "UnsafeCell"];
+
+impl SemaRule for RaceStaticMut {
+    fn id(&self) -> &'static str {
+        "race-static-mut"
+    }
+
+    fn summary(&self) -> &'static str {
+        "static mut or non-Sync shared static (declaration and reachable uses)"
+    }
+
+    fn default_severity(&self) -> Severity {
+        Severity::Deny
+    }
+
+    fn check(&self, model: &Model, out: &mut Vec<Finding>) {
+        // Pass 1: flag declarations and collect `static mut` names.
+        let mut mut_names: BTreeSet<String> = BTreeSet::new();
+        for (file_idx, file) in model.files.iter().enumerate() {
+            file.items.walk(&mut |item: &Item| {
+                let ItemKind::Static { mutable, ty } = &item.kind else { return };
+                if file.in_test_span(item.line) {
+                    return;
+                }
+                let non_sync = type_words(ty).any(|w| NON_SYNC_TYPES.contains(&w));
+                if *mutable || non_sync {
+                    model.emit(self, file_idx, item.line, Vec::new(), out);
+                }
+                if *mutable {
+                    mut_names.insert(item.name.clone());
+                }
+            });
+        }
+        if mut_names.is_empty() {
+            return;
+        }
+
+        // Pass 2: uses of a `static mut` in code reachable from either
+        // root set carry the call path that reaches them.
+        let mut seen: BTreeSet<(usize, u32)> = BTreeSet::new();
+        for_each_own_token(model, |node_id, i| {
+            let reach = if model.par.reached(node_id) {
+                &model.par
+            } else if model.det.reached(node_id) {
+                &model.det
+            } else {
+                return;
+            };
+            let node = &model.nodes[node_id];
+            let file = &model.files[node.file];
+            let toks = &file.lexed.tokens;
+            let Tok::Ident(name) = &toks[i].tok else { return };
+            if !mut_names.contains(name.as_str()) {
+                return;
+            }
+            // Skip field accesses (`x.NAME`) that merely share the name.
+            if i >= 1 && toks[i - 1].tok.is_punct('.') {
+                return;
+            }
+            let line = toks[i].line;
+            if !seen.insert((node.file, line)) {
+                return;
+            }
+            let path = reach.path_to(node_id).map(|p| model.render_path(&p)).unwrap_or_default();
+            model.emit(self, node.file, line, path, out);
+        });
+    }
+}
+
+/// Splits a rendered type string into identifier words.
+fn type_words(ty: &str) -> impl Iterator<Item = &str> {
+    ty.split(|c: char| !c.is_alphanumeric() && c != '_').filter(|w| !w.is_empty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use crate::source::SourceFile;
+
+    fn findings(src: &str, roots: &[&str]) -> Vec<Finding> {
+        let files = vec![SourceFile::parse("crates/core/src/x.rs", src)];
+        let cfg = Config {
+            sema_roots: roots.iter().map(|s| (*s).to_owned()).collect(),
+            ..Config::default()
+        };
+        let model = Model::build(&files, &cfg);
+        let mut out = Vec::new();
+        RaceStaticMut.check(&model, &mut out);
+        out
+    }
+
+    #[test]
+    fn static_mut_declaration_and_reachable_use_are_flagged() {
+        let src = "static mut COUNTER: u64 = 0;\n\
+                   pub fn build() { helper(); }\n\
+                   fn helper() { unsafe { COUNTER += 1; } }\n";
+        let out = findings(src, &["build"]);
+        assert_eq!(out.len(), 2, "{out:?}");
+        assert_eq!(out[0].line, 1, "declaration");
+        assert!(out[0].path.is_empty());
+        assert_eq!(out[1].line, 3, "reachable use");
+        assert_eq!(out[1].path.len(), 2, "{:?}", out[1].path);
+    }
+
+    #[test]
+    fn non_sync_static_is_flagged_at_declaration() {
+        let src = "use std::cell::RefCell;\n\
+                   static SCRATCH: RefCell<Vec<u64>> = RefCell::new(Vec::new());\n";
+        let out = findings(src, &["build"]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, 2);
+    }
+
+    #[test]
+    fn sync_statics_are_fine() {
+        let src = "use std::sync::atomic::AtomicU64;\n\
+                   static HITS: AtomicU64 = AtomicU64::new(0);\n\
+                   static NAMES: [&str; 2] = [\"a\", \"b\"];\n";
+        assert!(findings(src, &["build"]).is_empty());
+    }
+
+    #[test]
+    fn unreachable_static_mut_use_still_flags_only_the_declaration() {
+        let src = "static mut COUNTER: u64 = 0;\n\
+                   fn cold() { unsafe { COUNTER += 1; } }\n\
+                   pub fn build() {}\n";
+        let out = findings(src, &["build"]);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].line, 1);
+    }
+}

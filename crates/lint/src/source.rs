@@ -6,6 +6,7 @@
 use std::path::Path;
 
 use crate::lexer::{lex, Lexed, Tok};
+use crate::parser::{self, Item, ItemKind, ItemTree};
 
 /// Coarse classification of a `.rs` file by its role in the workspace.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,10 +58,16 @@ pub struct SourceFile {
     pub lines: Vec<String>,
     /// Lexer output.
     pub lexed: Lexed,
+    /// Item-level parse of the token stream.
+    pub items: ItemTree,
     /// Inclusive 1-based line ranges of test-gated code.
     test_spans: Vec<(u32, u32)>,
     /// (line, rule-id) pairs from inline suppression comments.
     suppressions: Vec<(u32, String)>,
+    /// Inclusive (start, end, rule-id) ranges from item-scoped
+    /// suppressions: a standalone `// fbox-lint: allow(rule)` directly
+    /// above an item silences the rule for the whole item.
+    suppression_spans: Vec<(u32, u32, String)>,
 }
 
 impl SourceFile {
@@ -68,16 +75,21 @@ impl SourceFile {
     pub fn parse(rel_path: &str, text: &str) -> SourceFile {
         let path = rel_path.replace('\\', "/");
         let lexed = lex(text);
+        let items = parser::parse(&lexed);
         let test_spans = find_test_spans(&lexed);
         let suppressions = find_suppressions(&lexed);
+        let suppression_spans = item_suppression_spans(&items, &suppressions);
+        let suppressions = suppressions.into_iter().map(|s| (s.line, s.rule)).collect();
         SourceFile {
             crate_label: crate_label(&path),
             kind: FileKind::classify(&path),
             path,
             lines: text.lines().map(str::to_owned).collect(),
             lexed,
+            items,
             test_spans,
             suppressions,
+            suppression_spans,
         }
     }
 
@@ -99,10 +111,15 @@ impl SourceFile {
     }
 
     /// Whether `rule` is suppressed at `line` by an inline
-    /// `// fbox-lint: allow(rule)` comment — trailing on that line, or
-    /// standalone on the line above.
+    /// `// fbox-lint: allow(rule)` comment — trailing on that line,
+    /// standalone on the line above, or standalone above an item (`fn`,
+    /// `impl`, `mod`, …), which silences the rule for the whole item.
     pub fn is_suppressed(&self, line: u32, rule: &str) -> bool {
         self.suppressions.iter().any(|(l, r)| r == rule && *l == line)
+            || self
+                .suppression_spans
+                .iter()
+                .any(|(lo, hi, r)| r == rule && (*lo..=*hi).contains(&line))
     }
 
     /// The trimmed text of 1-based `line` (empty when out of range).
@@ -229,11 +246,24 @@ fn index_after_line(lexed: &Lexed, line: u32) -> usize {
     lexed.tokens.iter().position(|t| t.line > line).unwrap_or(lexed.tokens.len())
 }
 
-/// Extracts `(target line, rule)` pairs from `// fbox-lint:
-/// allow(rule-id)` comments. A *trailing* comment (code tokens on the
-/// same line) suppresses its own line; a *standalone* comment suppresses
-/// the line directly below it.
-fn find_suppressions(lexed: &Lexed) -> Vec<(u32, String)> {
+/// One parsed `// fbox-lint: allow(rule)` directive.
+struct Suppression {
+    /// Target line: the comment's own line when trailing, the line below
+    /// when standalone.
+    line: u32,
+    /// Rule id named in `allow(…)`.
+    rule: String,
+    /// Whether the comment stood alone (no code tokens on its line) —
+    /// only standalone directives can scale up to item scope.
+    standalone: bool,
+}
+
+/// Extracts suppressions from `// fbox-lint: allow(rule-id)` comments. A
+/// *trailing* comment (code tokens on the same line) suppresses its own
+/// line; a *standalone* comment suppresses the line directly below it —
+/// and, when that line starts an item, the whole item (see
+/// [`item_suppression_spans`]).
+fn find_suppressions(lexed: &Lexed) -> Vec<Suppression> {
     let mut out = Vec::new();
     for c in &lexed.comments {
         let Some(pos) = c.text.find("fbox-lint:") else { continue };
@@ -244,10 +274,47 @@ fn find_suppressions(lexed: &Lexed) -> Vec<(u32, String)> {
         let trailing = lexed.tokens.iter().any(|t| t.line == c.line);
         let target = if trailing { c.line } else { c.end_line + 1 };
         for rule in args[..close].split(',') {
-            out.push((target, rule.trim().to_owned()));
+            out.push(Suppression {
+                line: target,
+                rule: rule.trim().to_owned(),
+                standalone: !trailing,
+            });
         }
     }
     out
+}
+
+/// Expands standalone suppressions that sit directly above an item into
+/// whole-item suppression ranges. A *trailing* suppression never scales
+/// up: it stays bound to its own line.
+fn item_suppression_spans(
+    items: &ItemTree,
+    suppressions: &[Suppression],
+) -> Vec<(u32, u32, String)> {
+    let mut spans = Vec::new();
+    for s in suppressions.iter().filter(|s| s.standalone) {
+        items.walk(&mut |item: &Item| {
+            if item.attr_line == s.line && item_scopes_suppressions(&item.kind) {
+                spans.push((item.attr_line, item.end_line, s.rule.clone()));
+            }
+        });
+    }
+    spans
+}
+
+/// Item kinds a standalone suppression comment can cover wholesale.
+fn item_scopes_suppressions(kind: &ItemKind) -> bool {
+    matches!(
+        kind,
+        ItemKind::Fn
+            | ItemKind::Impl { .. }
+            | ItemKind::Mod
+            | ItemKind::Trait
+            | ItemKind::TypeDef
+            | ItemKind::Static { .. }
+            | ItemKind::Const
+            | ItemKind::MacroCall
+    )
 }
 
 /// Reads and parses a file from disk, returning `None` on I/O failure
@@ -300,6 +367,44 @@ mod tests {
         let f = SourceFile::parse("crates/core/src/x.rs", src);
         assert!(f.in_test_span(3));
         assert!(!f.in_test_span(7));
+    }
+
+    #[test]
+    fn item_scope_suppression_covers_the_whole_fn() {
+        let src = "// fbox-lint: allow(float-eq)\n\
+                   pub fn f(x: f64) -> bool {\n\
+                       let a = x == 0.0;\n\
+                       a\n\
+                   }\n\
+                   pub fn g(x: f64) -> bool { x == 0.0 }\n";
+        let f = SourceFile::parse("crates/core/src/x.rs", src);
+        assert!(f.is_suppressed(2, "float-eq"), "item line");
+        assert!(f.is_suppressed(3, "float-eq"), "body line");
+        assert!(!f.is_suppressed(6, "float-eq"), "next item is not covered");
+        assert!(!f.is_suppressed(3, "unwrap-in-lib"), "other rules are not covered");
+    }
+
+    #[test]
+    fn item_scope_suppression_covers_impls_and_attrs() {
+        let src = "// fbox-lint: allow(unwrap-in-lib)\n\
+                   #[allow(dead_code)]\n\
+                   impl Foo {\n\
+                       fn a(&self) { self.x.unwrap(); }\n\
+                       fn b(&self) { self.y.unwrap(); }\n\
+                   }\n";
+        let f = SourceFile::parse("crates/core/src/x.rs", src);
+        assert!(f.is_suppressed(4, "unwrap-in-lib"));
+        assert!(f.is_suppressed(5, "unwrap-in-lib"));
+    }
+
+    #[test]
+    fn trailing_suppression_stays_line_scoped() {
+        let src = "pub fn f(x: f64) -> bool { // fbox-lint: allow(float-eq)\n\
+                       x == 0.0\n\
+                   }\n";
+        let f = SourceFile::parse("crates/core/src/x.rs", src);
+        assert!(f.is_suppressed(1, "float-eq"), "its own line is suppressed");
+        assert!(!f.is_suppressed(2, "float-eq"), "trailing must not cover the item body");
     }
 
     #[test]

@@ -1,0 +1,19 @@
+//! Negative: env reads exist but sit outside the determinism cone —
+//! in a helper no root reaches, and in test-only code.
+
+pub fn run_study() -> usize {
+    1
+}
+
+/// CLI-only entry point, never called from the study root.
+pub fn cli_verbosity() -> bool {
+    std::env::var("FIXTURE_VERBOSE").is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn reads_env_in_tests_only() {
+        assert!(std::env::var("NO_SUCH_VAR").is_err());
+    }
+}

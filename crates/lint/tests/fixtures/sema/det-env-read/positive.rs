@@ -1,0 +1,17 @@
+//! Positive: an environment read two call-graph hops below the
+//! determinism root (`run_study` → `configure` → `thread_budget`).
+
+pub fn run_study() -> usize {
+    configure()
+}
+
+fn configure() -> usize {
+    thread_budget().max(1)
+}
+
+fn thread_budget() -> usize {
+    std::env::var("FIXTURE_THREADS") //~ det-env-read
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}

@@ -1,0 +1,30 @@
+//! Negative: the determinism cone iterates only ordered containers;
+//! hash iteration exists but is outside the cone (an unreachable
+//! helper and test-only code).
+
+use std::collections::{BTreeMap, HashMap};
+
+pub fn run_study(xs: &[u64]) -> u64 {
+    let mut ordered: BTreeMap<u64, u64> = BTreeMap::new();
+    for &x in xs {
+        *ordered.entry(x).or_insert(0) += 1;
+    }
+    ordered.values().sum()
+}
+
+/// Never called from the root: hash iteration here is outside the cone.
+pub fn debug_dump(counts: &HashMap<u64, u64>) -> u64 {
+    counts.values().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dump_counts() {
+        let mut counts: HashMap<u64, u64> = HashMap::new();
+        counts.insert(1, 2);
+        assert_eq!(debug_dump(&counts), 2);
+    }
+}

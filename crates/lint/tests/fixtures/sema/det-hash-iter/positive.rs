@@ -1,0 +1,25 @@
+//! Positive: a `HashMap` iteration two call-graph hops below the
+//! determinism root — reachable only transitively
+//! (`run_study` → `collect` → `tally`).
+
+use std::collections::HashMap;
+
+pub fn run_study(xs: &[u64]) -> u64 {
+    collect(xs)
+}
+
+fn collect(xs: &[u64]) -> u64 {
+    tally(xs)
+}
+
+fn tally(xs: &[u64]) -> u64 {
+    let mut counts: HashMap<u64, u64> = HashMap::new();
+    for &x in xs {
+        *counts.entry(x).or_insert(0) += 1;
+    }
+    let mut best = 0;
+    for (k, v) in &counts { //~ det-hash-iter
+        best = best.max(k + v);
+    }
+    best
+}

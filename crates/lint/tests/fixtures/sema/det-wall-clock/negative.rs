@@ -1,0 +1,11 @@
+//! Negative: clock reads exist but no determinism root reaches them.
+
+pub fn run_study() -> u64 {
+    42
+}
+
+/// Telemetry-style helper, never called from the study root.
+pub fn now_nanos() -> u64 {
+    let t = std::time::SystemTime::now();
+    t.duration_since(std::time::UNIX_EPOCH).map(|d| d.as_nanos() as u64).unwrap_or(0)
+}

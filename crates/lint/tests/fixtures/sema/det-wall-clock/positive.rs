@@ -1,0 +1,15 @@
+//! Positive: a wall-clock read two call-graph hops below the
+//! determinism root (`run_study` → `measure` → `stamp`).
+
+pub fn run_study() -> u64 {
+    measure()
+}
+
+fn measure() -> u64 {
+    stamp()
+}
+
+fn stamp() -> u64 {
+    let start = std::time::Instant::now(); //~ det-wall-clock
+    start.elapsed().as_nanos() as u64
+}

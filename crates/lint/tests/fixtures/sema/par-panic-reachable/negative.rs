@@ -1,0 +1,16 @@
+//! Negative: the parallel cone panics only through the sanctioned
+//! `expect("invariant")` form; the bare `unwrap` sits in a serial
+//! iterator closure that is not a parallel root.
+
+pub fn shard(pool: &Pool, xs: &[u64]) -> Vec<u64> {
+    pool.par_map(xs, |x| normalize(*x))
+}
+
+fn normalize(x: u64) -> u64 {
+    x.checked_mul(2).expect("shards are bounded well below u64::MAX")
+}
+
+/// Serial helper: its closure is not a parallel root.
+pub fn serial_sum(xs: &[u64]) -> u64 {
+    xs.iter().map(|x| x.checked_add(1).unwrap()).sum()
+}

@@ -1,0 +1,14 @@
+//! Positive: a panic two call-graph hops below a parallel closure
+//! (`par_map` closure → `normalize` → `checked_double`).
+
+pub fn shard(pool: &Pool, xs: &[u64]) -> Vec<u64> {
+    pool.par_map(xs, |x| normalize(*x))
+}
+
+fn normalize(x: u64) -> u64 {
+    checked_double(x)
+}
+
+fn checked_double(x: u64) -> u64 {
+    x.checked_mul(2).unwrap() //~ par-panic-reachable
+}

@@ -1,0 +1,26 @@
+//! Negative: shared state behind a sync type, and a `static mut`
+//! confined to test-only code.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static TOTAL: AtomicU64 = AtomicU64::new(0);
+
+pub fn shard(pool: &Pool, xs: &[u64]) -> Vec<u64> {
+    pool.par_map(xs, |x| bump(*x))
+}
+
+fn bump(x: u64) -> u64 {
+    TOTAL.fetch_add(1, Ordering::Relaxed);
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    static mut SCRATCH: u64 = 0;
+
+    #[test]
+    fn scratch_is_test_only() {
+        // SAFETY: single-threaded test.
+        unsafe { SCRATCH = 1 }
+    }
+}

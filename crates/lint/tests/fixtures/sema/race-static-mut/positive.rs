@@ -1,0 +1,19 @@
+//! Positive: a `static mut` declaration plus a write to it two
+//! call-graph hops below a parallel closure
+//! (`par_map` closure → `bump` → `record`).
+
+static mut HITS: u64 = 0; //~ race-static-mut
+
+pub fn shard(pool: &Pool, xs: &[u64]) -> Vec<u64> {
+    pool.par_map(xs, |x| bump(*x))
+}
+
+fn bump(x: u64) -> u64 {
+    record();
+    x
+}
+
+fn record() {
+    // SAFETY: fixture code, never executed.
+    unsafe { HITS += 1 } //~ race-static-mut
+}

@@ -1,0 +1,76 @@
+//! Self-analysis: the item parser must handle every `.rs` file in this
+//! workspace — shims and deliberately-broken lint fixtures included —
+//! with zero parse errors and well-formed item spans. This is the
+//! parser's reality check: the grammar subset it implements has to
+//! cover everything the workspace actually writes.
+
+use std::path::{Path, PathBuf};
+
+use fbox_lint::config::Config;
+use fbox_lint::engine;
+use fbox_lint::parser::Item;
+use fbox_lint::source;
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/lint sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+/// Items at each nesting level must appear in source order, each span
+/// must be non-inverted, and children must start at or after their
+/// parent's declaration line.
+fn check_spans(rel: &str, items: &[Item], min_line: u32) {
+    let mut prev = min_line;
+    for item in items {
+        assert!(
+            item.line >= prev,
+            "{rel}: item `{}` at line {} precedes sibling/parent at line {prev}",
+            item.name,
+            item.line
+        );
+        assert!(
+            item.end_line >= item.line,
+            "{rel}: item `{}` has inverted span {}..{}",
+            item.name,
+            item.line,
+            item.end_line
+        );
+        check_spans(rel, &item.children, item.line);
+        prev = item.line;
+    }
+}
+
+#[test]
+fn whole_workspace_parses_with_zero_errors_and_monotonic_spans() {
+    let root = workspace_root();
+    assert!(root.join("Lint.toml").is_file(), "workspace root not found at {}", root.display());
+    // Default config has no [paths] exclude: shims/ and the lint
+    // fixtures are deliberately in scope here even though the lint
+    // run itself skips them.
+    let config = Config::default();
+    let rels = engine::walk(&root, &config);
+    assert!(rels.len() > 100, "workspace walk looks truncated: {} files", rels.len());
+    assert!(
+        rels.iter().any(|r| r.starts_with("shims/")),
+        "shims must be part of the self-analysis corpus"
+    );
+    assert!(
+        rels.iter().any(|r| r.starts_with("crates/lint/tests/fixtures/")),
+        "fixtures must be part of the self-analysis corpus"
+    );
+    let mut parsed_items = 0usize;
+    for rel in &rels {
+        let file = source::load(&root, rel).unwrap_or_else(|| panic!("unreadable file: {rel}"));
+        assert!(file.items.errors.is_empty(), "{rel}: parse errors: {:?}", file.items.errors);
+        check_spans(rel, &file.items.items, 0);
+        let mut count = 0usize;
+        for item in &file.items.items {
+            item.walk(&mut |_| count += 1);
+        }
+        parsed_items += count;
+    }
+    assert!(parsed_items > 1000, "suspiciously few items parsed: {parsed_items}");
+}

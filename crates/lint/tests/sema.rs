@@ -1,0 +1,186 @@
+//! Fixture-based semantic rule tests: every call-graph rule has a
+//! positive fixture whose `//~ <rule-id>` markers must be matched
+//! exactly (rule id + line, no extras, no misses) and whose violation
+//! is reachable only transitively (at least two call-graph hops from
+//! the root), plus a negative fixture that must produce zero findings.
+//! Per-rule tests additionally pin the exact rendered root → sink
+//! call path.
+
+use std::path::{Path, PathBuf};
+
+use fbox_lint::config::Config;
+use fbox_lint::rules::Finding;
+use fbox_lint::sema::{all_sema_rules, Model, SemaRule};
+use fbox_lint::source::SourceFile;
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/sema")
+}
+
+/// Loads a fixture under a synthetic library path so the module path
+/// of every fixture fn is `fixture::positive::…` / `fixture::negative::…`.
+fn load_fixture(rule_id: &str, which: &str) -> SourceFile {
+    let path = fixture_dir().join(rule_id).join(which);
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing fixture {}: {e}", path.display()));
+    SourceFile::parse(&format!("crates/fixture/src/{which}"), &text)
+}
+
+/// The determinism root every `det-*` fixture hangs off (suffix
+/// pattern). The parallel-rule fixtures root at `par_map` closures,
+/// which are discovered from the source and need no configuration.
+const FIXTURE_ROOTS: &[&str] = &["run_study"];
+
+fn run_rule(rule: &dyn SemaRule, file: &SourceFile) -> Vec<Finding> {
+    let files = std::slice::from_ref(file);
+    let cfg = Config {
+        sema_roots: FIXTURE_ROOTS.iter().map(|s| (*s).to_owned()).collect(),
+        ..Config::default()
+    };
+    let model = Model::build(files, &cfg);
+    let mut out = Vec::new();
+    rule.check(&model, &mut out);
+    out
+}
+
+fn rule_by_id(id: &str) -> Box<dyn SemaRule> {
+    all_sema_rules()
+        .into_iter()
+        .find(|r| r.id() == id)
+        .unwrap_or_else(|| panic!("no sema rule `{id}`"))
+}
+
+/// 1-based lines carrying a `//~ <rule-id>` marker.
+fn marked_lines(file: &SourceFile, rule_id: &str) -> Vec<u32> {
+    let marker = format!("//~ {rule_id}");
+    file.lines
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| l.contains(&marker))
+        .map(|(i, _)| (i + 1) as u32)
+        .collect()
+}
+
+#[test]
+fn every_sema_rule_has_an_exact_positive_fixture() {
+    for rule in all_sema_rules() {
+        let file = load_fixture(rule.id(), "positive.rs");
+        let expected = marked_lines(&file, rule.id());
+        assert!(!expected.is_empty(), "{}: positive fixture has no //~ markers", rule.id());
+        let findings = run_rule(rule.as_ref(), &file);
+        let mut got: Vec<u32> = findings.iter().map(|f| f.line).collect();
+        got.sort_unstable();
+        assert_eq!(got, expected, "{}: flagged lines differ from //~ markers", rule.id());
+        for f in &findings {
+            assert_eq!(f.rule, rule.id(), "finding carries the wrong rule id");
+            assert_eq!(f.file, file.path, "finding carries the wrong path");
+        }
+        // Every rule's violation must be demonstrated transitively:
+        // at least one finding whose path is root → hop → sink.
+        assert!(
+            findings.iter().any(|f| f.path.len() >= 3),
+            "{}: no finding with a >= 2-hop call path: {findings:?}",
+            rule.id()
+        );
+    }
+}
+
+#[test]
+fn every_sema_rule_has_a_clean_negative_fixture() {
+    for rule in all_sema_rules() {
+        let file = load_fixture(rule.id(), "negative.rs");
+        let findings = run_rule(rule.as_ref(), &file);
+        assert!(
+            findings.is_empty(),
+            "{}: negative fixture produced findings: {findings:?}",
+            rule.id()
+        );
+    }
+}
+
+#[test]
+fn det_hash_iter_reports_the_full_call_path() {
+    let rule = rule_by_id("det-hash-iter");
+    let file = load_fixture("det-hash-iter", "positive.rs");
+    let out = run_rule(rule.as_ref(), &file);
+    assert_eq!(out.len(), 1, "{out:?}");
+    assert_eq!(out[0].line, 21);
+    assert_eq!(
+        out[0].path,
+        [
+            "fixture::positive::run_study (crates/fixture/src/positive.rs:7)",
+            "fixture::positive::collect (crates/fixture/src/positive.rs:11)",
+            "fixture::positive::tally (crates/fixture/src/positive.rs:15)",
+        ]
+    );
+}
+
+#[test]
+fn det_env_read_reports_the_full_call_path() {
+    let rule = rule_by_id("det-env-read");
+    let file = load_fixture("det-env-read", "positive.rs");
+    let out = run_rule(rule.as_ref(), &file);
+    assert_eq!(out.len(), 1, "{out:?}");
+    assert_eq!(out[0].line, 13);
+    assert_eq!(
+        out[0].path,
+        [
+            "fixture::positive::run_study (crates/fixture/src/positive.rs:4)",
+            "fixture::positive::configure (crates/fixture/src/positive.rs:8)",
+            "fixture::positive::thread_budget (crates/fixture/src/positive.rs:12)",
+        ]
+    );
+}
+
+#[test]
+fn det_wall_clock_reports_the_full_call_path() {
+    let rule = rule_by_id("det-wall-clock");
+    let file = load_fixture("det-wall-clock", "positive.rs");
+    let out = run_rule(rule.as_ref(), &file);
+    assert_eq!(out.len(), 1, "{out:?}");
+    assert_eq!(out[0].line, 13);
+    assert_eq!(
+        out[0].path,
+        [
+            "fixture::positive::run_study (crates/fixture/src/positive.rs:4)",
+            "fixture::positive::measure (crates/fixture/src/positive.rs:8)",
+            "fixture::positive::stamp (crates/fixture/src/positive.rs:12)",
+        ]
+    );
+}
+
+#[test]
+fn par_panic_reachable_roots_at_the_parallel_closure() {
+    let rule = rule_by_id("par-panic-reachable");
+    let file = load_fixture("par-panic-reachable", "positive.rs");
+    let out = run_rule(rule.as_ref(), &file);
+    assert_eq!(out.len(), 1, "{out:?}");
+    assert_eq!(out[0].line, 13);
+    assert_eq!(
+        out[0].path,
+        [
+            "fixture::positive::shard::{closure@5} (crates/fixture/src/positive.rs:5)",
+            "fixture::positive::normalize (crates/fixture/src/positive.rs:8)",
+            "fixture::positive::checked_double (crates/fixture/src/positive.rs:12)",
+        ]
+    );
+}
+
+#[test]
+fn race_static_mut_reports_declaration_and_pathed_usage() {
+    let rule = rule_by_id("race-static-mut");
+    let file = load_fixture("race-static-mut", "positive.rs");
+    let out = run_rule(rule.as_ref(), &file);
+    assert_eq!(out.len(), 2, "{out:?}");
+    let decl = out.iter().find(|f| f.line == 5).expect("declaration finding at the static");
+    assert!(decl.path.is_empty(), "declaration findings carry no call path: {decl:?}");
+    let usage = out.iter().find(|f| f.line == 18).expect("usage finding at the write");
+    assert_eq!(
+        usage.path,
+        [
+            "fixture::positive::shard::{closure@8} (crates/fixture/src/positive.rs:8)",
+            "fixture::positive::bump (crates/fixture/src/positive.rs:11)",
+            "fixture::positive::record (crates/fixture/src/positive.rs:16)",
+        ]
+    );
+}

@@ -14,7 +14,7 @@ use crate::noise::RequestContext;
 use crate::terms::{formulations, N_FORMULATIONS};
 use crate::user::SearchUser;
 use fbox_core::observations::UserList;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The study protocol configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -96,7 +96,7 @@ fn majority(runs: &[Vec<u64>]) -> Option<Vec<u64>> {
     if runs.len() == 1 {
         return Some(runs[0].clone());
     }
-    let mut counts: HashMap<&[u64], usize> = HashMap::new();
+    let mut counts: BTreeMap<&[u64], usize> = BTreeMap::new();
     for r in runs {
         *counts.entry(r.as_slice()).or_default() += 1;
     }
@@ -113,7 +113,7 @@ fn majority(runs: &[Vec<u64>]) -> Option<Vec<u64>> {
 /// items; items are re-ranked by total points (ties by id) and the top
 /// page is returned.
 pub fn borda_merge(lists: &[Vec<u64>]) -> Vec<u64> {
-    let mut points: HashMap<u64, usize> = HashMap::new();
+    let mut points: BTreeMap<u64, usize> = BTreeMap::new();
     let mut page = 0usize;
     for list in lists {
         page = page.max(list.len());

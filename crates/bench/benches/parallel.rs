@@ -1,104 +1,28 @@
-//! Serial vs parallel cube construction (`FBox::from_*` against
-//! `FBox::from_*_serial`), writing the `BENCH_parallel.json` trajectory
-//! file at the workspace root.
-//!
-//! The parallel path wins twice: cells are fanned out across
-//! `FBOX_THREADS` workers, and each worker evaluates all groups of a cell
-//! through the shared-work evaluators (hoisted comparable-group
-//! resolution, membership masks, per-group histograms, cached pairwise
-//! distances) instead of recomputing them per `(cell, group)` call.
+//! Serial vs parallel cube construction, writing the
+//! `BENCH_parallel.json` trajectory file at the workspace root. The
+//! measurement itself lives in [`fbox_bench::suites::parallel_suite`] so
+//! the `fbox-bench --check` trend gate reruns exactly this workload.
 
-use std::hint::black_box;
 use std::path::Path;
 
+use fbox_bench::suites::{parallel_suite, ITERATIONS, THREADS};
 use fbox_bench::write_snapshot;
-use fbox_core::observations::{MarketObservations, SearchObservations};
-use fbox_core::{FBox, MarketMeasure, SearchMeasure, Universe};
-use fbox_marketplace::{crawl, BiasProfile, Marketplace, Population, ScoringModel};
-use fbox_par::with_threads;
-use fbox_search::extension::ExtensionRunner;
-use fbox_search::noise::NoiseModel;
-use fbox_search::personalize::PersonalizationProfile;
-use fbox_search::study::{run_study, StudyDesign};
-use fbox_search::SearchEngine;
-
-const ITERATIONS: usize = 5;
-const THREADS: usize = 4;
-
-fn market_fixture() -> (Universe, MarketObservations) {
-    let m =
-        Marketplace::new(Population::paper(7), ScoringModel::default(), BiasProfile::neutral(), 20);
-    let (universe, obs, _) = crawl(&m);
-    (universe, obs)
-}
-
-fn search_fixture() -> (Universe, SearchObservations) {
-    let design = StudyDesign { participants_per_group: 3, seed: 0xF0CA };
-    let engine = SearchEngine::new(PersonalizationProfile::uniform(0.2), NoiseModel::none(), 10);
-    let runner = ExtensionRunner { repeats: 1, max_extra_runs: 0, ..Default::default() };
-    let (universe, obs, _) = run_study(&design, &engine, &runner);
-    (universe, obs)
-}
-
-fn mean_ns(h: &fbox_telemetry::Histogram) -> f64 {
-    h.sum().as_nanos() as f64 / h.count().max(1) as f64
-}
 
 fn main() {
-    let registry = fbox_telemetry::Registry::new();
-    let serial = registry.histogram("cube.build.serial");
-    let parallel = registry.histogram("cube.build.parallel");
-
-    let (market_universe, market_obs) = market_fixture();
-    let (search_universe, search_obs) = search_fixture();
-
-    // Warm-up: touch both paths once so allocator and caches settle.
-    black_box(FBox::from_market_serial(market_universe.clone(), &market_obs, MarketMeasure::emd()));
-    black_box(with_threads(THREADS, || {
-        FBox::from_market(market_universe.clone(), &market_obs, MarketMeasure::emd())
-    }));
-
-    for _ in 0..ITERATIONS {
-        let t = serial.timer();
-        black_box(FBox::from_market_serial(
-            market_universe.clone(),
-            &market_obs,
-            MarketMeasure::emd(),
-        ));
-        black_box(FBox::from_search_serial(
-            search_universe.clone(),
-            &search_obs,
-            SearchMeasure::kendall(),
-        ));
-        t.observe();
-
-        let t = parallel.timer();
-        let built = with_threads(THREADS, || {
-            (
-                FBox::from_market(market_universe.clone(), &market_obs, MarketMeasure::emd()),
-                FBox::from_search(search_universe.clone(), &search_obs, SearchMeasure::kendall()),
-            )
-        });
-        t.observe();
-        black_box(built);
-    }
-
-    let speedup = mean_ns(&serial) / mean_ns(&parallel);
-    // Gauges are integers; store the ratio ×100 (e.g. 2.37× → 237).
-    registry.gauge("cube.build.speedup_x100").set((speedup * 100.0) as i64);
-    registry.gauge("cube.build.threads").set(THREADS as i64);
-
+    let outcome = parallel_suite();
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
-    let path = write_snapshot(&root, "parallel", &registry.snapshot()).expect("snapshot written");
+    let path = write_snapshot(&root, "parallel", &outcome.snapshot).expect("snapshot written");
     println!(
         "cube build over {ITERATIONS} iterations: serial {:.1} ms, parallel {:.1} ms \
-         (FBOX_THREADS={THREADS}) — {speedup:.2}x; wrote {}",
-        mean_ns(&serial) / 1e6,
-        mean_ns(&parallel) / 1e6,
+         (FBOX_THREADS={THREADS}) — {:.2}x; wrote {}",
+        outcome.serial_ms,
+        outcome.parallel_ms,
+        outcome.speedup,
         path.display()
     );
     assert!(
-        speedup >= 1.5,
-        "parallel cube build must beat serial by >=1.5x, measured {speedup:.2}x"
+        outcome.speedup >= 1.5,
+        "parallel cube build must beat serial by >=1.5x, measured {:.2}x",
+        outcome.speedup
     );
 }

@@ -1,82 +1,33 @@
-//! Resilience-layer overhead: the full marketplace crawl under the inert
-//! configuration (`Resilience::none()`) vs a mild fault plan, writing the
-//! `BENCH_resilience.json` trajectory file at the workspace root.
-//!
-//! Faults are plan-determined — a failed attempt consumes virtual time,
-//! not a query execution — so the faulted crawl runs *fewer* engine
-//! queries than the inert one. What this bench bounds is the fixed cost
-//! the layer adds to every run: the sequential planning pass, breaker
-//! bookkeeping, journaling, and the journal fold.
+//! Resilience-layer overhead (inert vs mild-faults crawl), writing the
+//! `BENCH_resilience.json` trajectory file at the workspace root. The
+//! measurement itself lives in [`fbox_bench::suites::resilience_suite`]
+//! so the `fbox-bench --check` trend gate reruns exactly this workload.
 
-use std::hint::black_box;
 use std::path::Path;
 
+use fbox_bench::suites::{resilience_suite, ITERATIONS};
 use fbox_bench::write_snapshot;
-use fbox_marketplace::{
-    crawl_resilient, BiasProfile, CrawlJournal, Marketplace, Population, ScoringModel,
-};
-use fbox_resilience::{FaultPlan, FaultProfile, Resilience};
-
-const ITERATIONS: usize = 5;
-
-fn mean_ns(h: &fbox_telemetry::Histogram) -> f64 {
-    h.sum().as_nanos() as f64 / h.count().max(1) as f64
-}
 
 fn main() {
-    let registry = fbox_telemetry::Registry::new();
-    let inert_h = registry.histogram("crawl.inert");
-    let mild_h = registry.histogram("crawl.mild");
-
-    let m =
-        Marketplace::new(Population::paper(5), ScoringModel::default(), BiasProfile::neutral(), 10);
-    let inert = Resilience::none();
-    let mild = Resilience::with_plan(FaultPlan::new(11, FaultProfile::mild()));
-
-    // Warm-up: touch both paths once so allocator and caches settle.
-    black_box(crawl_resilient(&m, &inert, &mut CrawlJournal::new()));
-    black_box(crawl_resilient(&m, &mild, &mut CrawlJournal::new()));
-
-    let mut mild_stats = None;
-    for _ in 0..ITERATIONS {
-        let t = inert_h.timer();
-        black_box(crawl_resilient(&m, &inert, &mut CrawlJournal::new()));
-        t.observe();
-
-        let t = mild_h.timer();
-        let run = crawl_resilient(&m, &mild, &mut CrawlJournal::new());
-        t.observe();
-        mild_stats = Some(run.stats.clone());
-        black_box(run);
-    }
-    let stats = mild_stats.expect("at least one iteration ran");
-
-    registry.gauge("crawl.mild.retries").set(stats.n_retries as i64);
-    registry.gauge("crawl.mild.failed").set(stats.n_failed as i64);
-    registry.gauge("crawl.mild.quarantined").set(stats.n_quarantined as i64);
-    registry.gauge("crawl.mild.truncated").set(stats.n_truncated as i64);
-    registry.gauge("crawl.mild.backoff_virtual_ms").set(stats.backoff_virtual_ms as i64);
-    // Gauges are integers; store the ratio ×1000 (e.g. 0.973 → 973).
-    registry.gauge("crawl.mild.coverage_x1000").set((stats.coverage * 1000.0) as i64);
-    let overhead = mean_ns(&mild_h) / mean_ns(&inert_h);
-    registry.gauge("crawl.resilience.overhead_x100").set((overhead * 100.0) as i64);
-
+    let outcome = resilience_suite();
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
-    let path = write_snapshot(&root, "resilience", &registry.snapshot()).expect("snapshot written");
+    let path = write_snapshot(&root, "resilience", &outcome.snapshot).expect("snapshot written");
     println!(
         "crawl over {ITERATIONS} iterations: inert {:.1} ms, mild faults {:.1} ms \
-         ({overhead:.2}x, coverage {:.3}, {} retries absorbed); wrote {}",
-        mean_ns(&inert_h) / 1e6,
-        mean_ns(&mild_h) / 1e6,
-        stats.coverage,
-        stats.n_retries,
+         ({:.2}x, coverage {:.3}, {} retries absorbed); wrote {}",
+        outcome.inert_ms,
+        outcome.mild_ms,
+        outcome.overhead,
+        outcome.coverage,
+        outcome.retries,
         path.display()
     );
     // The faulted run executes fewer queries than the inert one, so the
     // fixed planning/journaling cost has to be egregious to push the
     // ratio past this bound.
     assert!(
-        overhead <= 1.5,
-        "resilience bookkeeping must stay cheap: mild/inert ratio {overhead:.2}x"
+        outcome.overhead <= 1.5,
+        "resilience bookkeeping must stay cheap: mild/inert ratio {:.2}x",
+        outcome.overhead
     );
 }

@@ -1,0 +1,105 @@
+//! The perf-trend gate CLI.
+//!
+//! ```text
+//! fbox-bench --list                      # suites the gate knows
+//! fbox-bench --write <label>             # run a suite, write BENCH_<label>.json
+//! fbox-bench --check <BENCH_file>...     # rerun suites, gate against baselines
+//! ```
+//!
+//! `--check` re-measures each baseline's suite on the current machine and
+//! compares under the per-metric tolerances in [`fbox_bench::trend`];
+//! any regression makes the process exit non-zero, which is what the CI
+//! `bench-trend` job keys off.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use fbox_bench::{read_snapshot, suites, trend, write_snapshot};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// `BENCH_<label>.json` → `label`.
+fn label_of(path: &Path) -> Option<&str> {
+    path.file_name()?.to_str()?.strip_prefix("BENCH_")?.strip_suffix(".json")
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: fbox-bench --list | --write <label> | --check <BENCH_label.json>...");
+    ExitCode::FAILURE
+}
+
+fn check_one(path: &Path) -> Result<bool, String> {
+    let label = label_of(path).ok_or_else(|| {
+        format!("{}: baseline files are named BENCH_<label>.json", path.display())
+    })?;
+    let tolerances = trend::tolerances_for(label)
+        .ok_or_else(|| format!("unknown suite `{label}` (try --list)"))?;
+    let baseline = read_snapshot(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    println!("suite `{label}`: measuring against {}", path.display());
+    let fresh = suites::run_suite(label).ok_or_else(|| format!("unknown suite `{label}`"))?;
+    let verdicts = trend::check(&baseline, &fresh, tolerances);
+    let mut ok = true;
+    for v in &verdicts {
+        println!("{v}");
+        ok &= !v.regressed;
+    }
+    Ok(ok)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--list") => {
+            for label in suites::SUITE_LABELS {
+                println!("{label}");
+            }
+            ExitCode::SUCCESS
+        }
+        Some("--write") => {
+            let Some(label) = args.get(1) else { return usage() };
+            let Some(snapshot) = suites::run_suite(label) else {
+                eprintln!("unknown suite `{label}` (try --list)");
+                return ExitCode::FAILURE;
+            };
+            match write_snapshot(&repo_root(), label, &snapshot) {
+                Ok(path) => {
+                    println!("wrote {}", path.display());
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("failed to write baseline: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("--check") => {
+            if args.len() < 2 {
+                return usage();
+            }
+            let mut all_ok = true;
+            for raw in &args[1..] {
+                let path = PathBuf::from(raw);
+                // Bare baseline names resolve against the repo root, so the
+                // gate runs from any working directory.
+                let path = if path.exists() { path } else { repo_root().join(raw) };
+                match check_one(&path) {
+                    Ok(ok) => all_ok &= ok,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        all_ok = false;
+                    }
+                }
+            }
+            if all_ok {
+                println!("trend gate: all metrics within tolerance");
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("trend gate: regression detected");
+                ExitCode::FAILURE
+            }
+        }
+        _ => usage(),
+    }
+}

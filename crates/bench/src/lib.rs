@@ -1,5 +1,9 @@
 //! Shared helpers for the Criterion benchmarks, including the telemetry
-//! snapshot writer that makes the perf trajectory machine-readable.
+//! snapshot writer that makes the perf trajectory machine-readable, the
+//! measured suites ([`suites`]), and the CI perf-trend gate ([`trend`]).
+
+pub mod suites;
+pub mod trend;
 
 use std::io;
 use std::path::{Path, PathBuf};

@@ -1,0 +1,197 @@
+//! The measured benchmark suites behind both the `cargo bench` wrappers
+//! and the `fbox-bench` trend gate. Each suite runs its workload under a
+//! scoped telemetry registry and returns the resulting [`Snapshot`] plus
+//! the headline ratios the wrappers assert on — so a CI `--check` run and
+//! a local `cargo bench -p fbox-bench` measure exactly the same thing.
+
+use std::hint::black_box;
+
+use fbox_core::observations::{MarketObservations, SearchObservations};
+use fbox_core::{FBox, MarketMeasure, SearchMeasure, Universe};
+use fbox_marketplace::{
+    crawl, crawl_resilient, BiasProfile, CrawlJournal, Marketplace, Population, ScoringModel,
+};
+use fbox_par::with_threads;
+use fbox_resilience::{FaultPlan, FaultProfile, Resilience};
+use fbox_search::extension::ExtensionRunner;
+use fbox_search::noise::NoiseModel;
+use fbox_search::personalize::PersonalizationProfile;
+use fbox_search::study::{run_study, StudyDesign};
+use fbox_search::SearchEngine;
+use fbox_telemetry::Snapshot;
+
+/// Timed iterations per suite (after one untimed warm-up).
+pub const ITERATIONS: usize = 5;
+/// Worker count the parallel suite pins via [`with_threads`].
+pub const THREADS: usize = 4;
+
+/// Outcome of [`parallel_suite`]: serial vs parallel cube construction.
+#[derive(Debug, Clone)]
+pub struct ParallelOutcome {
+    /// The suite's metrics (`cube.build.*`).
+    pub snapshot: Snapshot,
+    /// Mean serial build time, milliseconds.
+    pub serial_ms: f64,
+    /// Mean parallel build time, milliseconds.
+    pub parallel_ms: f64,
+    /// serial / parallel mean ratio.
+    pub speedup: f64,
+}
+
+/// Outcome of [`resilience_suite`]: inert vs fault-injected crawl.
+#[derive(Debug, Clone)]
+pub struct ResilienceOutcome {
+    /// The suite's metrics (`crawl.*`).
+    pub snapshot: Snapshot,
+    /// Mean inert crawl time, milliseconds.
+    pub inert_ms: f64,
+    /// Mean mild-faults crawl time, milliseconds.
+    pub mild_ms: f64,
+    /// mild / inert mean ratio.
+    pub overhead: f64,
+    /// Coverage of the mild-faults crawl.
+    pub coverage: f64,
+    /// Retries absorbed by the mild-faults crawl.
+    pub retries: u64,
+}
+
+fn market_fixture() -> (Universe, MarketObservations) {
+    let m =
+        Marketplace::new(Population::paper(7), ScoringModel::default(), BiasProfile::neutral(), 20);
+    let (universe, obs, _) = crawl(&m);
+    (universe, obs)
+}
+
+fn search_fixture() -> (Universe, SearchObservations) {
+    let design = StudyDesign { participants_per_group: 3, seed: 0xF0CA };
+    let engine = SearchEngine::new(PersonalizationProfile::uniform(0.2), NoiseModel::none(), 10);
+    let runner = ExtensionRunner { repeats: 1, max_extra_runs: 0, ..Default::default() };
+    let (universe, obs, _) = run_study(&design, &engine, &runner);
+    (universe, obs)
+}
+
+fn mean_ns(h: &fbox_telemetry::Histogram) -> f64 {
+    h.sum().as_nanos() as f64 / h.count().max(1) as f64
+}
+
+/// Serial vs parallel cube construction (`FBox::from_*` against
+/// `FBox::from_*_serial`). The parallel path wins twice: cells are fanned
+/// out across workers, and each worker evaluates all groups of a cell
+/// through the shared-work evaluators instead of recomputing per
+/// `(cell, group)` call.
+pub fn parallel_suite() -> ParallelOutcome {
+    let registry = fbox_telemetry::Registry::new();
+    let serial = registry.histogram("cube.build.serial");
+    let parallel = registry.histogram("cube.build.parallel");
+
+    let (market_universe, market_obs) = market_fixture();
+    let (search_universe, search_obs) = search_fixture();
+
+    // Warm-up: touch both paths once so allocator and caches settle.
+    black_box(FBox::from_market_serial(market_universe.clone(), &market_obs, MarketMeasure::emd()));
+    black_box(with_threads(THREADS, || {
+        FBox::from_market(market_universe.clone(), &market_obs, MarketMeasure::emd())
+    }));
+
+    for _ in 0..ITERATIONS {
+        let t = serial.timer();
+        black_box(FBox::from_market_serial(
+            market_universe.clone(),
+            &market_obs,
+            MarketMeasure::emd(),
+        ));
+        black_box(FBox::from_search_serial(
+            search_universe.clone(),
+            &search_obs,
+            SearchMeasure::kendall(),
+        ));
+        t.observe();
+
+        let t = parallel.timer();
+        let built = with_threads(THREADS, || {
+            (
+                FBox::from_market(market_universe.clone(), &market_obs, MarketMeasure::emd()),
+                FBox::from_search(search_universe.clone(), &search_obs, SearchMeasure::kendall()),
+            )
+        });
+        t.observe();
+        black_box(built);
+    }
+
+    let speedup = mean_ns(&serial) / mean_ns(&parallel);
+    // Gauges are integers; store the ratio ×100 (e.g. 2.37× → 237).
+    registry.gauge("cube.build.speedup_x100").set((speedup * 100.0) as i64);
+    registry.gauge("cube.build.threads").set(THREADS as i64);
+
+    ParallelOutcome {
+        snapshot: registry.snapshot(),
+        serial_ms: mean_ns(&serial) / 1e6,
+        parallel_ms: mean_ns(&parallel) / 1e6,
+        speedup,
+    }
+}
+
+/// Resilience-layer overhead: the full marketplace crawl under the inert
+/// configuration (`Resilience::none()`) vs a mild fault plan. Faults are
+/// plan-determined — a failed attempt consumes virtual time, not a query
+/// execution — so what this bounds is the fixed cost the layer adds:
+/// planning pass, breaker bookkeeping, journaling, and the journal fold.
+pub fn resilience_suite() -> ResilienceOutcome {
+    let registry = fbox_telemetry::Registry::new();
+    let inert_h = registry.histogram("crawl.inert");
+    let mild_h = registry.histogram("crawl.mild");
+
+    let m =
+        Marketplace::new(Population::paper(5), ScoringModel::default(), BiasProfile::neutral(), 10);
+    let inert = Resilience::none();
+    let mild = Resilience::with_plan(FaultPlan::new(11, FaultProfile::mild()));
+
+    // Warm-up: touch both paths once so allocator and caches settle.
+    black_box(crawl_resilient(&m, &inert, &mut CrawlJournal::new()));
+    black_box(crawl_resilient(&m, &mild, &mut CrawlJournal::new()));
+
+    let mut mild_stats = None;
+    for _ in 0..ITERATIONS {
+        let t = inert_h.timer();
+        black_box(crawl_resilient(&m, &inert, &mut CrawlJournal::new()));
+        t.observe();
+
+        let t = mild_h.timer();
+        let run = crawl_resilient(&m, &mild, &mut CrawlJournal::new());
+        t.observe();
+        mild_stats = Some(run.stats.clone());
+        black_box(run);
+    }
+    let stats = mild_stats.expect("at least one iteration ran");
+
+    registry.gauge("crawl.mild.retries").set(stats.n_retries as i64);
+    registry.gauge("crawl.mild.failed").set(stats.n_failed as i64);
+    registry.gauge("crawl.mild.quarantined").set(stats.n_quarantined as i64);
+    registry.gauge("crawl.mild.truncated").set(stats.n_truncated as i64);
+    registry.gauge("crawl.mild.backoff_virtual_ms").set(stats.backoff_virtual_ms as i64);
+    // Gauges are integers; store the ratio ×1000 (e.g. 0.973 → 973).
+    registry.gauge("crawl.mild.coverage_x1000").set((stats.coverage * 1000.0) as i64);
+    let overhead = mean_ns(&mild_h) / mean_ns(&inert_h);
+    registry.gauge("crawl.resilience.overhead_x100").set((overhead * 100.0) as i64);
+
+    ResilienceOutcome {
+        snapshot: registry.snapshot(),
+        inert_ms: mean_ns(&inert_h) / 1e6,
+        mild_ms: mean_ns(&mild_h) / 1e6,
+        overhead,
+        coverage: stats.coverage,
+        retries: stats.n_retries,
+    }
+}
+
+/// The suite registered under `label`, or `None` for unknown labels.
+pub fn run_suite(label: &str) -> Option<Snapshot> {
+    match label {
+        "parallel" => Some(parallel_suite().snapshot),
+        "resilience" => Some(resilience_suite().snapshot),
+        _ => None,
+    }
+}
+
+/// Labels `run_suite` understands, in canonical order.
+pub const SUITE_LABELS: [&str; 2] = ["parallel", "resilience"];

@@ -1,0 +1,226 @@
+//! The perf-trend gate: compares a freshly measured [`Snapshot`] against a
+//! committed `BENCH_<label>.json` baseline under per-metric relative
+//! tolerances, flagging regressions for CI to fail on.
+//!
+//! All comparisons run on integers (per-mille tolerances, i128 products)
+//! so the verdict is exact and platform-independent: a metric regresses
+//! when it moves past `tolerance_pm` per mille in its *bad* direction.
+//! Improvements never fail the gate — a faster run simply suggests the
+//! baseline is stale.
+
+use fbox_telemetry::Snapshot;
+use std::fmt;
+
+/// Which way a metric is allowed to drift.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Bigger is better (speedups): regression when the value drops more
+    /// than the tolerance below the baseline.
+    HigherBetter,
+    /// Smaller is better (latencies, overhead ratios): regression when the
+    /// value rises more than the tolerance above the baseline.
+    LowerBetter,
+    /// Deterministic outputs (fault counts, coverage): any change at all
+    /// is a regression — these only move when semantics move.
+    Exact,
+}
+
+/// What a metric is and how much it may drift.
+#[derive(Debug, Clone, Copy)]
+pub struct Tolerance {
+    /// Gauge name, or histogram name (compared by mean ns).
+    pub metric: &'static str,
+    /// Drift direction that counts as a regression.
+    pub direction: Direction,
+    /// Allowed relative drift, per mille (ignored for [`Direction::Exact`]).
+    pub tolerance_pm: i128,
+}
+
+const fn tol(metric: &'static str, direction: Direction, tolerance_pm: i128) -> Tolerance {
+    Tolerance { metric, direction, tolerance_pm }
+}
+
+/// The gate's metric policy for `BENCH_parallel.json`. Wall-clock means
+/// get a loose 600‰ band (shared CI runners are noisy); the speedup ratio
+/// is self-normalizing, so it gets a tighter one; the thread count is
+/// configuration and must not drift at all.
+pub const PARALLEL_TOLERANCES: [Tolerance; 4] = [
+    tol("cube.build.speedup_x100", Direction::HigherBetter, 250),
+    tol("cube.build.threads", Direction::Exact, 0),
+    tol("cube.build.serial", Direction::LowerBetter, 600),
+    tol("cube.build.parallel", Direction::LowerBetter, 600),
+];
+
+/// The gate's metric policy for `BENCH_resilience.json`. The fault-plan
+/// outputs are deterministic in `(seed, profile)` and gate exactly; only
+/// the wall-clock histograms and the overhead ratio get drift bands.
+pub const RESILIENCE_TOLERANCES: [Tolerance; 9] = [
+    tol("crawl.mild.retries", Direction::Exact, 0),
+    tol("crawl.mild.failed", Direction::Exact, 0),
+    tol("crawl.mild.quarantined", Direction::Exact, 0),
+    tol("crawl.mild.truncated", Direction::Exact, 0),
+    tol("crawl.mild.backoff_virtual_ms", Direction::Exact, 0),
+    tol("crawl.mild.coverage_x1000", Direction::Exact, 0),
+    tol("crawl.resilience.overhead_x100", Direction::LowerBetter, 250),
+    tol("crawl.inert", Direction::LowerBetter, 600),
+    tol("crawl.mild", Direction::LowerBetter, 600),
+];
+
+/// The tolerance set for a suite label, or `None` for unknown labels.
+pub fn tolerances_for(label: &str) -> Option<&'static [Tolerance]> {
+    match label {
+        "parallel" => Some(&PARALLEL_TOLERANCES),
+        "resilience" => Some(&RESILIENCE_TOLERANCES),
+        _ => None,
+    }
+}
+
+/// One gated metric's verdict.
+#[derive(Debug, Clone)]
+pub struct Verdict {
+    /// Metric name.
+    pub metric: &'static str,
+    /// Baseline value (gauge value, or histogram mean ns).
+    pub before: i128,
+    /// Fresh value.
+    pub after: i128,
+    /// Whether the drift exceeds the tolerance in the bad direction.
+    pub regressed: bool,
+    /// Human-readable explanation.
+    pub detail: String,
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mark = if self.regressed { "FAIL" } else { "  ok" };
+        write!(
+            f,
+            "{mark}  {:<36} {:>14} -> {:<14} {}",
+            self.metric, self.before, self.after, self.detail
+        )
+    }
+}
+
+/// Looks a metric up in a snapshot: gauges by name first, then histograms
+/// by mean ns. `None` when the snapshot has no such metric.
+fn metric_value(snapshot: &Snapshot, name: &str) -> Option<i128> {
+    if let Some(g) = snapshot.gauges.iter().find(|g| g.name == name) {
+        return Some(i128::from(g.value));
+    }
+    snapshot.histograms.iter().find(|h| h.name == name).map(|h| i128::from(h.mean_ns()))
+}
+
+/// Gates `fresh` against `baseline`: one [`Verdict`] per tolerance entry.
+/// A metric present in the baseline but missing from the fresh run is a
+/// regression (the suite stopped measuring it); a metric missing from the
+/// baseline passes (the baseline predates it — regenerate to pick it up).
+pub fn check(baseline: &Snapshot, fresh: &Snapshot, tolerances: &[Tolerance]) -> Vec<Verdict> {
+    tolerances
+        .iter()
+        .map(|t| {
+            let before = metric_value(baseline, t.metric);
+            let after = metric_value(fresh, t.metric);
+            let (Some(before), Some(after)) = (before, after) else {
+                let (regressed, detail) = match (before, after) {
+                    (Some(_), None) => (true, "metric vanished from the fresh run".to_string()),
+                    _ => (false, "not in baseline; regenerate to gate it".to_string()),
+                };
+                return Verdict {
+                    metric: t.metric,
+                    before: before.unwrap_or(0),
+                    after: after.unwrap_or(0),
+                    regressed,
+                    detail,
+                };
+            };
+            let (regressed, detail) = match t.direction {
+                Direction::Exact => (
+                    after != before,
+                    if after == before {
+                        "exact".to_string()
+                    } else {
+                        "must match exactly".to_string()
+                    },
+                ),
+                Direction::HigherBetter => (
+                    after * 1000 < before * (1000 - t.tolerance_pm),
+                    format!("may drop <= {}‰", t.tolerance_pm),
+                ),
+                Direction::LowerBetter => (
+                    after * 1000 > before * (1000 + t.tolerance_pm),
+                    format!("may rise <= {}‰", t.tolerance_pm),
+                ),
+            };
+            Verdict { metric: t.metric, before, after, regressed, detail }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbox_telemetry::Registry;
+
+    fn snap(gauge: &str, value: i64) -> Snapshot {
+        let r = Registry::new();
+        r.gauge(gauge).set(value);
+        r.snapshot()
+    }
+
+    #[test]
+    fn higher_better_fails_only_past_tolerance() {
+        let t = [tol("speedup", Direction::HigherBetter, 250)];
+        let base = snap("speedup", 200);
+        // 25% drop exactly at the edge: 150 == 200*0.75 — not a regression.
+        assert!(!check(&base, &snap("speedup", 150), &t)[0].regressed);
+        assert!(check(&base, &snap("speedup", 149), &t)[0].regressed);
+        // Improvements always pass.
+        assert!(!check(&base, &snap("speedup", 400), &t)[0].regressed);
+    }
+
+    #[test]
+    fn lower_better_fails_only_past_tolerance() {
+        let t = [tol("overhead", Direction::LowerBetter, 250)];
+        let base = snap("overhead", 100);
+        assert!(!check(&base, &snap("overhead", 125), &t)[0].regressed);
+        assert!(check(&base, &snap("overhead", 126), &t)[0].regressed);
+        assert!(!check(&base, &snap("overhead", 50), &t)[0].regressed);
+    }
+
+    #[test]
+    fn exact_fails_on_any_change() {
+        let t = [tol("retries", Direction::Exact, 0)];
+        let base = snap("retries", 42);
+        assert!(!check(&base, &snap("retries", 42), &t)[0].regressed);
+        assert!(check(&base, &snap("retries", 43), &t)[0].regressed);
+        assert!(check(&base, &snap("retries", 41), &t)[0].regressed);
+    }
+
+    #[test]
+    fn histograms_gate_by_mean() {
+        let t = [tol("lat", Direction::LowerBetter, 600)];
+        let mk = |ns: u64| {
+            let r = Registry::new();
+            r.histogram("lat").record_ns(ns);
+            r.snapshot()
+        };
+        assert!(!check(&mk(1000), &mk(1600), &t)[0].regressed);
+        assert!(check(&mk(1000), &mk(1601), &t)[0].regressed);
+    }
+
+    #[test]
+    fn vanished_metric_regresses_and_new_metric_passes() {
+        let t = [tol("speedup", Direction::HigherBetter, 250)];
+        let empty = Registry::new().snapshot();
+        assert!(check(&snap("speedup", 200), &empty, &t)[0].regressed);
+        assert!(!check(&empty, &snap("speedup", 200), &t)[0].regressed);
+    }
+
+    #[test]
+    fn suite_labels_have_tolerances() {
+        for label in crate::suites::SUITE_LABELS {
+            assert!(tolerances_for(label).is_some(), "no tolerances for {label}");
+        }
+        assert!(tolerances_for("nope").is_none());
+    }
+}

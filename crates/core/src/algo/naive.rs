@@ -22,6 +22,7 @@ pub fn naive_top_k(
     restrict: &Restriction,
 ) -> TopKResult {
     let _span = fbox_telemetry::span!("algo.naive");
+    let _trace = fbox_trace::span("algo.naive");
     let mut stats = TopKStats::default();
     let entities = restrict.resolve(dim, dim_len(cube, dim));
     let (da, db) = dim.others();

@@ -51,6 +51,7 @@ pub fn nra_top_k(
         return nra_top_k_partial(indices, dim, k, order, restrict);
     }
     let _span = fbox_telemetry::span!("algo.nra");
+    let _trace = fbox_trace::span("algo.nra");
     let mut stats = TopKStats::default();
 
     let (da, db) = dim.others();
@@ -146,6 +147,10 @@ pub fn nra_top_k(
 
         if have_k {
             let kth_lower = lowers[k - 1].1;
+            fbox_trace::instant_args("nra.threshold", |a| {
+                a.u64("round", stats.rounds);
+                a.f64("kth_lower", sign * kth_lower);
+            });
             let topk_ids: Vec<u32> = lowers[..k].iter().map(|&(e, _)| e).collect();
             // …must dominate every other entity's upper bound, including
             // entirely unseen entities (whose upper bound is the sum of
@@ -211,6 +216,9 @@ pub fn nra_top_k(
                     entries.sort_by(|a, b| {
                         OrdF64(sign * b.1).cmp(&OrdF64(sign * a.1)).then(a.0.cmp(&b.0))
                     });
+                    fbox_trace::instant_args("nra.early_termination", |a| {
+                        a.u64("round", stats.rounds);
+                    });
                     stats.publish("nra");
                     return TopKResult { entries, stats };
                 }
@@ -260,6 +268,7 @@ fn nra_top_k_partial(
     restrict: &Restriction,
 ) -> TopKResult {
     let _span = fbox_telemetry::span!("algo.nra");
+    let _trace = fbox_trace::span("algo.nra");
     let mut stats = TopKStats::default();
 
     let (da, db) = dim.others();
@@ -371,6 +380,10 @@ fn nra_top_k_partial(
 
         if lowers.len() >= k {
             let kth_lower = lowers[k - 1].1;
+            fbox_trace::instant_args("nra.threshold", |a| {
+                a.u64("round", stats.rounds);
+                a.f64("kth_lower", sign * kth_lower);
+            });
             let topk_ids: Vec<u32> = lowers[..k].iter().map(|&(e, _)| e).collect();
             let mut all_dominated = true;
             for (&e, p) in &partials {
@@ -415,6 +428,9 @@ fn nra_top_k_partial(
                         .collect();
                     entries.sort_by(|a, b| {
                         OrdF64(sign * b.1).cmp(&OrdF64(sign * a.1)).then(a.0.cmp(&b.0))
+                    });
+                    fbox_trace::instant_args("nra.early_termination", |a| {
+                        a.u64("round", stats.rounds);
                     });
                     stats.publish("nra");
                     return TopKResult { entries, stats };

@@ -95,6 +95,7 @@ pub fn top_k(
         return top_k_partial(indices, dim, k, order, restrict);
     }
     let _span = fbox_telemetry::span!("algo.ta");
+    let _trace = fbox_trace::span("algo.ta");
     let mut stats = TopKStats::default();
 
     let (da, db) = dim.others();
@@ -197,11 +198,18 @@ pub fn top_k(
         // positions bounds any unseen entity's aggregate (from above for
         // MostUnfair, below for LeastUnfair, once mapped through `sign`).
         let tau = sign * last_seen.iter().sum::<f64>() / pairs.len() as f64;
+        fbox_trace::instant_args("ta.threshold", |a| {
+            a.u64("round", stats.rounds);
+            a.f64("tau", sign * tau);
+        });
         if heap.len() >= k {
             let &(Reverse(OrdF64(worst)), _) = heap.peek().expect("heap non-empty");
             // `worst` and `tau` are both in sign-adjusted space, where
             // bigger is better.
             if worst >= tau {
+                fbox_trace::instant_args("ta.early_termination", |a| {
+                    a.u64("round", stats.rounds);
+                });
                 break;
             }
         }
@@ -244,6 +252,7 @@ fn top_k_partial(
     restrict: &Restriction,
 ) -> TopKResult {
     let _span = fbox_telemetry::span!("algo.ta");
+    let _trace = fbox_trace::span("algo.ta");
     let mut stats = TopKStats::default();
 
     let (da, db) = dim.others();
@@ -336,9 +345,16 @@ fn top_k_partial(
         // τ: the best subset average any unseen entity could still reach.
         let tau =
             frontier.iter().filter(|f| f.is_finite()).fold(f64::NEG_INFINITY, |m, &f| m.max(f));
+        fbox_trace::instant_args("ta.threshold", |a| {
+            a.u64("round", stats.rounds);
+            a.f64("tau", sign * tau);
+        });
         if heap.len() >= k {
             let &(Reverse(OrdF64(worst)), _) = heap.peek().expect("heap non-empty");
             if worst >= tau {
+                fbox_trace::instant_args("ta.early_termination", |a| {
+                    a.u64("round", stats.rounds);
+                });
                 break;
             }
         }

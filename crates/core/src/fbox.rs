@@ -42,6 +42,7 @@ impl FBox {
         measure: SearchMeasure,
     ) -> Self {
         let _span = fbox_telemetry::span!("fbox.from_search");
+        let _trace = fbox_trace::span("fbox.from_search");
         // Telemetry is armed once, before the fan-out, and shared by
         // reference: a `FBOX_TELEMETRY` toggle mid-build cannot leave some
         // shards counted and others not.
@@ -51,7 +52,8 @@ impl FBox {
         cell_data.sort_unstable_by_key(|&((q, l), _)| (q.0, l.0));
         let cube = {
             let ctx = MeasureContext::new(&universe);
-            let shards = fbox_par::par_map(&cell_data, |&(_, lists)| {
+            let shards = fbox_par::par_map(&cell_data, |&((q, l), lists)| {
+                let _cell = cell_span(q, l, "search", measure.label());
                 let mut eval = SearchCellEval::new(&ctx, lists, measure);
                 evaluate_cell_groups(&ctx, &cells, |g| eval.group(g))
             });
@@ -73,9 +75,11 @@ impl FBox {
         measure: SearchMeasure,
     ) -> Self {
         let _span = fbox_telemetry::span!("fbox.from_search");
+        let _trace = fbox_trace::span("fbox.from_search");
         let cells = CellTelemetry::new("search", measure.label());
         let mut cube = UnfairnessCube::empty(&universe);
         for ((q, l), lists) in observations.cells() {
+            let _cell = cell_span(q, l, "search", measure.label());
             for g in universe.group_ids() {
                 let start = cells.start();
                 let v = search_cell_unfairness(&universe, lists, g, measure);
@@ -101,13 +105,15 @@ impl FBox {
         measure: MarketMeasure,
     ) -> Self {
         let _span = fbox_telemetry::span!("fbox.from_market");
+        let _trace = fbox_trace::span("fbox.from_market");
         let cells = CellTelemetry::new("market", measure.label());
         let mut cell_data: Vec<((QueryId, LocationId), &MarketRanking)> =
             observations.cells().collect();
         cell_data.sort_unstable_by_key(|&((q, l), _)| (q.0, l.0));
         let cube = {
             let ctx = MeasureContext::new(&universe);
-            let shards = fbox_par::par_map(&cell_data, |&(_, ranking)| {
+            let shards = fbox_par::par_map(&cell_data, |&((q, l), ranking)| {
+                let _cell = cell_span(q, l, "market", measure.label());
                 let mut eval = MarketCellEval::new(&ctx, ranking, measure);
                 evaluate_cell_groups(&ctx, &cells, |g| eval.group(g))
             });
@@ -125,9 +131,11 @@ impl FBox {
         measure: MarketMeasure,
     ) -> Self {
         let _span = fbox_telemetry::span!("fbox.from_market");
+        let _trace = fbox_trace::span("fbox.from_market");
         let cells = CellTelemetry::new("market", measure.label());
         let mut cube = UnfairnessCube::empty(&universe);
         for ((q, l), ranking) in observations.cells() {
+            let _cell = cell_span(q, l, "market", measure.label());
             for g in universe.group_ids() {
                 let start = cells.start();
                 let v = market_cell_unfairness(&universe, ranking, g, measure);
@@ -263,6 +271,23 @@ impl FBox {
             Dimension::Location => self.universe.location(LocationId(id)).name.clone(),
         }
     }
+}
+
+/// Opens the per-cell trace span of the cube build loops. Inside the
+/// parallel builds it runs under the worker's `par.task` span, so the
+/// trace tree reads build → task → cell regardless of thread count.
+fn cell_span(
+    q: QueryId,
+    l: LocationId,
+    platform: &'static str,
+    measure_label: &str,
+) -> fbox_trace::SpanGuard {
+    fbox_trace::span_args("cube.cell", |a| {
+        a.u64("q", u64::from(q.0));
+        a.u64("l", u64::from(l.0));
+        a.str("platform", platform);
+        a.str("measure", measure_label);
+    })
 }
 
 /// Evaluates every group of one `(q, l)` cell through a shared-work

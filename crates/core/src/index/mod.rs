@@ -69,9 +69,14 @@ fn pair_grid(na: usize, nb: usize) -> Vec<(u32, u32)> {
 /// [`fbox_par`] workers and re-flattened in slot order, so the family is
 /// identical to the serial build at any thread count.
 fn build_family(
+    family: &'static str,
     pairs: &[(u32, u32)],
     values_for: impl Fn(u32, u32) -> Vec<Option<f64>> + Sync,
 ) -> Vec<PostingList> {
+    let _trace = fbox_trace::span_args("index.family", |a| {
+        a.str("family", family);
+        a.u64("lists", pairs.len() as u64);
+    });
     // ~64 lists per unit of work: one sort each, cheap enough to batch.
     let chunks = fbox_par::par_chunks(pairs, 64, |chunk| {
         chunk.iter().map(|&(a, b)| PostingList::from_values(values_for(a, b))).collect::<Vec<_>>()
@@ -85,15 +90,16 @@ impl IndexSet {
     /// every list lands in its canonical slot regardless of thread count).
     pub fn build(cube: &UnfairnessCube) -> Self {
         let _span = fbox_telemetry::span!("index.build");
+        let _trace = fbox_trace::span("index.build");
         let (ng, nq, nl) = (cube.n_groups(), cube.n_queries(), cube.n_locations());
 
-        let group_lists = build_family(&pair_grid(nq, nl), |q, l| {
+        let group_lists = build_family("group", &pair_grid(nq, nl), |q, l| {
             (0..ng as u32).map(|g| cube.get(GroupId(g), QueryId(q), LocationId(l))).collect()
         });
-        let query_lists = build_family(&pair_grid(ng, nl), |g, l| {
+        let query_lists = build_family("query", &pair_grid(ng, nl), |g, l| {
             (0..nq as u32).map(|q| cube.get(GroupId(g), QueryId(q), LocationId(l))).collect()
         });
-        let location_lists = build_family(&pair_grid(ng, nq), |g, q| {
+        let location_lists = build_family("location", &pair_grid(ng, nq), |g, q| {
             (0..nl as u32).map(|l| cube.get(GroupId(g), QueryId(q), LocationId(l))).collect()
         });
 

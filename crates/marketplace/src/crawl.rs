@@ -181,6 +181,7 @@ pub fn crawl_resilient(
     journal: &mut CrawlJournal,
 ) -> CrawlRun {
     let _span = fbox_telemetry::span!("marketplace.crawl");
+    let _trace = fbox_trace::span("marketplace.crawl");
     let universe = taskrabbit_universe();
 
     // Canonical grid: sub-query-major over the 56 cities.
@@ -192,8 +193,11 @@ pub fn crawl_resilient(
     // here — every decision is plan-determined, which is what makes the
     // breaker's order-sensitivity compatible with the parallel fan-out
     // below.
-    let mut breakers: Vec<CircuitBreaker> =
-        (0..n_cities).map(|_| CircuitBreaker::new(resilience.breaker)).collect();
+    let plan_trace = fbox_trace::span("crawl.plan");
+    let mut breakers: Vec<CircuitBreaker> = city::CITIES
+        .iter()
+        .map(|c| CircuitBreaker::with_label(resilience.breaker, c.name))
+        .collect();
     let mut planned = Vec::with_capacity(queries.len() * n_cities);
     for (flat_q, query_name) in queries.iter().enumerate() {
         for (ci, c) in city::CITIES.iter().enumerate() {
@@ -206,6 +210,7 @@ pub fn crawl_resilient(
             planned.push(PlannedCell { flat_q, ci, admitted, plan });
         }
     }
+    drop(plan_trace);
 
     // Work list: unresolved cells in grid order, truncated at the
     // configured interrupt point (counting only cells that execute a
@@ -234,6 +239,21 @@ pub fn crawl_resilient(
     // workers. Results merge back by work-list index, so completion order
     // cannot matter.
     let pages: Vec<Option<MarketRanking>> = fbox_par::par_map(&work, |&(_, cell)| {
+        let _cell_trace = fbox_trace::span_args("crawl.cell", |a| {
+            a.str("query", queries[cell.flat_q]);
+            a.str("city", city::CITIES[cell.ci].name);
+        });
+        // Narrate the cell's planned fault episode (retries, backoff,
+        // exhaustion) under its own span. The plan is a pure function of
+        // the key, so replaying it here changes nothing downstream.
+        if fbox_trace::enabled() && cell.admitted {
+            let key = hash::cell_key(
+                "marketplace.crawl",
+                queries[cell.flat_q],
+                city::CITIES[cell.ci].name,
+            );
+            let _ = resilience.plan_cell_traced(key);
+        }
         if cell.admitted && matches!(cell.plan.disposition, Disposition::Run(_)) {
             marketplace.run_query(cell.flat_q, cell.ci)
         } else {
@@ -257,6 +277,12 @@ pub fn crawl_resilient(
                 },
             }
         };
+        if matches!(outcome, CellOutcome::Quarantined(_)) {
+            fbox_trace::instant_args("crawl.quarantine", |a| {
+                a.str("query", queries[cell.flat_q]);
+                a.str("city", city::CITIES[cell.ci].name);
+            });
+        }
         let (retries, backoff_ms) =
             if cell.admitted { (cell.plan.retries, cell.plan.backoff_ms) } else { (0, 0) };
         new_retries += u64::from(retries);

@@ -81,6 +81,13 @@ pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
 /// stack frame and are all joined before `scope` returns. Thin, deliberate
 /// wrapper over [`std::thread::scope`] so call sites stay within this
 /// crate's API (and its determinism conventions).
+///
+/// Trace context does **not** cross `scope` automatically — only
+/// [`par_map`]/[`par_chunks`] do that. Hand-rolled fan-outs should
+/// capture a [`fbox_trace::Fork`] before spawning, call
+/// `fork.branch(slot)` with a deterministic slot on each worker, and
+/// finish each worker with [`fbox_trace::flush_thread`] (worker TLS
+/// destructors are not guaranteed to have run when `scope` returns).
 pub fn scope<'env, F, T>(f: F) -> T
 where
     F: for<'scope> FnOnce(&'scope std::thread::Scope<'scope, 'env>) -> T,
@@ -97,14 +104,26 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    // Captured before the serial/parallel split: branch slot `i` is the
+    // item index in both paths, so the recorded span tree is identical
+    // at any worker count.
+    let fork = fbox_trace::Fork::capture(items.len());
     let workers = max_threads().min(items.len());
     if workers <= 1 {
-        return items.iter().map(f).collect();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| {
+                let _task = fork.branch(i);
+                f(item)
+            })
+            .collect();
     }
     let next = AtomicUsize::new(0);
     let run = |out: &mut Vec<(usize, R)>| loop {
         let i = next.fetch_add(1, Ordering::Relaxed);
         let Some(item) = items.get(i) else { break };
+        let _task = fork.branch(i);
         out.push((i, f(item)));
     };
     let parts: Vec<Vec<(usize, R)>> = scope(|s| {
@@ -113,6 +132,7 @@ where
                 s.spawn(|| {
                     let mut out = Vec::new();
                     run(&mut out);
+                    fbox_trace::flush_thread();
                     out
                 })
             })
@@ -137,9 +157,18 @@ where
 {
     assert!(chunk_size > 0, "chunk_size must be at least 1");
     let n_chunks = items.len().div_ceil(chunk_size);
+    // Branch slot = chunk index in both paths (see `par_map`).
+    let fork = fbox_trace::Fork::capture(n_chunks);
     let workers = max_threads().min(n_chunks);
     if workers <= 1 {
-        return items.chunks(chunk_size).map(f).collect();
+        return items
+            .chunks(chunk_size)
+            .enumerate()
+            .map(|(c, chunk)| {
+                let _task = fork.branch(c);
+                f(chunk)
+            })
+            .collect();
     }
     let next = AtomicUsize::new(0);
     let parts: Vec<Vec<(usize, R)>> = scope(|s| {
@@ -154,8 +183,10 @@ where
                         }
                         let lo = c * chunk_size;
                         let hi = usize::min(lo + chunk_size, items.len());
+                        let _task = fork.branch(c);
                         out.push((c, f(&items[lo..hi])));
                     }
+                    fbox_trace::flush_thread();
                     out
                 })
             })

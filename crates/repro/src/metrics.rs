@@ -1,23 +1,74 @@
-//! Telemetry wiring for the `repro-*` binaries.
+//! Telemetry and tracing wiring for the `repro-*` binaries.
 //!
 //! Every binary calls [`init_from_args`] first thing and
 //! [`print_section`] last. Metrics collection turns on when either the
 //! `--metrics` flag is passed or the `FBOX_TELEMETRY` environment variable
-//! is set (to anything but `0`); otherwise both calls are no-ops and the
-//! binary's output is byte-identical to an uninstrumented run.
+//! is set (to anything but `0`); tracing turns on when `--trace <path>`
+//! (or `--trace=<path>`) is passed or the `FBOX_TRACE` environment
+//! variable names an output path. Otherwise both calls are no-ops and the
+//! binary's stdout is byte-identical to an uninstrumented run — trace
+//! files are written on the side and trace notes go to stderr only.
 
 use std::io::Write;
+use std::sync::OnceLock;
 
 use fbox_telemetry::{Subscriber, TableSink};
 
+/// Where the Chrome trace JSON goes, resolved once at init. `None` inside
+/// means tracing is off for this process.
+static TRACE_PATH: OnceLock<Option<String>> = OnceLock::new();
+
+/// `--trace <path>` / `--trace=<path>` from the process arguments, falling
+/// back to the `FBOX_TRACE` environment variable.
+fn resolve_trace_path() -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--trace" {
+            return args.next();
+        }
+        if let Some(rest) = a.strip_prefix("--trace=") {
+            return Some(rest.to_string());
+        }
+    }
+    fbox_trace::env_trace_path()
+}
+
 /// Enables the global telemetry registry when `--metrics` is among the
 /// process arguments (the `FBOX_TELEMETRY` environment variable is honored
-/// by the registry itself). Returns whether metrics are on.
+/// by the registry itself), and starts a wall-clock trace session when a
+/// trace output path is configured. Returns whether metrics are on.
 pub fn init_from_args() -> bool {
     if std::env::args().any(|a| a == "--metrics") {
         fbox_telemetry::set_enabled(true);
     }
+    let path = resolve_trace_path();
+    let tracing = path.is_some();
+    let _ = TRACE_PATH.set(path);
+    if tracing {
+        fbox_trace::start(fbox_trace::Clock::Wall);
+    }
     fbox_telemetry::global().enabled()
+}
+
+/// Finishes the trace session (if one was started) and writes the Chrome
+/// trace-event JSON to the configured path plus a folded-flamegraph
+/// sibling (`<path>.folded`). Status goes to stderr so stdout stays
+/// byte-identical to an untraced run.
+fn write_trace() {
+    let Some(Some(path)) = TRACE_PATH.get() else {
+        return;
+    };
+    let trace = fbox_trace::finish();
+    let folded_path = format!("{path}.folded");
+    if let Err(e) = std::fs::write(path, trace.to_chrome_json()) {
+        eprintln!("trace: failed to write {path}: {e}");
+        return;
+    }
+    if let Err(e) = std::fs::write(&folded_path, trace.to_folded()) {
+        eprintln!("trace: failed to write {folded_path}: {e}");
+        return;
+    }
+    eprintln!("trace: {} events -> {path} (folded: {folded_path})", trace.len());
 }
 
 /// Renders the metrics section appended to a report when telemetry is
@@ -35,11 +86,13 @@ pub fn render_section() -> Option<String> {
     String::from_utf8(out).ok()
 }
 
-/// Prints the metrics section to stdout when telemetry is enabled.
+/// Prints the metrics section to stdout when telemetry is enabled, then
+/// flushes any live trace session to its output files.
 pub fn print_section() {
     if let Some(section) = render_section() {
         print!("{section}");
     }
+    write_trace();
 }
 
 #[cfg(test)]

@@ -1,0 +1,40 @@
+//! `--trace` must be a pure side-channel: the traced run's stdout is
+//! byte-identical to the untraced run's, and the trace file itself is a
+//! well-formed Chrome trace-event JSON array with a folded sibling.
+
+use std::process::Command;
+
+#[test]
+fn trace_flag_leaves_stdout_byte_identical() {
+    let bin = env!("CARGO_BIN_EXE_repro-taskrabbit-quant");
+    let dir = std::env::temp_dir().join(format!("fbox-trace-off-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let trace_path = dir.join("run.json");
+
+    let plain = Command::new(bin)
+        .env_remove("FBOX_TRACE")
+        .env_remove("FBOX_TELEMETRY")
+        .output()
+        .expect("run untraced");
+    let traced = Command::new(bin)
+        .arg("--trace")
+        .arg(&trace_path)
+        .env_remove("FBOX_TRACE")
+        .env_remove("FBOX_TELEMETRY")
+        .output()
+        .expect("run traced");
+
+    assert!(plain.status.success(), "untraced run failed");
+    assert!(traced.status.success(), "traced run failed");
+    assert_eq!(plain.stdout, traced.stdout, "--trace must not change report bytes on stdout");
+
+    let json = std::fs::read_to_string(&trace_path).expect("trace file written");
+    assert!(!json.is_empty(), "trace file must not be empty");
+    assert!(json.starts_with('['), "Chrome trace-event format is a JSON array");
+    assert!(json.contains("\"marketplace.crawl\""), "crawl span recorded");
+
+    let folded = std::fs::read_to_string(dir.join("run.json.folded")).expect("folded sibling");
+    assert!(folded.contains("marketplace.crawl;"), "folded stacks use ';' paths");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -45,6 +45,9 @@ pub struct CircuitBreaker {
     config: BreakerConfig,
     state: State,
     trips: u32,
+    /// Region label attached to trace instants (`breaker.open` /
+    /// `breaker.half_open` / `breaker.close`).
+    label: Option<&'static str>,
 }
 
 impl CircuitBreaker {
@@ -52,7 +55,28 @@ impl CircuitBreaker {
     #[must_use]
     pub fn new(config: BreakerConfig) -> Self {
         assert!(config.threshold >= 1, "threshold must be at least 1");
-        Self { config, state: State::Closed { consecutive_failures: 0 }, trips: 0 }
+        Self { config, state: State::Closed { consecutive_failures: 0 }, trips: 0, label: None }
+    }
+
+    /// A closed breaker whose trace instants carry `label` as their
+    /// `region` arg — the crawl labels each breaker with its city.
+    #[must_use]
+    pub fn with_label(config: BreakerConfig, label: &'static str) -> Self {
+        Self { label: Some(label), ..Self::new(config) }
+    }
+
+    /// Emits a state-transition instant when a trace session is live.
+    /// Always driven in canonical grid order (see the module docs), so
+    /// the emitted sequence is deterministic.
+    fn note(&self, transition: &'static str) {
+        if fbox_trace::enabled() {
+            fbox_trace::instant_args(transition, |a| {
+                if let Some(region) = self.label {
+                    a.str("region", region);
+                }
+                a.u64("trips", u64::from(self.trips));
+            });
+        }
     }
 
     /// Asks whether the next cell may run. While open this *consumes* one
@@ -64,6 +88,7 @@ impl CircuitBreaker {
             State::Open { remaining } => {
                 if remaining <= 1 {
                     self.state = State::HalfOpen;
+                    self.note("breaker.half_open");
                 } else {
                     self.state = State::Open { remaining: remaining - 1 };
                 }
@@ -88,6 +113,7 @@ impl CircuitBreaker {
             }
             (State::HalfOpen, true) => {
                 self.state = State::Closed { consecutive_failures: 0 };
+                self.note("breaker.close");
             }
             (State::HalfOpen, false) => self.trip(),
             // `record` without a preceding successful `admit` is a driver
@@ -100,6 +126,7 @@ impl CircuitBreaker {
     fn trip(&mut self) {
         self.trips += 1;
         self.state = State::Open { remaining: self.config.cooldown.max(1) };
+        self.note("breaker.open");
     }
 
     /// Whether the circuit is currently open (skipping cells).

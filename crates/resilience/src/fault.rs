@@ -34,6 +34,20 @@ pub enum FaultKind {
     Corrupted,
 }
 
+impl FaultKind {
+    /// Stable lowercase label (used as the `kind` arg of
+    /// `resilience.fault` trace instants).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::Transient => "transient",
+            FaultKind::RateLimited => "rate_limited",
+            FaultKind::Truncated => "truncated",
+            FaultKind::Corrupted => "corrupted",
+        }
+    }
+}
+
 /// Per-mille probabilities of each fault kind per attempt. The remainder
 /// up to 1000 is a clean response.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

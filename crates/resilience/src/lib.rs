@@ -240,6 +240,48 @@ impl Resilience {
             }
         }
     }
+
+    /// [`Self::plan_cell`], additionally narrating the planned fault
+    /// episode as trace instants under the caller's current span:
+    /// `resilience.fault` per injected fault, `resilience.retry` per
+    /// scheduled backoff (with its virtual delay), and
+    /// `resilience.exhausted` when the budget is spent. A no-op without
+    /// an active trace session; the returned plan is identical either
+    /// way. Called from worker closures, so it must never panic.
+    #[must_use]
+    pub fn plan_cell_traced(&self, key: u64) -> CellPlan {
+        let cell = self.plan_cell(key);
+        if !fbox_trace::enabled() {
+            return cell;
+        }
+        for attempt in 0..cell.attempts {
+            let Some(kind) = self.plan.fault(key, attempt) else { continue };
+            fbox_trace::instant_args("resilience.fault", |a| {
+                a.u64("attempt", u64::from(attempt));
+                a.str("kind", kind.label());
+            });
+            // A retryable fault schedules a backoff unless it was the
+            // budget-spending final attempt.
+            if matches!(kind, FaultKind::Transient | FaultKind::RateLimited)
+                && attempt + 1 < cell.attempts
+            {
+                let mut backoff_ms = self.policy.backoff_ms(key, attempt);
+                if kind == FaultKind::RateLimited {
+                    backoff_ms += self.policy.rate_limit_penalty_ms;
+                }
+                fbox_trace::instant_args("resilience.retry", |a| {
+                    a.u64("attempt", u64::from(attempt));
+                    a.u64("backoff_ms", backoff_ms);
+                });
+            }
+        }
+        if cell.disposition == Disposition::Exhausted {
+            fbox_trace::instant_args("resilience.exhausted", |a| {
+                a.u64("attempts", u64::from(cell.attempts));
+            });
+        }
+        cell
+    }
 }
 
 #[cfg(test)]

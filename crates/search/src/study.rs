@@ -206,6 +206,7 @@ pub fn run_study_resilient(
     resilience: &Resilience,
 ) -> (Universe, SearchObservations, StudyStats) {
     let _span = fbox_telemetry::span!("search.run_study");
+    let _trace = fbox_trace::span("search.run_study");
     let universe = google_universe();
     let mut participants = Vec::new();
     let mut user_id = 0u64;
@@ -233,6 +234,10 @@ pub fn run_study_resilient(
         // deliberately not advanced by retry backoff: fault injection must
         // stay orthogonal to the engine's noise model, or the fault seed
         // would leak into the *content* of recovered pages.
+        let _participant_trace = fbox_trace::span_args("study.participant", |a| {
+            a.u64("uid", participant.uid);
+            a.str("location", participant.location);
+        });
         let mut clock = 0.0f64;
         QUERIES
             .iter()
@@ -242,7 +247,7 @@ pub fn run_study_resilient(
                     hash::cell_key("search.study", participant.location, query),
                     participant.uid,
                 );
-                let plan = resilience.plan_cell(key);
+                let plan = resilience.plan_cell_traced(key);
                 let mut cell = SessionCell {
                     q,
                     list: None,
@@ -272,7 +277,13 @@ pub fn run_study_resilient(
                                 cell.truncated = true;
                                 cell.list = Some(list);
                             }
-                            Some(PayloadFault::Corrupt) => cell.quarantined = true,
+                            Some(PayloadFault::Corrupt) => {
+                                cell.quarantined = true;
+                                fbox_trace::instant_args("study.quarantine", |a| {
+                                    a.u64("uid", participant.uid);
+                                    a.str("query", *query);
+                                });
+                            }
                         }
                     }
                 }

@@ -24,8 +24,10 @@ impl MetricDelta {
     }
 }
 
-/// The diff of two snapshots. Histograms contribute two rows each:
-/// `<name>.calls` (count) and `<name>.total_ns` (cumulative duration).
+/// The diff of two snapshots. Histograms contribute three rows each:
+/// `<name>.calls` (count), `<name>.total_ns` (cumulative duration), and
+/// `<name>.p99_ns` (estimated 99th percentile — the tail the ROADMAP's
+/// serving targets care about).
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Report {
     pub counters: Vec<MetricDelta>,
@@ -64,10 +66,11 @@ impl Report {
     }
 }
 
-fn histogram_rows(h: &crate::snapshot::HistogramSnapshot) -> [(String, i128); 2] {
+fn histogram_rows(h: &crate::snapshot::HistogramSnapshot) -> [(String, i128); 3] {
     [
         (format!("{}.calls", h.name), h.count as i128),
         (format!("{}.total_ns", h.name), h.sum_ns as i128),
+        (format!("{}.p99_ns", h.name), h.p99_ns() as i128),
     ]
 }
 
@@ -133,6 +136,19 @@ mod tests {
         assert!(!report.is_zero());
         let row = report.counters.iter().find(|d| d.name == "new.metric").unwrap();
         assert_eq!((row.before, row.after, row.delta()), (0, 5, 5));
+    }
+
+    #[test]
+    fn diff_includes_p99_rows_for_histograms() {
+        let r = Registry::new();
+        let before = r.snapshot();
+        r.histogram("serve.request").record_ns(1_000);
+        let after = r.snapshot();
+        let report = Report::diff(&before, &after);
+        let p99 = report.histograms.iter().find(|d| d.name == "serve.request.p99_ns").unwrap();
+        assert_eq!(p99.before, 0);
+        assert_eq!(p99.after, i128::from(after.histogram("serve.request").unwrap().p99_ns()));
+        assert!(p99.after > 0);
     }
 
     #[test]

@@ -13,7 +13,8 @@ pub trait Subscriber {
 }
 
 /// Human-readable aligned-table writer. Histogram rows show call count,
-/// cumulative / mean / min / max durations.
+/// cumulative / mean / min / max durations plus estimated
+/// p50/p90/p99/p999 quantiles.
 pub struct TableSink<W: Write> {
     out: W,
 }
@@ -64,18 +65,22 @@ pub fn render_table(snapshot: &Snapshot) -> String {
         let width = column_width(snapshot.histograms.iter().map(|h| h.name.len()));
         out.push_str("spans / durations\n");
         out.push_str(&format!(
-            "  {:<width$}  {:>9}  {:>10}  {:>10}  {:>10}  {:>10}\n",
-            "name", "calls", "total", "mean", "min", "max"
+            "  {:<width$}  {:>9}  {:>10}  {:>10}  {:>10}  {:>10}  {:>10}  {:>10}  {:>10}  {:>10}\n",
+            "name", "calls", "total", "mean", "min", "max", "p50", "p90", "p99", "p999"
         ));
         for h in &snapshot.histograms {
             out.push_str(&format!(
-                "  {:<width$}  {:>9}  {:>10}  {:>10}  {:>10}  {:>10}\n",
+                "  {:<width$}  {:>9}  {:>10}  {:>10}  {:>10}  {:>10}  {:>10}  {:>10}  {:>10}  {:>10}\n",
                 h.name,
                 h.count,
                 format_ns(h.sum_ns),
                 format_ns(h.mean_ns()),
                 format_ns(h.min_ns),
                 format_ns(h.max_ns),
+                format_ns(h.p50_ns()),
+                format_ns(h.p90_ns()),
+                format_ns(h.p99_ns()),
+                format_ns(h.p999_ns()),
             ));
         }
     }
@@ -163,6 +168,17 @@ mod tests {
         assert!(text.contains("ta.sorted_accesses"));
         assert!(text.contains("index.build"));
         assert!(text.contains("2.50ms"));
+    }
+
+    #[test]
+    fn table_renders_quantile_columns() {
+        let text = render_table(&sample());
+        for header in ["p50", "p90", "p99", "p999"] {
+            assert!(text.contains(header), "missing column {header}: {text}");
+        }
+        // A single 2.5ms sample: total, mean, min, max and all four
+        // quantiles clamp to the same exact value.
+        assert_eq!(text.matches("2.50ms").count(), 8, "{text}");
     }
 
     #[test]

@@ -49,6 +49,66 @@ impl HistogramSnapshot {
     pub fn mean_ns(&self) -> u64 {
         self.sum_ns.checked_div(self.count).unwrap_or(0)
     }
+
+    /// Estimated `q`-quantile in nanoseconds (`q` clamped to `[0, 1]`;
+    /// 0 when empty).
+    ///
+    /// The estimate locates the target rank `⌈q·count⌉` in the log₂
+    /// buckets and interpolates linearly *toward the bucket's upper
+    /// bound* — so with b samples in `[lo, 2·lo)`, rank r estimates
+    /// `lo + r·lo/b`. The documented bias: estimates never undershoot
+    /// the true quantile by more than one bucket width and tend to
+    /// overshoot within the bucket, which is the conservative direction
+    /// for latency targets. Results are clamped to the exactly-tracked
+    /// `[min_ns, max_ns]`, which also bounds the open-ended top bucket.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        // Target rank ⌈q·count⌉ in 1..=count, computed without a
+        // float rounding-method cast.
+        let scaled = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut target = scaled as u64;
+        if (target as f64) < scaled {
+            target += 1;
+        }
+        let target = target.clamp(1, self.count);
+        let mut cum = 0u64;
+        for bucket in &self.buckets {
+            let next = cum + bucket.count;
+            if target <= next {
+                let lo = bucket.lower_ns;
+                let hi = if lo == 0 { 2 } else { lo.saturating_mul(2) };
+                let rank = target - cum; // 1..=bucket.count
+                let est = lo.saturating_add(
+                    (rank.saturating_mul(hi - lo).saturating_add(bucket.count - 1)) / bucket.count,
+                );
+                return est.clamp(self.min_ns, self.max_ns);
+            }
+            cum = next;
+        }
+        self.max_ns
+    }
+
+    /// Median estimate (see [`Self::quantile_ns`]).
+    pub fn p50_ns(&self) -> u64 {
+        self.quantile_ns(0.50)
+    }
+
+    /// 90th-percentile estimate (see [`Self::quantile_ns`]).
+    pub fn p90_ns(&self) -> u64 {
+        self.quantile_ns(0.90)
+    }
+
+    /// 99th-percentile estimate (see [`Self::quantile_ns`]).
+    pub fn p99_ns(&self) -> u64 {
+        self.quantile_ns(0.99)
+    }
+
+    /// 99.9th-percentile estimate (see [`Self::quantile_ns`]).
+    pub fn p999_ns(&self) -> u64 {
+        self.quantile_ns(0.999)
+    }
 }
 
 /// A point-in-time copy of a registry's metrics, sorted by name within
@@ -152,6 +212,69 @@ mod tests {
         let json = snap.to_json();
         let back = Snapshot::from_json(&json).expect("snapshot JSON parses");
         assert_eq!(back, snap);
+    }
+
+    fn hist(count: u64, min_ns: u64, max_ns: u64, buckets: Vec<BucketCount>) -> HistogramSnapshot {
+        let sum_ns = count * (min_ns + max_ns) / 2; // irrelevant to quantiles
+        HistogramSnapshot { name: "h".into(), count, sum_ns, min_ns, max_ns, buckets }
+    }
+
+    #[test]
+    fn quantiles_of_empty_histogram_are_zero() {
+        let h = hist(0, 0, 0, Vec::new());
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile_ns(q), 0);
+        }
+    }
+
+    #[test]
+    fn quantiles_within_a_single_bucket_interpolate_to_upper_bound() {
+        // 4 samples, all in [1024, 2048): ranks 1..=4 estimate
+        // 1024 + r·256, clamped to the exact [min, max].
+        let h = hist(4, 1100, 1900, vec![BucketCount { lower_ns: 1024, count: 4 }]);
+        assert_eq!(h.quantile_ns(0.0), 1280, "q=0 targets rank 1");
+        assert_eq!(h.p50_ns(), 1536);
+        assert_eq!(h.quantile_ns(0.75), 1792);
+        assert_eq!(h.p99_ns(), 1900, "rank 4 interpolates to 2048, clamped to max");
+        assert_eq!(h.quantile_ns(1.0), 1900);
+        // Estimates never leave the observed range.
+        for q in [0.0, 0.1, 0.5, 0.9, 0.999, 1.0] {
+            let v = h.quantile_ns(q);
+            assert!((1100..=1900).contains(&v), "q={q}: {v}");
+        }
+    }
+
+    #[test]
+    fn quantiles_with_all_samples_in_overflow_bucket_clamp_to_max() {
+        // Everything landed in the open-ended top bucket: the upper
+        // bound would be 2^40, but max_ns is tracked exactly.
+        let top = 1u64 << 39;
+        let h = hist(3, top + 5, top + 999, vec![BucketCount { lower_ns: top, count: 3 }]);
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            assert_eq!(h.quantile_ns(q), top + 999, "q={q}");
+        }
+        assert_eq!(h.p999_ns(), top + 999);
+    }
+
+    #[test]
+    fn quantiles_walk_across_buckets() {
+        // 90 fast samples in [0, 2), 10 slow in [1024, 2048):
+        // p50/p90 stay in the fast bucket, p99/p999 land in the slow one.
+        let h = hist(
+            100,
+            1,
+            1500,
+            vec![BucketCount { lower_ns: 0, count: 90 }, BucketCount { lower_ns: 1024, count: 10 }],
+        );
+        assert!(h.p50_ns() <= 2, "median in the fast bucket: {}", h.p50_ns());
+        assert!(h.p90_ns() <= 2, "p90 is rank 90, still fast: {}", h.p90_ns());
+        assert!(h.p99_ns() >= 1024, "p99 in the slow bucket: {}", h.p99_ns());
+        assert_eq!(h.quantile_ns(1.0), 1500);
+        // Monotone in q.
+        let qs = [0.0, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999, 1.0];
+        for pair in qs.windows(2) {
+            assert!(h.quantile_ns(pair[0]) <= h.quantile_ns(pair[1]), "{pair:?}");
+        }
     }
 
     #[test]

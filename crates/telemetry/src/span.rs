@@ -43,8 +43,17 @@ impl SpanGuard {
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         if let Some((histogram, start)) = self.active.take() {
+            // The decrement must pair with `enter`'s increment even if
+            // `record` unwinds (or grows an early return): park it in
+            // its own drop guard so the depth cannot leak.
+            struct DepthDecrement;
+            impl Drop for DepthDecrement {
+                fn drop(&mut self) {
+                    DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+                }
+            }
+            let _decrement = DepthDecrement;
             histogram.record(start.elapsed());
-            DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
         }
     }
 }
@@ -77,5 +86,21 @@ mod tests {
         assert_eq!(snap.histogram("outer").map(|h| h.count), Some(1));
         assert_eq!(snap.histogram("inner").map(|h| h.count), Some(1));
         assert!(snap.histogram("off").is_none());
+    }
+
+    #[test]
+    fn depth_survives_unwind_through_live_spans() {
+        let r = Registry::new();
+        assert_eq!(span_depth(), 0);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _span = SpanGuard::enter(&r, "doomed");
+            assert_eq!(span_depth(), 1);
+            panic!("unwind through a live span");
+        }));
+        assert!(caught.is_err());
+        // The guard dropped during the unwind: depth is back to 0 and
+        // the duration was still recorded.
+        assert_eq!(span_depth(), 0, "depth must not leak on panic");
+        assert_eq!(r.snapshot().histogram("doomed").map(|h| h.count), Some(1));
     }
 }

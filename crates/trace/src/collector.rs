@@ -1,0 +1,420 @@
+//! The collector: per-thread event buffers, span frames, and the fork
+//! handshake that carries span context across `fbox-par` fan-outs.
+//!
+//! Hot-path contract: recording an event is one relaxed atomic load
+//! (enabled check) plus a push onto a thread-local `Vec`. The only
+//! mutexes live off the hot path — taken once per thread at
+//! registration, once per thread at exit (spill), and at flush.
+//!
+//! Determinism contract: span ids and `seq` ordinals are derived purely
+//! from causal position (see [`crate::event::derive_span_id`]), and
+//! [`Fork`] reserves one ordinal per branch *before* the fan-out, so the
+//! recorded structure is identical whether branches run serially on the
+//! caller or spread across N workers.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+use crate::event::{derive_span_id, Args, Event, Phase, TraceValue, TRACE_ID};
+
+/// Timestamp source for a tracing session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Clock {
+    /// Deterministic tick timestamps assigned at flush by a canonical
+    /// DFS over the span tree — bit-identical at any `FBOX_THREADS`.
+    Logical,
+    /// Nanoseconds since `start()` via `Instant::now()` (the sanctioned
+    /// wall-clock read, see `Lint.toml` allow-paths) — for profiling.
+    Wall,
+}
+
+const CLOCK_LOGICAL: u8 = 0;
+const CLOCK_WALL: u8 = 1;
+
+struct Shared {
+    enabled: AtomicBool,
+    /// Bumped by every `start()`; thread-locals lazily re-register when
+    /// their cached session falls behind.
+    session: AtomicU64,
+    clock: AtomicU8,
+    epoch: Mutex<Option<Instant>>,
+    /// Buffers handed over by exiting worker threads (`fbox-par` scopes
+    /// join before returning, so every spill precedes `finish()`).
+    spilled: Mutex<Vec<Event>>,
+    next_thread_id: AtomicU64,
+}
+
+impl Shared {
+    const fn new() -> Self {
+        Shared {
+            enabled: AtomicBool::new(false),
+            session: AtomicU64::new(0),
+            clock: AtomicU8::new(CLOCK_LOGICAL),
+            epoch: Mutex::new(None),
+            spilled: Mutex::new(Vec::new()),
+            next_thread_id: AtomicU64::new(0),
+        }
+    }
+}
+
+static SHARED: OnceLock<Shared> = OnceLock::new();
+
+/// Lock that tolerates poisoning: a panicking worker must not wedge the
+/// tracer for the surviving threads (the buffers it guards stay valid).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// An open span frame on this thread's stack: child ordinals are drawn
+/// from `next_seq`.
+struct Frame {
+    span_id: u64,
+    next_seq: u64,
+}
+
+struct LocalState {
+    session: u64,
+    thread_id: u64,
+    epoch: Option<Instant>,
+    events: Vec<Event>,
+    frames: Vec<Frame>,
+    /// Ordinal counter for root-level events (empty frame stack).
+    root_seq: u64,
+}
+
+impl LocalState {
+    const fn new() -> Self {
+        LocalState {
+            session: 0,
+            thread_id: 0,
+            epoch: None,
+            events: Vec::new(),
+            frames: Vec::new(),
+            root_seq: 0,
+        }
+    }
+
+    /// Re-register with the current session if a newer one started.
+    fn sync(&mut self, shared: &Shared) {
+        let session = shared.session.load(Ordering::Acquire);
+        if self.session != session {
+            self.session = session;
+            self.thread_id = shared.next_thread_id.fetch_add(1, Ordering::Relaxed);
+            self.epoch = *lock(&shared.epoch);
+            self.events.clear();
+            self.frames.clear();
+            self.root_seq = 0;
+        }
+    }
+
+    fn now_ns(&self) -> u64 {
+        match self.epoch {
+            Some(epoch) => epoch.elapsed().as_nanos() as u64,
+            None => 0,
+        }
+    }
+
+    /// Allocate the next child ordinal in the innermost open frame
+    /// (or the thread's root frame).
+    fn alloc_seq(&mut self) -> (u64, u64) {
+        if let Some(frame) = self.frames.last_mut() {
+            let seq = frame.next_seq;
+            frame.next_seq += 1;
+            (frame.span_id, seq)
+        } else {
+            let seq = self.root_seq;
+            self.root_seq += 1;
+            (0, seq)
+        }
+    }
+}
+
+impl Drop for LocalState {
+    fn drop(&mut self) {
+        if self.events.is_empty() {
+            return;
+        }
+        if let Some(shared) = SHARED.get() {
+            if shared.session.load(Ordering::Acquire) == self.session {
+                lock(&shared.spilled).append(&mut self.events);
+            }
+        }
+    }
+}
+
+/// Hand this thread's buffered events to the shared collector. Worker
+/// threads must call this before they are joined: TLS destructors are
+/// NOT guaranteed to have run by the time `std::thread::scope` returns,
+/// so the drop-spill alone can race `finish()`. `fbox-par` workers call
+/// this at the end of their run loop; the drop-spill remains as a
+/// backstop for ad-hoc threads.
+pub fn flush_thread() {
+    let Some(shared) = SHARED.get() else { return };
+    let _ = LOCAL.try_with(|cell| {
+        let mut local = cell.borrow_mut();
+        if !local.events.is_empty() && shared.session.load(Ordering::Acquire) == local.session {
+            lock(&shared.spilled).append(&mut local.events);
+        }
+    });
+}
+
+thread_local! {
+    static LOCAL: RefCell<LocalState> = const { RefCell::new(LocalState::new()) };
+}
+
+/// Run `f` against this thread's buffer iff tracing is live. Returns
+/// `None` (and runs nothing) when the tracer is off — the common case.
+fn with_local<R>(f: impl FnOnce(&mut LocalState) -> R) -> Option<R> {
+    let shared = SHARED.get()?;
+    if !shared.enabled.load(Ordering::Relaxed) {
+        return None;
+    }
+    LOCAL
+        .try_with(|cell| {
+            let mut local = cell.borrow_mut();
+            local.sync(shared);
+            f(&mut local)
+        })
+        .ok()
+}
+
+/// True while a tracing session is live. One relaxed load; safe to call
+/// on the hottest path.
+pub fn enabled() -> bool {
+    SHARED.get().is_some_and(|s| s.enabled.load(Ordering::Relaxed))
+}
+
+/// Begin a tracing session, discarding any buffered events from a
+/// previous one. Call from the coordinating thread before the pipeline
+/// runs; pair with [`finish`].
+pub fn start(clock: Clock) {
+    let shared = SHARED.get_or_init(Shared::new);
+    shared.enabled.store(false, Ordering::SeqCst);
+    lock(&shared.spilled).clear();
+    let byte = match clock {
+        Clock::Logical => CLOCK_LOGICAL,
+        Clock::Wall => CLOCK_WALL,
+    };
+    shared.clock.store(byte, Ordering::SeqCst);
+    *lock(&shared.epoch) = match clock {
+        Clock::Logical => None,
+        Clock::Wall => Some(Instant::now()),
+    };
+    shared.next_thread_id.store(0, Ordering::SeqCst);
+    shared.session.fetch_add(1, Ordering::Release);
+    shared.enabled.store(true, Ordering::SeqCst);
+}
+
+/// End the session and drain every buffer into a [`crate::Trace`].
+/// Worker buffers arrive via the spill-on-exit path; the caller's own
+/// buffer is drained directly. Logical sessions are canonicalized here
+/// (tick timestamps, thread id 0); wall sessions get a stable
+/// `(ts, thread)` sort.
+pub fn finish() -> crate::Trace {
+    let Some(shared) = SHARED.get() else {
+        return crate::Trace { clock: Clock::Logical, events: Vec::new() };
+    };
+    shared.enabled.store(false, Ordering::SeqCst);
+    let clock = match shared.clock.load(Ordering::SeqCst) {
+        CLOCK_WALL => Clock::Wall,
+        _ => Clock::Logical,
+    };
+    let mut events = std::mem::take(&mut *lock(&shared.spilled));
+    let session = shared.session.load(Ordering::Acquire);
+    let _ = LOCAL.try_with(|cell| {
+        let mut local = cell.borrow_mut();
+        if local.session == session {
+            events.append(&mut local.events);
+            local.frames.clear();
+        }
+    });
+    crate::Trace::assemble(clock, events)
+}
+
+/// RAII guard closing a span on drop. Obtained from [`span`] /
+/// [`span_args`] / [`Fork::branch`]; inert when tracing is off.
+pub struct SpanGuard {
+    on: bool,
+    span_id: u64,
+    name: &'static str,
+}
+
+impl SpanGuard {
+    const OFF: SpanGuard = SpanGuard { on: false, span_id: 0, name: "" };
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.on {
+            return;
+        }
+        let (span_id, name) = (self.span_id, self.name);
+        let _ = with_local(|local| {
+            let ts_ns = local.now_ns();
+            local.events.push(Event {
+                phase: Phase::End,
+                name,
+                trace_id: TRACE_ID,
+                span_id,
+                parent_id: 0,
+                thread_id: local.thread_id,
+                seq: 0,
+                ts_ns,
+                args: Vec::new(),
+            });
+            // Pop by id, never blindly: a session restart may have
+            // cleared the stack under a still-live guard.
+            if let Some(pos) = local.frames.iter().rposition(|f| f.span_id == span_id) {
+                local.frames.truncate(pos);
+            }
+        });
+    }
+}
+
+fn open_span(name: &'static str, args: Vec<(&'static str, TraceValue)>) -> SpanGuard {
+    with_local(|local| {
+        let (parent_id, seq) = local.alloc_seq();
+        let span_id = derive_span_id(parent_id, seq);
+        let ts_ns = local.now_ns();
+        local.events.push(Event {
+            phase: Phase::Begin,
+            name,
+            trace_id: TRACE_ID,
+            span_id,
+            parent_id,
+            thread_id: local.thread_id,
+            seq,
+            ts_ns,
+            args,
+        });
+        local.frames.push(Frame { span_id, next_seq: 0 });
+        SpanGuard { on: true, span_id, name }
+    })
+    .unwrap_or(SpanGuard::OFF)
+}
+
+/// Open a span; it closes when the returned guard drops.
+#[must_use = "the span closes when this guard drops"]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard::OFF;
+    }
+    open_span(name, Vec::new())
+}
+
+/// Open a span with key-value args; `fill` runs only when tracing is
+/// enabled.
+#[must_use = "the span closes when this guard drops"]
+pub fn span_args(name: &'static str, fill: impl FnOnce(&mut Args)) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard::OFF;
+    }
+    let mut args = Args::default();
+    fill(&mut args);
+    open_span(name, args.take())
+}
+
+/// Record an instant event attached to the innermost open span.
+pub fn instant(name: &'static str) {
+    instant_args(name, |_| {});
+}
+
+/// Record an instant event with key-value args; `fill` runs only when
+/// tracing is enabled.
+pub fn instant_args(name: &'static str, fill: impl FnOnce(&mut Args)) {
+    if !enabled() {
+        return;
+    }
+    let mut args = Args::default();
+    fill(&mut args);
+    let kv = args.take();
+    let _ = with_local(|local| {
+        let (parent_id, seq) = local.alloc_seq();
+        let ts_ns = local.now_ns();
+        local.events.push(Event {
+            phase: Phase::Instant,
+            name,
+            trace_id: TRACE_ID,
+            span_id: 0,
+            parent_id,
+            thread_id: local.thread_id,
+            seq,
+            ts_ns,
+            args: kv,
+        });
+    });
+}
+
+/// A captured span context carried across an `fbox-par` fan-out.
+///
+/// `capture(n)` reserves `n` child ordinals in the caller's innermost
+/// span *before* the fan-out; each worker then calls `branch(slot)` with
+/// its item index to open a `par.task` span that parents to the
+/// caller's span at ordinal `base + slot`. Because slots are positional
+/// — not claimed in scheduling order — the recorded tree is identical
+/// whether the branches run inline on the caller or on worker threads.
+#[derive(Debug, Clone, Copy)]
+pub struct Fork {
+    on: bool,
+    parent_id: u64,
+    base_seq: u64,
+}
+
+impl Fork {
+    /// An inert fork (tracing off): `branch` returns inert guards.
+    #[must_use]
+    pub const fn off() -> Fork {
+        Fork { on: false, parent_id: 0, base_seq: 0 }
+    }
+
+    /// Capture the caller's span context, reserving `n` branch slots.
+    #[must_use]
+    pub fn capture(n: usize) -> Fork {
+        with_local(|local| {
+            let (parent_id, base_seq) = if let Some(frame) = local.frames.last_mut() {
+                let base = frame.next_seq;
+                frame.next_seq += n as u64;
+                (frame.span_id, base)
+            } else {
+                let base = local.root_seq;
+                local.root_seq += n as u64;
+                (0, base)
+            };
+            Fork { on: true, parent_id, base_seq }
+        })
+        .unwrap_or(Fork::off())
+    }
+
+    /// Enter branch `slot` (the item/chunk index) on the current thread.
+    /// The returned guard closes the branch span on drop.
+    #[must_use = "the branch span closes when this guard drops"]
+    pub fn branch(&self, slot: usize) -> SpanGuard {
+        if !self.on {
+            return SpanGuard::OFF;
+        }
+        with_local(|local| {
+            let seq = self.base_seq + slot as u64;
+            let span_id = derive_span_id(self.parent_id, seq);
+            let ts_ns = local.now_ns();
+            local.events.push(Event {
+                phase: Phase::Begin,
+                name: "par.task",
+                trace_id: TRACE_ID,
+                span_id,
+                parent_id: self.parent_id,
+                thread_id: local.thread_id,
+                seq,
+                ts_ns,
+                args: vec![("slot", TraceValue::U64(slot as u64))],
+            });
+            local.frames.push(Frame { span_id, next_seq: 0 });
+            SpanGuard { on: true, span_id, name: "par.task" }
+        })
+        .unwrap_or(SpanGuard::OFF)
+    }
+}

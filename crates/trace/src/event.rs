@@ -1,0 +1,133 @@
+//! The trace event model: spans, instants, and their key-value args.
+//!
+//! Every event carries the full causal coordinate `(trace_id, span_id,
+//! parent_id, thread_id, seq)`. `span_id`s are *derived*, not allocated:
+//! `span_id = mix(parent_id, seq)` where `seq` is the child's ordinal
+//! inside its parent frame. Because the derivation depends only on the
+//! causal position — never on which OS thread ran the work or when —
+//! the id structure of a trace is identical at any `FBOX_THREADS`.
+
+/// The single trace id used by this process-local tracer. A fixed
+/// constant (rather than a session nonce) keeps logical-clock traces
+/// bit-identical across runs.
+pub const TRACE_ID: u64 = 1;
+
+/// Event kind, mirroring the Chrome trace-event phases we emit
+/// (`B`, `E`, `i`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Phase {
+    /// Span begin (`ph: "B"`).
+    Begin,
+    /// Span end (`ph: "E"`).
+    End,
+    /// Thread-scoped instant (`ph: "i", s: "t"`).
+    Instant,
+}
+
+/// A typed argument value. Strings are owned so call sites can format
+/// dynamic labels (city names, measure labels) without lifetime knots.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceValue {
+    Bool(bool),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(String),
+}
+
+/// One recorded event. `ts_ns` is nanoseconds since the trace epoch in
+/// wall-clock mode and `0` at record time in logical mode (the canonical
+/// tick is assigned at flush).
+#[derive(Debug, Clone)]
+pub struct Event {
+    pub phase: Phase,
+    pub name: &'static str,
+    pub trace_id: u64,
+    /// Derived span id; `0` for instants (they attach to `parent_id`).
+    pub span_id: u64,
+    /// Enclosing span id, or `0` for root-level events.
+    pub parent_id: u64,
+    /// Registration-order thread id (rewritten to 0 in logical exports).
+    pub thread_id: u64,
+    /// Ordinal within the parent frame; drives canonical ordering.
+    pub seq: u64,
+    pub ts_ns: u64,
+    pub args: Vec<(&'static str, TraceValue)>,
+}
+
+/// Builder handed to `span_args`/`instant_args` closures. The closure
+/// only runs when tracing is enabled, so formatting costs nothing when
+/// the tracer is off.
+#[derive(Debug, Default)]
+pub struct Args(Vec<(&'static str, TraceValue)>);
+
+impl Args {
+    pub fn bool(&mut self, key: &'static str, value: bool) {
+        self.0.push((key, TraceValue::Bool(value)));
+    }
+
+    pub fn u64(&mut self, key: &'static str, value: u64) {
+        self.0.push((key, TraceValue::U64(value)));
+    }
+
+    pub fn i64(&mut self, key: &'static str, value: i64) {
+        self.0.push((key, TraceValue::I64(value)));
+    }
+
+    pub fn f64(&mut self, key: &'static str, value: f64) {
+        self.0.push((key, TraceValue::F64(value)));
+    }
+
+    pub fn str(&mut self, key: &'static str, value: impl Into<String>) {
+        self.0.push((key, TraceValue::Str(value.into())));
+    }
+
+    pub(crate) fn take(self) -> Vec<(&'static str, TraceValue)> {
+        self.0
+    }
+}
+
+/// SplitMix64 finalizer — a strong, dependency-free 64-bit mixer.
+fn splitmix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+const SPAN_SALT: u64 = 0xF0B0_7AC3_5EED_0001;
+
+/// Derive a child span id from its causal position. `| 1` keeps ids
+/// disjoint from the reserved `0` (no span / root).
+pub fn derive_span_id(parent_id: u64, seq: u64) -> u64 {
+    splitmix64(parent_id ^ splitmix64(seq ^ SPAN_SALT)) | 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_ids_depend_only_on_causal_position() {
+        assert_eq!(derive_span_id(0, 0), derive_span_id(0, 0));
+        assert_ne!(derive_span_id(0, 0), derive_span_id(0, 1));
+        assert_ne!(derive_span_id(0, 0), derive_span_id(1, 0));
+        assert_ne!(derive_span_id(0, 0), 0, "0 is reserved for 'no span'");
+        for parent in [0u64, 1, 0xDEAD_BEEF] {
+            for seq in 0..64 {
+                assert_eq!(derive_span_id(parent, seq) & 1, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn args_builder_preserves_insertion_order() {
+        let mut a = Args::default();
+        a.u64("q", 3);
+        a.str("city", "Chicago");
+        a.f64("tau", 0.25);
+        let kv = a.take();
+        assert_eq!(kv.len(), 3);
+        assert_eq!(kv[0].0, "q");
+        assert_eq!(kv[2].0, "tau");
+    }
+}

@@ -1,0 +1,439 @@
+//! Trace assembly and the two export formats: Chrome trace-event JSON
+//! (loadable in Perfetto / `chrome://tracing`) and collapsed-stack
+//! ("folded flamegraph") text.
+//!
+//! Logical-clock sessions are *canonicalized* here: the span forest is
+//! rebuilt from `(parent_id, seq)` coordinates, walked in a
+//! deterministic DFS, and every event gets a tick timestamp from that
+//! walk — so the serialized trace is bit-identical at any
+//! `FBOX_THREADS`. Wall-clock sessions keep real timestamps and thread
+//! ids, stably sorted.
+
+use std::collections::BTreeMap;
+
+use crate::collector::Clock;
+use crate::event::{Event, Phase, TraceValue};
+
+/// A finished tracing session: the drained event set plus the clock it
+/// was recorded under.
+#[derive(Debug)]
+pub struct Trace {
+    pub clock: Clock,
+    pub events: Vec<Event>,
+}
+
+/// A child position inside a span: either a nested span or an instant.
+#[derive(Debug, Clone, Copy)]
+enum Child {
+    Span(u64),
+    Instant(usize),
+}
+
+impl Trace {
+    /// Assemble the raw drained buffers into their canonical order.
+    pub(crate) fn assemble(clock: Clock, events: Vec<Event>) -> Trace {
+        let events = match clock {
+            Clock::Logical => canonicalize(events),
+            Clock::Wall => {
+                let mut events = events;
+                events.sort_by_key(|e| (e.ts_ns, e.thread_id, e.seq));
+                events
+            }
+        };
+        Trace { clock, events }
+    }
+
+    /// Number of recorded events (spans count begin + end).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Serialize as a Chrome trace-event JSON array. Load the file in
+    /// <https://ui.perfetto.dev> or `chrome://tracing`.
+    ///
+    /// Timestamps are microseconds: logical ticks map 1 tick → 1 µs;
+    /// wall-clock nanoseconds keep sub-µs precision as a decimal
+    /// fraction. Span/parent ids ride along in `args` as hex strings.
+    #[must_use]
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::with_capacity(128 + self.events.len() * 160);
+        out.push('[');
+        out.push_str(
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
+             \"args\":{\"name\":\"fbox\"}}",
+        );
+        for event in &self.events {
+            out.push_str(",\n");
+            write_chrome_event(&mut out, event, self.clock);
+        }
+        out.push_str("]\n");
+        out
+    }
+
+    /// Render collapsed stacks: one line per unique span path
+    /// (`root;child;leaf <self-time>`), aggregated, sorted by path.
+    /// Feed to any flamegraph renderer. Self time is the span's
+    /// duration minus its closed children's durations — ticks in
+    /// logical mode, nanoseconds in wall mode.
+    #[must_use]
+    pub fn to_folded(&self) -> String {
+        struct SpanRec {
+            name: &'static str,
+            parent_id: u64,
+            begin_ts: u64,
+            end_ts: Option<u64>,
+        }
+        let mut spans: BTreeMap<u64, SpanRec> = BTreeMap::new();
+        for event in &self.events {
+            match event.phase {
+                Phase::Begin => {
+                    spans.entry(event.span_id).or_insert(SpanRec {
+                        name: event.name,
+                        parent_id: event.parent_id,
+                        begin_ts: event.ts_ns,
+                        end_ts: None,
+                    });
+                }
+                Phase::End => {
+                    if let Some(rec) = spans.get_mut(&event.span_id) {
+                        rec.end_ts = Some(event.ts_ns);
+                    }
+                }
+                Phase::Instant => {}
+            }
+        }
+        let mut child_time: BTreeMap<u64, u64> = BTreeMap::new();
+        for rec in spans.values() {
+            if let Some(end) = rec.end_ts {
+                let d = end.saturating_sub(rec.begin_ts);
+                *child_time.entry(rec.parent_id).or_insert(0) += d;
+            }
+        }
+        let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+        for (id, rec) in &spans {
+            let Some(end) = rec.end_ts else { continue };
+            let duration = end.saturating_sub(rec.begin_ts);
+            let children = child_time.get(id).copied().unwrap_or(0);
+            let self_time = duration.saturating_sub(children);
+            // Walk the parent chain to build `root;...;leaf`.
+            let mut names = vec![rec.name];
+            let mut cursor = rec.parent_id;
+            while cursor != 0 {
+                let Some(parent) = spans.get(&cursor) else { break };
+                names.push(parent.name);
+                cursor = parent.parent_id;
+            }
+            names.reverse();
+            *folded.entry(names.join(";")).or_insert(0) += self_time;
+        }
+        let mut out = String::new();
+        for (path, value) in &folded {
+            out.push_str(path);
+            out.push(' ');
+            out.push_str(&value.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Rebuild the span forest from `(parent_id, seq)` and re-emit every
+/// event in deterministic DFS order with tick timestamps and thread id
+/// 0. Spans left open at flush get a synthesized `End`.
+fn canonicalize(events: Vec<Event>) -> Vec<Event> {
+    let mut begin_of: BTreeMap<u64, usize> = BTreeMap::new();
+    let mut end_of: BTreeMap<u64, usize> = BTreeMap::new();
+    // parent_id -> [(seq, tiebreak, child)]; per-parent seqs are unique
+    // by construction (one counter per frame; forks reserve up front),
+    // the tiebreak only guards degenerate collisions.
+    let mut children: BTreeMap<u64, Vec<(u64, u64, Child)>> = BTreeMap::new();
+    for (i, event) in events.iter().enumerate() {
+        match event.phase {
+            Phase::Begin => {
+                if begin_of.insert(event.span_id, i).is_none() {
+                    children.entry(event.parent_id).or_default().push((
+                        event.seq,
+                        event.span_id,
+                        Child::Span(event.span_id),
+                    ));
+                }
+            }
+            Phase::End => {
+                end_of.entry(event.span_id).or_insert(i);
+            }
+            Phase::Instant => {
+                children.entry(event.parent_id).or_default().push((
+                    event.seq,
+                    i as u64,
+                    Child::Instant(i),
+                ));
+            }
+        }
+    }
+    for list in children.values_mut() {
+        list.sort_by_key(|&(seq, tiebreak, _)| (seq, tiebreak));
+    }
+    // Roots: children of parents that are not recorded spans (parent 0,
+    // or a parent whose Begin was lost). BTreeMap order keeps this
+    // deterministic.
+    let root_parents: Vec<u64> =
+        children.keys().copied().filter(|p| !begin_of.contains_key(p)).collect();
+
+    struct Walk<'a> {
+        events: &'a [Event],
+        begin_of: &'a BTreeMap<u64, usize>,
+        end_of: &'a BTreeMap<u64, usize>,
+        children: &'a BTreeMap<u64, Vec<(u64, u64, Child)>>,
+        tick: u64,
+        out: Vec<Event>,
+    }
+
+    impl Walk<'_> {
+        fn emit(&mut self, index: usize) {
+            let mut event = self.events[index].clone();
+            event.ts_ns = self.tick;
+            event.thread_id = 0;
+            self.tick += 1;
+            self.out.push(event);
+        }
+
+        fn visit(&mut self, child: Child) {
+            match child {
+                Child::Instant(index) => self.emit(index),
+                Child::Span(span_id) => {
+                    let Some(&begin) = self.begin_of.get(&span_id) else { return };
+                    self.emit(begin);
+                    if let Some(kids) = self.children.get(&span_id) {
+                        for &(_, _, kid) in kids {
+                            self.visit(kid);
+                        }
+                    }
+                    match self.end_of.get(&span_id) {
+                        Some(&end) => self.emit(end),
+                        None => {
+                            // Guard still live at flush: synthesize the
+                            // close so viewers see a well-formed span.
+                            let mut event = self.events[begin].clone();
+                            event.phase = Phase::End;
+                            event.parent_id = 0;
+                            event.seq = 0;
+                            event.args = Vec::new();
+                            event.ts_ns = self.tick;
+                            event.thread_id = 0;
+                            self.tick += 1;
+                            self.out.push(event);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let mut walk = Walk {
+        events: &events,
+        begin_of: &begin_of,
+        end_of: &end_of,
+        children: &children,
+        tick: 0,
+        out: Vec::with_capacity(events.len()),
+    };
+    for parent in root_parents {
+        if let Some(kids) = walk.children.get(&parent) {
+            for &(_, _, kid) in kids {
+                walk.visit(kid);
+            }
+        }
+    }
+    walk.out
+}
+
+fn write_chrome_event(out: &mut String, event: &Event, clock: Clock) {
+    out.push_str("{\"name\":\"");
+    escape_into(event.name, out);
+    out.push_str("\",\"cat\":\"fbox\",\"ph\":\"");
+    out.push_str(match event.phase {
+        Phase::Begin => "B",
+        Phase::End => "E",
+        Phase::Instant => "i",
+    });
+    out.push_str("\",\"ts\":");
+    match clock {
+        // 1 logical tick → 1 µs keeps integer timestamps.
+        Clock::Logical => out.push_str(&event.ts_ns.to_string()),
+        Clock::Wall => {
+            let (us, frac) = (event.ts_ns / 1_000, event.ts_ns % 1_000);
+            out.push_str(&us.to_string());
+            out.push('.');
+            out.push_str(&format!("{frac:03}"));
+        }
+    }
+    out.push_str(",\"pid\":1,\"tid\":");
+    out.push_str(&event.thread_id.to_string());
+    if event.phase == Phase::Instant {
+        out.push_str(",\"s\":\"t\"");
+    }
+    out.push_str(",\"args\":{\"span\":\"");
+    out.push_str(&format!("{:#x}", event.span_id));
+    out.push_str("\",\"parent\":\"");
+    out.push_str(&format!("{:#x}", event.parent_id));
+    out.push('"');
+    for (key, value) in &event.args {
+        out.push_str(",\"");
+        escape_into(key, out);
+        out.push_str("\":");
+        write_value(out, value);
+    }
+    out.push_str("}}");
+}
+
+fn write_value(out: &mut String, value: &TraceValue) {
+    match value {
+        TraceValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        TraceValue::U64(u) => out.push_str(&u.to_string()),
+        TraceValue::I64(i) => out.push_str(&i.to_string()),
+        TraceValue::F64(f) => {
+            if f.is_finite() {
+                out.push_str(&f.to_string());
+            } else {
+                out.push_str("null");
+            }
+        }
+        TraceValue::Str(s) => {
+            out.push('"');
+            escape_into(s, out);
+            out.push('"');
+        }
+    }
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{derive_span_id, TRACE_ID};
+
+    fn begin(name: &'static str, parent: u64, seq: u64, tid: u64) -> Event {
+        Event {
+            phase: Phase::Begin,
+            name,
+            trace_id: TRACE_ID,
+            span_id: derive_span_id(parent, seq),
+            parent_id: parent,
+            thread_id: tid,
+            seq,
+            ts_ns: 0,
+            args: Vec::new(),
+        }
+    }
+
+    fn end_of(b: &Event) -> Event {
+        let mut e = b.clone();
+        e.phase = Phase::End;
+        e.parent_id = 0;
+        e.seq = 0;
+        e
+    }
+
+    #[test]
+    fn canonicalization_is_schedule_independent() {
+        // Root span with two children recorded by different "threads"
+        // in opposite buffer orders — same canonical trace.
+        let root = begin("root", 0, 0, 0);
+        let a = begin("a", root.span_id, 0, 1);
+        let b = begin("b", root.span_id, 1, 2);
+        let order1 =
+            vec![root.clone(), a.clone(), end_of(&a), b.clone(), end_of(&b), end_of(&root)];
+        let order2 =
+            vec![b.clone(), end_of(&b), root.clone(), a.clone(), end_of(&a), end_of(&root)];
+        let t1 = Trace::assemble(Clock::Logical, order1);
+        let t2 = Trace::assemble(Clock::Logical, order2);
+        assert_eq!(t1.to_chrome_json(), t2.to_chrome_json());
+        let names: Vec<_> = t1.events.iter().map(|e| (e.name, e.phase)).collect();
+        assert_eq!(
+            names,
+            vec![
+                ("root", Phase::Begin),
+                ("a", Phase::Begin),
+                ("a", Phase::End),
+                ("b", Phase::Begin),
+                ("b", Phase::End),
+                ("root", Phase::End),
+            ]
+        );
+        // Tick timestamps are the DFS order.
+        let ticks: Vec<_> = t1.events.iter().map(|e| e.ts_ns).collect();
+        assert_eq!(ticks, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn open_span_gets_synthesized_end() {
+        let root = begin("root", 0, 0, 0);
+        let t = Trace::assemble(Clock::Logical, vec![root]);
+        assert_eq!(t.events.len(), 2);
+        assert_eq!(t.events[1].phase, Phase::End);
+        assert_eq!(t.events[1].name, "root");
+    }
+
+    #[test]
+    fn folded_attributes_self_time() {
+        // root [0, 10), child [1, 4) → root self 7, root;child self 3.
+        let mut root = begin("root", 0, 0, 0);
+        root.ts_ns = 0;
+        let mut child = begin("child", root.span_id, 0, 0);
+        child.ts_ns = 1;
+        let mut child_end = end_of(&child);
+        child_end.ts_ns = 4;
+        let mut root_end = end_of(&root);
+        root_end.ts_ns = 10;
+        let t = Trace { clock: Clock::Wall, events: vec![root, child, child_end, root_end] };
+        let folded = t.to_folded();
+        assert_eq!(folded, "root 7\nroot;child 3\n");
+    }
+
+    #[test]
+    fn chrome_json_escapes_and_marks_instants() {
+        let mut ev = begin("na\"me", 0, 0, 0);
+        ev.phase = Phase::Instant;
+        ev.span_id = 0;
+        ev.args = vec![
+            ("note", TraceValue::Str("a\\b\nc".to_string())),
+            ("x", TraceValue::F64(0.5)),
+            ("bad", TraceValue::F64(f64::NAN)),
+        ];
+        let t = Trace { clock: Clock::Logical, events: vec![ev] };
+        let json = t.to_chrome_json();
+        assert!(json.contains("\"name\":\"na\\\"me\""), "{json}");
+        assert!(json.contains("\"s\":\"t\""), "{json}");
+        assert!(json.contains("\"note\":\"a\\\\b\\nc\""), "{json}");
+        assert!(json.contains("\"x\":0.5"), "{json}");
+        assert!(json.contains("\"bad\":null"), "{json}");
+        assert!(json.starts_with('[') && json.trim_end().ends_with(']'), "{json}");
+    }
+
+    #[test]
+    fn wall_timestamps_render_microseconds_with_fraction() {
+        let mut ev = begin("w", 0, 0, 0);
+        ev.ts_ns = 1_234_567;
+        let t = Trace { clock: Clock::Wall, events: vec![ev] };
+        assert!(t.to_chrome_json().contains("\"ts\":1234.567"));
+    }
+}

@@ -22,5 +22,6 @@ pub use fbox_par as par;
 pub use fbox_repro as repro;
 pub use fbox_resilience as resilience;
 pub use fbox_search as search;
+pub use fbox_trace as trace;
 
 pub use fbox_core::{Dimension, FBox, MarketMeasure, Schema, SearchMeasure, Universe};

@@ -55,6 +55,22 @@ pub struct ResilienceOutcome {
     pub retries: u64,
 }
 
+/// Outcome of [`lint_suite`]: serial vs parallel static analysis of this
+/// workspace.
+#[derive(Debug, Clone)]
+pub struct LintOutcome {
+    /// The suite's metrics (`lint.*`).
+    pub snapshot: Snapshot,
+    /// Mean single-worker lint time, milliseconds.
+    pub serial_ms: f64,
+    /// Mean multi-worker lint time, milliseconds.
+    pub parallel_ms: f64,
+    /// serial / parallel mean ratio.
+    pub speedup: f64,
+    /// Findings reported (identical across worker counts).
+    pub findings: usize,
+}
+
 fn market_fixture() -> (Universe, MarketObservations) {
     let m =
         Marketplace::new(Population::paper(7), ScoringModel::default(), BiasProfile::neutral(), 20);
@@ -184,14 +200,70 @@ pub fn resilience_suite() -> ResilienceOutcome {
     }
 }
 
+/// Static-analysis throughput: `fbox-lint`'s full run over this very
+/// workspace, single-worker vs [`THREADS`] workers. The lexing/parsing
+/// and lexical-rule passes fan out per file; the call-graph + dataflow
+/// semantic pass is sequential in both configurations, so the speedup
+/// bounds what Amdahl leaves on the table. A parity gauge pins the
+/// engine's determinism promise: both reports must be identical.
+pub fn lint_suite() -> LintOutcome {
+    let registry = fbox_telemetry::Registry::new();
+    let serial_h = registry.histogram("lint.serial");
+    let parallel_h = registry.histogram("lint.parallel");
+
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let config = std::fs::read_to_string(root.join("Lint.toml"))
+        .ok()
+        .and_then(|text| fbox_lint::config::Config::parse(&text).ok())
+        .unwrap_or_default();
+    let baseline = fbox_lint::baseline::Baseline::default();
+    // Each run gets a throwaway registry so the suite snapshot holds only
+    // the suite's own metrics, not repo-size-dependent scan counters.
+    let run =
+        || fbox_lint::engine::run(&root, &config, &baseline, &fbox_telemetry::Registry::new());
+
+    // Warm-up: one run per configuration so the page cache holds the tree.
+    let first = with_threads(1, run);
+    let wide = with_threads(THREADS, run);
+    let identical = first.findings == wide.findings
+        && first.files_scanned == wide.files_scanned
+        && first.lines_scanned == wide.lines_scanned;
+    let findings = first.findings.len();
+
+    for _ in 0..ITERATIONS {
+        let t = serial_h.timer();
+        black_box(with_threads(1, run));
+        t.observe();
+
+        let t = parallel_h.timer();
+        black_box(with_threads(THREADS, run));
+        t.observe();
+    }
+
+    let speedup = mean_ns(&serial_h) / mean_ns(&parallel_h);
+    // Gauges are integers; store the ratio ×100 (e.g. 1.84× → 184).
+    registry.gauge("lint.speedup_x100").set((speedup * 100.0) as i64);
+    registry.gauge("lint.threads").set(THREADS as i64);
+    registry.gauge("lint.parity").set(i64::from(identical));
+
+    LintOutcome {
+        snapshot: registry.snapshot(),
+        serial_ms: mean_ns(&serial_h) / 1e6,
+        parallel_ms: mean_ns(&parallel_h) / 1e6,
+        speedup,
+        findings,
+    }
+}
+
 /// The suite registered under `label`, or `None` for unknown labels.
 pub fn run_suite(label: &str) -> Option<Snapshot> {
     match label {
         "parallel" => Some(parallel_suite().snapshot),
         "resilience" => Some(resilience_suite().snapshot),
+        "lint" => Some(lint_suite().snapshot),
         _ => None,
     }
 }
 
 /// Labels `run_suite` understands, in canonical order.
-pub const SUITE_LABELS: [&str; 2] = ["parallel", "resilience"];
+pub const SUITE_LABELS: [&str; 3] = ["parallel", "resilience", "lint"];

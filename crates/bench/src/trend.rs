@@ -66,11 +66,25 @@ pub const RESILIENCE_TOLERANCES: [Tolerance; 9] = [
     tol("crawl.mild", Direction::LowerBetter, 600),
 ];
 
+/// The gate's metric policy for `BENCH_lint.json`. Findings and scan
+/// counters are repo-content-dependent — they legitimately move every
+/// PR — so only configuration (thread count), the serial/parallel parity
+/// bit, and the wall clocks are gated. The speedup band is wider than
+/// the cube suite's: lint runs are short and I/O-warm-up-sensitive.
+pub const LINT_TOLERANCES: [Tolerance; 5] = [
+    tol("lint.parity", Direction::Exact, 0),
+    tol("lint.threads", Direction::Exact, 0),
+    tol("lint.speedup_x100", Direction::HigherBetter, 400),
+    tol("lint.serial", Direction::LowerBetter, 600),
+    tol("lint.parallel", Direction::LowerBetter, 600),
+];
+
 /// The tolerance set for a suite label, or `None` for unknown labels.
 pub fn tolerances_for(label: &str) -> Option<&'static [Tolerance]> {
     match label {
         "parallel" => Some(&PARALLEL_TOLERANCES),
         "resilience" => Some(&RESILIENCE_TOLERANCES),
+        "lint" => Some(&LINT_TOLERANCES),
         _ => None,
     }
 }

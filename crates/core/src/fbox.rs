@@ -387,7 +387,7 @@ impl CellTelemetry {
     fn finish_cube(&self, cube: &UnfairnessCube) {
         if let Some(inner) = self.active.as_ref() {
             let total = (cube.n_groups() * cube.n_queries() * cube.n_locations()) as u64;
-            let visited = inner.visited.load(std::sync::atomic::Ordering::Relaxed);
+            let visited = inner.visited.load(std::sync::atomic::Ordering::Acquire);
             inner.unobserved.add(total.saturating_sub(visited));
         }
     }

@@ -122,6 +122,9 @@ pub fn search_cell_unfairness(
                 n += 1;
             }
         }
+        if n == 0 {
+            continue; // no member pairs: skip rather than average a NaN
+        }
         per_group.push(sum / n as f64);
     }
     average(&per_group)
@@ -338,6 +341,9 @@ impl<'a, 'u> SearchCellEval<'a, 'u> {
                     sum += d;
                     n += 1;
                 }
+            }
+            if n == 0 {
+                continue; // no member pairs: skip rather than average a NaN
             }
             per_group.push(sum / n as f64);
         }

@@ -56,31 +56,52 @@ pub fn run(root: &Path, config: &Config, baseline: &Baseline, registry: &Registr
     let _span = SpanGuard::enter(registry, "lint.run");
     let rules = all_rules();
     let mut report = Report::default();
-    let mut raw: Vec<(Finding, Severity)> = Vec::new();
 
-    // The semantic pass needs every file at once (the call graph spans
-    // the workspace), so sources are held in memory for both passes.
-    let sources: Vec<crate::source::SourceFile> =
-        walk(root, config).iter().filter_map(|rel| crate::source::load(root, rel)).collect();
+    // I/O stays serial (the walk order defines file identity), then
+    // lexing/parsing and the per-file lexical rules fan out over
+    // `fbox_par::par_map`. Per-file work is independent and `par_map`
+    // returns results in input order, so the flattened finding list is
+    // byte-identical at any `FBOX_THREADS`. The semantic pass needs every
+    // file at once (the call graph spans the workspace), so sources are
+    // held in memory and sema runs sequentially after the fan-out.
+    let texts: Vec<(String, String)> = walk(root, config)
+        .into_iter()
+        .filter_map(|rel| {
+            let text = std::fs::read_to_string(root.join(&rel)).ok()?;
+            Some((rel, text))
+        })
+        .collect();
+    let sources: Vec<crate::source::SourceFile> = {
+        let _span = SpanGuard::enter(registry, "lint.parse");
+        fbox_par::par_map(&texts, |(rel, text)| crate::source::SourceFile::parse(rel, text))
+    };
+    drop(texts);
 
-    for file in &sources {
-        report.files_scanned += 1;
-        report.lines_scanned += file.lines.len() as u32;
-        for rule in &rules {
-            if !config.rule_applies_to(rule.id(), &file.path) {
-                continue;
+    let mut raw: Vec<(Finding, Severity)> = {
+        let _span = SpanGuard::enter(registry, "lint.lexical");
+        fbox_par::par_map(&sources, |file| {
+            let mut found: Vec<(Finding, Severity)> = Vec::new();
+            for rule in &rules {
+                if !config.rule_applies_to(rule.id(), &file.path) {
+                    continue;
+                }
+                let severity =
+                    config.severity(rule.id(), &file.crate_label, rule.default_severity());
+                if severity == Severity::Allow {
+                    continue;
+                }
+                let mut hits = Vec::new();
+                rule.check(file, &mut hits);
+                found.extend(hits.into_iter().map(|f| (f, severity)));
             }
-            let severity = config.severity(rule.id(), &file.crate_label, rule.default_severity());
-            if severity == Severity::Allow {
-                continue;
-            }
-            let mut found = Vec::new();
-            rule.check(file, &mut found);
-            for f in found {
-                raw.push((f, severity));
-            }
-        }
-    }
+            found
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    };
+    report.files_scanned = sources.len() as u32;
+    report.lines_scanned = sources.iter().map(|f| f.lines.len() as u32).sum();
 
     // Semantic pass. Severity and path scoping are resolved per finding
     // (the sink's file), since one rule's findings span many files.

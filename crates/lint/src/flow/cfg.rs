@@ -1,0 +1,201 @@
+//! Lowers a [`BodyTree`] into a per-function control-flow graph: one
+//! node per statement plus a virtual exit node (`id == stmts.len()`).
+//! Control statements are their own heads — an `if` node branches to
+//! each branch's first statement, a loop node to its body and its
+//! follow, `return`/`break`/`continue` to the exit or the loop frame.
+
+use super::stmt::{BodyTree, StmtId, StmtKind};
+
+/// A function body's control-flow graph over statement ids.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Successor lists, one per statement plus the exit node (last).
+    pub succ: Vec<Vec<usize>>,
+    /// First statement executed (the synthetic params statement).
+    pub entry: usize,
+    /// Virtual exit node id (`stmts.len()`).
+    pub exit: usize,
+}
+
+impl Cfg {
+    /// Statement ids unreachable from the entry — a connectivity bug in
+    /// the lowering (or genuinely dead code after a diverging statement).
+    pub fn orphans(&self) -> Vec<usize> {
+        let mut seen = vec![false; self.succ.len()];
+        let mut stack = vec![self.entry];
+        seen[self.entry] = true;
+        while let Some(node) = stack.pop() {
+            for &s in &self.succ[node] {
+                if !seen[s] {
+                    seen[s] = true;
+                    stack.push(s);
+                }
+            }
+        }
+        (0..self.succ.len() - 1).filter(|&n| !seen[n]).collect()
+    }
+}
+
+/// Builds the CFG for a parsed body.
+pub fn build(tree: &BodyTree) -> Cfg {
+    let exit = tree.stmts.len();
+    let mut cfg = Cfg { succ: vec![Vec::new(); exit + 1], entry: exit, exit };
+    if let Some(&first) = tree.root.first() {
+        cfg.entry = first;
+    }
+    let mut loops: Vec<(usize, usize)> = Vec::new();
+    wire(tree, &tree.root, exit, &mut loops, &mut cfg);
+    for list in &mut cfg.succ {
+        list.sort_unstable();
+        list.dedup();
+    }
+    cfg
+}
+
+/// Wires `block`'s statements in sequence, with `follow` as the node
+/// after the block. `loops` is the active loop stack as `(head, follow)`
+/// frames for `continue` / `break`.
+fn wire(
+    tree: &BodyTree,
+    block: &[StmtId],
+    follow: usize,
+    loops: &mut Vec<(usize, usize)>,
+    cfg: &mut Cfg,
+) {
+    for (i, &id) in block.iter().enumerate() {
+        let next = block.get(i + 1).copied().unwrap_or(follow);
+        match &tree.stmts[id].kind {
+            StmtKind::Let | StmtKind::Assign { .. } | StmtKind::Expr => {
+                cfg.succ[id].push(next);
+            }
+            StmtKind::Block { body } => {
+                cfg.succ[id].push(body.first().copied().unwrap_or(next));
+                wire(tree, body, next, loops, cfg);
+            }
+            StmtKind::If { branches, has_else } => {
+                for branch in branches {
+                    cfg.succ[id].push(branch.first().copied().unwrap_or(next));
+                    wire(tree, branch, next, loops, cfg);
+                }
+                if !has_else {
+                    cfg.succ[id].push(next);
+                }
+            }
+            StmtKind::Match { arms, .. } => {
+                if arms.is_empty() {
+                    cfg.succ[id].push(next);
+                }
+                for arm in arms {
+                    cfg.succ[id].push(arm.first().copied().unwrap_or(next));
+                    wire(tree, arm, next, loops, cfg);
+                }
+            }
+            StmtKind::Loop { body, conditional } => {
+                if let Some(&head) = body.first() {
+                    cfg.succ[id].push(head);
+                }
+                loops.push((id, next));
+                // The body's fall-through loops back to the head statement.
+                wire(tree, body, id, loops, cfg);
+                loops.pop();
+                // Conditional loops exit from the head; a bare `loop` only
+                // exits via `break`, but the follow edge is kept anyway so
+                // the exit stays reachable (documented over-approximation —
+                // it can only add paths, never hide one).
+                let _ = conditional;
+                cfg.succ[id].push(next);
+            }
+            StmtKind::Return => cfg.succ[id].push(cfg.exit),
+            StmtKind::Break => {
+                cfg.succ[id].push(loops.last().map(|&(_, f)| f).unwrap_or(cfg.exit));
+            }
+            StmtKind::Continue => {
+                cfg.succ[id].push(loops.last().map(|&(h, _)| h).unwrap_or(cfg.exit));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::stmt::tests::tree_of;
+    use super::*;
+
+    #[test]
+    fn straight_line_chains_to_exit() {
+        let t = tree_of("fn f(a: u32) -> u32 { let b = a; b }\n", &["a"]);
+        let cfg = build(&t);
+        assert_eq!(cfg.entry, 0);
+        assert_eq!(cfg.succ[0], vec![1]);
+        assert_eq!(cfg.succ[1], vec![2]);
+        assert_eq!(cfg.succ[2], vec![cfg.exit]);
+        assert!(cfg.orphans().is_empty());
+    }
+
+    // Note on ids: nested statements are pushed into the arena before
+    // their enclosing control statement, so an `if` gets a higher id than
+    // its branch bodies.
+
+    #[test]
+    fn if_without_else_falls_through() {
+        let t = tree_of("fn f(x: i64) { let mut y = 0; if x > 0 { y = x; } emit(y); }\n", &["x"]);
+        let cfg = build(&t);
+        // Ids: 0 params, 1 let, 2 `y = x`, 3 if, 4 emit.
+        assert_eq!(cfg.succ[3], vec![2, 4], "then branch and fall-through");
+        assert_eq!(cfg.succ[2], vec![4]);
+        assert!(cfg.orphans().is_empty());
+    }
+
+    #[test]
+    fn if_else_has_no_fallthrough_edge() {
+        let t = tree_of(
+            "fn f(x: i64) { let y; if x > 0 { y = 1; } else { y = 2; } emit(y); }\n",
+            &["x"],
+        );
+        let cfg = build(&t);
+        // Ids: 0 params, 1 let, 2 `y = 1`, 3 `y = 2`, 4 if, 5 emit.
+        assert_eq!(cfg.succ[4], vec![2, 3], "only the two branches");
+        assert_eq!(cfg.succ[2], vec![5]);
+        assert_eq!(cfg.succ[3], vec![5]);
+        assert!(cfg.orphans().is_empty());
+    }
+
+    #[test]
+    fn loop_bodies_cycle_back_and_breaks_leave() {
+        let t = tree_of(
+            "fn f(xs: &[u32]) { let mut n = 0; for x in xs { if *x == 0 { break; } n += 1; } emit(n); }\n",
+            &["xs"],
+        );
+        let cfg = build(&t);
+        // Ids: 0 params, 1 let, 2 break, 3 if, 4 `n += 1`, 5 for, 6 emit.
+        assert_eq!(cfg.succ[5], vec![3, 6], "loop: body head and follow");
+        assert_eq!(cfg.succ[2], vec![6], "break -> loop follow");
+        assert_eq!(cfg.succ[4], vec![5], "body tail cycles to the head");
+        assert!(cfg.orphans().is_empty());
+    }
+
+    #[test]
+    fn returns_jump_to_exit_and_match_arms_fan_out() {
+        let t = tree_of(
+            "fn f(x: Option<u32>) -> u32 { match x { Some(v) => return v, None => {} } 0 }\n",
+            &["x"],
+        );
+        let cfg = build(&t);
+        // Ids: 0 params, 1 return, 2 match, 3 tail `0`.
+        assert_eq!(cfg.succ[2], vec![1, 3], "arm body and empty-arm fall-through");
+        assert_eq!(cfg.succ[1], vec![cfg.exit]);
+        assert!(cfg.orphans().is_empty());
+    }
+
+    #[test]
+    fn continue_targets_the_loop_head() {
+        let t = tree_of(
+            "fn f(xs: &[u32]) { let mut n = 0; for x in xs { if *x == 0 { continue; } n += 1; } }\n",
+            &["xs"],
+        );
+        let cfg = build(&t);
+        // Ids: 0 params, 1 let, 2 continue, 3 if, 4 `n += 1`, 5 for.
+        assert_eq!(cfg.succ[2], vec![5], "continue -> loop head");
+        assert!(cfg.orphans().is_empty());
+    }
+}

@@ -16,11 +16,15 @@
 //!   (modules, fns, impls, use-trees, closures) feeding [`sema`];
 //! - [`rules`] — the [`Rule`](rules::Rule) engine with domain-tailored
 //!   lexical rules (see `fbox-lint --list-rules`);
+//! - [`flow`] — body-level analysis: a tolerant statement parser,
+//!   per-function CFGs with def/use sets, and a gen/kill worklist
+//!   dataflow engine (reaching definitions + must-established guards);
 //! - [`sema`] — the workspace symbol table, the intra-workspace call
-//!   graph with closure-capture edges, and the transitive determinism /
-//!   concurrency rule family (`det-*`, `par-panic-reachable`,
-//!   `race-static-mut`) whose findings carry the full root → violation
-//!   call path;
+//!   graph with closure-capture edges, per-node [`flow`] results, and
+//!   the transitive determinism / concurrency rule family (`det-*`,
+//!   `par-*`, `race-static-mut`, `atomic-relaxed-handoff`,
+//!   `flow-unchecked-div`) whose findings carry the full root →
+//!   violation path down to the statement level;
 //! - [`engine`] + [`config`] + [`baseline`] — the workspace walker,
 //!   `Lint.toml` severity/scoping configuration, and the
 //!   `lint-baseline.json` allowlist with stale-entry detection.
@@ -31,6 +35,7 @@
 pub mod baseline;
 pub mod config;
 pub mod engine;
+pub mod flow;
 pub mod lexer;
 pub mod parser;
 pub mod rules;

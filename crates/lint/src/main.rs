@@ -24,6 +24,7 @@ OPTIONS:
     --baseline <file>   Findings allowlist (default: <root>/lint-baseline.json)
     --deny              Exit 1 on non-baselined deny findings or stale baseline entries
     --json              Emit the report as JSON instead of a table
+    --github            Emit GitHub Actions annotations (::warning/::error) instead of a table
     --metrics           Append scan telemetry (table, or snapshot JSON with --json)
     --write-baseline    Rewrite the baseline from current deny findings and exit
     --check-baseline    Exit 1 unless the baseline is minimal (re-emitting produces no diff)
@@ -37,6 +38,7 @@ struct Options {
     baseline: Option<PathBuf>,
     deny: bool,
     json: bool,
+    github: bool,
     metrics: bool,
     write_baseline: bool,
     check_baseline: bool,
@@ -82,6 +84,7 @@ fn parse_args() -> Result<Options, String> {
         baseline: None,
         deny: false,
         json: false,
+        github: false,
         metrics: false,
         write_baseline: false,
         check_baseline: false,
@@ -99,6 +102,7 @@ fn parse_args() -> Result<Options, String> {
             "--baseline" => opts.baseline = Some(path_arg("--baseline")?),
             "--deny" => opts.deny = true,
             "--json" => opts.json = true,
+            "--github" => opts.github = true,
             "--metrics" => opts.metrics = true,
             "--write-baseline" => opts.write_baseline = true,
             "--check-baseline" => opts.check_baseline = true,
@@ -170,6 +174,8 @@ fn run(opts: &Options) -> Result<bool, String> {
 
     if opts.json {
         println!("{}", serde::json::to_string_pretty(&report));
+    } else if opts.github {
+        print_github(&report);
     } else {
         print_table(&report);
     }
@@ -275,6 +281,51 @@ fn print_table(report: &Report) {
         report.files_scanned,
         report.lines_scanned,
     );
+}
+
+/// GitHub Actions workflow-command output: one `::warning`/`::error`
+/// annotation per finding, surfaced inline on the PR diff. Non-baselined
+/// deny findings annotate as errors, everything else as warnings; the
+/// root → sink path rides along in the message so the annotation is
+/// self-contained.
+fn print_github(report: &Report) {
+    let out = std::io::stdout();
+    let mut out = out.lock();
+    for r in &report.findings {
+        let level = if r.severity == "deny" && !r.baselined { "error" } else { "warning" };
+        let mut message = r.finding.snippet.clone();
+        if !r.finding.path.is_empty() {
+            message.push_str(&format!(" [via {}]", r.finding.path.join(" -> ")));
+        }
+        let _ = writeln!(
+            out,
+            "::{level} file={},line={},title={}::{}",
+            escape_property(&r.finding.file),
+            r.finding.line,
+            escape_property(&r.finding.rule),
+            escape_data(&message),
+        );
+    }
+    for e in &report.stale_baseline {
+        let _ = writeln!(
+            out,
+            "::error file=lint-baseline.json,title=stale-baseline::{}",
+            escape_data(&format!(
+                "{} entry for {} no longer matches: {}",
+                e.rule, e.file, e.snippet
+            )),
+        );
+    }
+}
+
+/// Workflow-command message escaping (`%`, CR, LF).
+fn escape_data(s: &str) -> String {
+    s.replace('%', "%25").replace('\r', "%0D").replace('\n', "%0A")
+}
+
+/// Workflow-command property escaping (message escapes plus `:` and `,`).
+fn escape_property(s: &str) -> String {
+    escape_data(s).replace(':', "%3A").replace(',', "%2C")
 }
 
 fn digits(n: u32) -> usize {

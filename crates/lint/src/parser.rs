@@ -442,7 +442,9 @@ impl<'a> Parser<'a> {
         let mut depth = 1usize;
         // Innermost pending call names: `par_map(` pushes, `)` pops.
         let mut calls: Vec<Option<String>> = Vec::new();
+        let mut ctx = MatchCtx::new();
         while let Some(tok) = self.tok(self.pos) {
+            ctx.see(tok);
             match tok {
                 Tok::Punct('{') => {
                     depth += 1;
@@ -475,8 +477,10 @@ impl<'a> Parser<'a> {
                     }
                 }
                 Tok::Punct('|') | Tok::Op("||") if self.closure_starts_here() => {
-                    let enclosing_call = calls.last().cloned().flatten();
-                    if let Some(item) = self.closure(enclosing_call) {
+                    if ctx.pipe_is_pattern(self.tok(self.pos.wrapping_sub(1))) {
+                        // Leading `|` of a match-arm or-pattern, not a closure.
+                        self.pos += 1;
+                    } else if let Some(item) = self.closure(calls.last().cloned().flatten()) {
                         children.push(item);
                     } else {
                         self.pos += 1;
@@ -493,6 +497,12 @@ impl<'a> Parser<'a> {
     /// nothing*: an opening delimiter, a separator, an operator, or the
     /// `move`/`return`/`else`/`in` keywords. After an identifier, literal,
     /// or closing delimiter, `|` is an operator.
+    ///
+    /// One residual ambiguity needs more than lookbehind: after `{` or `,`
+    /// a `|` is a closure opener in expression position but the *leading
+    /// pipe of an or-pattern* inside a match body (`match x { | A | B =>`).
+    /// [`MatchCtx`] carries the one extra token of memory required — was
+    /// the innermost brace opened by a `match` scrutinee? — see DESIGN.md.
     fn closure_starts_here(&self) -> bool {
         let Some(prev) = self.tok(self.pos.wrapping_sub(1)) else {
             return true; // body start
@@ -567,7 +577,9 @@ impl<'a> Parser<'a> {
         let mut children = Vec::new();
         let mut depth = 0usize;
         let mut calls: Vec<Option<String>> = Vec::new();
+        let mut ctx = MatchCtx::new();
         while let Some(tok) = self.tok(self.pos) {
+            ctx.see(tok);
             match tok {
                 Tok::Punct('(' | '[') => {
                     if matches!(tok, Tok::Punct('(')) {
@@ -596,8 +608,10 @@ impl<'a> Parser<'a> {
                 }
                 Tok::Punct(',' | ';') if depth == 0 => break,
                 Tok::Punct('|') | Tok::Op("||") if self.closure_starts_here() => {
-                    let enclosing_call = calls.last().cloned().flatten();
-                    if let Some(item) = self.closure(enclosing_call) {
+                    if ctx.pipe_is_pattern(self.tok(self.pos.wrapping_sub(1))) {
+                        // Leading `|` of a match-arm or-pattern, not a closure.
+                        self.pos += 1;
+                    } else if let Some(item) = self.closure(calls.last().cloned().flatten()) {
                         children.push(item);
                     } else {
                         self.pos += 1;
@@ -919,6 +933,62 @@ impl<'a> Parser<'a> {
     }
 }
 
+/// Tracks, per open brace, whether it opened a `match` body — the one
+/// token of memory needed to tell a leading or-pattern pipe
+/// (`match x { | A | B => … }`) from a closure opener, since both can
+/// follow `{` or `,`. The decision cannot be made from lookbehind alone:
+/// it depends on *why* the innermost brace was opened.
+///
+/// A brace opens a match body exactly when a `match` keyword was seen at
+/// the same paren/bracket depth and no `;` intervened; parens reset the
+/// question (`f(a, |x| x)` inside an arm is a closure again because its
+/// group depth differs from the arm's).
+struct MatchCtx {
+    /// Current paren/bracket nesting depth.
+    group_depth: usize,
+    /// Group depth of a `match` keyword whose body brace has not opened yet.
+    pending: Option<usize>,
+    /// One entry per open `{`: `Some(group_depth)` when it opened a match
+    /// body at that depth.
+    braces: Vec<Option<usize>>,
+}
+
+impl MatchCtx {
+    fn new() -> MatchCtx {
+        MatchCtx { group_depth: 0, pending: None, braces: Vec::new() }
+    }
+
+    /// Observes one token about to be consumed by the body scanner. Multi-
+    /// token constructs the scanner hands off whole (nested fns, closures)
+    /// are invisible here, which is fine: they are brace-balanced, so the
+    /// stack stays consistent.
+    fn see(&mut self, tok: &Tok) {
+        match tok {
+            Tok::Punct('(' | '[') => self.group_depth += 1,
+            Tok::Punct(')' | ']') => self.group_depth = self.group_depth.saturating_sub(1),
+            Tok::Punct('{') => {
+                let is_match = self.pending == Some(self.group_depth);
+                self.pending = None;
+                self.braces.push(is_match.then_some(self.group_depth));
+            }
+            Tok::Punct('}') => {
+                self.braces.pop();
+            }
+            Tok::Punct(';') => self.pending = None,
+            Tok::Ident(s) if s == "match" => self.pending = Some(self.group_depth),
+            _ => {}
+        }
+    }
+
+    /// Whether a `|` preceded by `prev` is the leading pipe of a match-arm
+    /// or-pattern: directly after `{` or `,` while the innermost brace is a
+    /// match body at the current group depth.
+    fn pipe_is_pattern(&self, prev: Option<&Tok>) -> bool {
+        matches!(prev, Some(Tok::Punct('{' | ',')))
+            && self.braces.last() == Some(&Some(self.group_depth))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1071,5 +1141,70 @@ mod tests {
         );
         assert!(tree.errors.is_empty(), "parse errors: {:?}", tree.errors);
         assert!(tree.items[0].children.is_empty(), "{:#?}", tree.items[0].children);
+    }
+
+    #[test]
+    fn leading_or_pattern_pipes_do_not_start_closures() {
+        // A leading `|` after `{` or `,` inside a match body is a pattern
+        // pipe; the same tokens in expression position open a closure.
+        let tree = parsed(
+            "pub fn f(x: Option<u32>) -> u32 {\n\
+                 match x {\n\
+                     | Some(0) | Some(1) => 0,\n\
+                     | Some(n) => n,\n\
+                     | None => 1,\n\
+                 }\n\
+             }\n",
+        );
+        assert!(tree.errors.is_empty(), "parse errors: {:?}", tree.errors);
+        assert!(tree.items[0].children.is_empty(), "{:#?}", tree.items[0].children);
+    }
+
+    #[test]
+    fn closures_in_call_args_inside_match_arms_still_parse() {
+        // Inside an arm, a `|` after `(` or after `,` at a deeper group
+        // depth is back in expression position: these ARE closures.
+        let tree = parsed(
+            "pub fn f(x: Option<Vec<u32>>) -> u32 {\n\
+                 match x {\n\
+                     | Some(v) => v.iter().map(|y| y + 1).sum(),\n\
+                     | None => apply(0, |z| z),\n\
+                 }\n\
+             }\n",
+        );
+        assert!(tree.errors.is_empty(), "parse errors: {:?}", tree.errors);
+        let kinds: Vec<_> = tree.items[0].children.iter().map(|c| c.kind.clone()).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                ItemKind::Closure { enclosing_call: Some("map".into()) },
+                ItemKind::Closure { enclosing_call: Some("apply".into()) },
+            ],
+            "{:#?}",
+            tree.items[0].children
+        );
+    }
+
+    #[test]
+    fn or_pattern_inside_par_map_closure_keeps_capture_edges() {
+        // Regression: the leading pipe used to be misparsed as a closure
+        // opener, swallowing the rest of the match and misattributing the
+        // `par_map` capture edge.
+        let tree = parsed(
+            "pub fn f(xs: &[Option<u32>]) -> Vec<u32> {\n\
+                 par_map(xs, |x| match x {\n\
+                     | Some(v) => *v,\n\
+                     | None => 0,\n\
+                 })\n\
+             }\n",
+        );
+        assert!(tree.errors.is_empty(), "parse errors: {:?}", tree.errors);
+        let outer = &tree.items[0];
+        assert_eq!(outer.children.len(), 1, "{:#?}", outer.children);
+        assert_eq!(
+            outer.children[0].kind,
+            ItemKind::Closure { enclosing_call: Some("par_map".into()) }
+        );
+        assert!(outer.children[0].children.is_empty(), "{:#?}", outer.children[0].children);
     }
 }

@@ -39,8 +39,10 @@ pub struct Finding {
     pub path: Vec<String>,
 }
 
-/// A domain-tailored static-analysis rule.
-pub trait Rule {
+/// A domain-tailored static-analysis rule. `Sync` because the engine
+/// fans the lexical pass out over `fbox_par::par_map` with one shared
+/// rule set; rules are stateless (all state lives in `out`).
+pub trait Rule: Sync {
     /// Stable kebab-case identifier, used in `Lint.toml`, baselines, and
     /// inline suppressions.
     fn id(&self) -> &'static str;

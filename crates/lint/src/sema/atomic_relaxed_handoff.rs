@@ -1,0 +1,245 @@
+//! `atomic-relaxed-handoff` — `Ordering::Relaxed` on an atomic used to
+//! hand a value across threads in the parallel cone.
+//!
+//! `Relaxed` guarantees atomicity of the single access but no ordering
+//! against *other* memory: a worker that `store`s a flag with `Relaxed`
+//! and a reader that `load`s it with `Relaxed` can observe the flag flip
+//! before the data it guards is visible. Plain `load`/`store` pairs on
+//! the same atomic from different functions in the par cone are exactly
+//! that handoff shape and need `Acquire`/`Release` (or stronger).
+//! Read-modify-write counters (`fetch_add(1, Relaxed)` claim counters,
+//! statistics) are exempt: RMWs are always atomic read-modify-write and
+//! the workspace uses them only where ordering is irrelevant.
+//!
+//! Findings carry the path root closure → the Relaxed access statement →
+//! its counterpart access in the other function.
+
+use crate::lexer::{Tok, Token};
+use crate::rules::{Finding, Severity};
+use crate::sema::{for_each_own_token, Model, SemaRule};
+
+/// See the module docs.
+pub struct AtomicRelaxedHandoff;
+
+impl SemaRule for AtomicRelaxedHandoff {
+    fn id(&self) -> &'static str {
+        "atomic-relaxed-handoff"
+    }
+
+    fn summary(&self) -> &'static str {
+        "Relaxed load/store pair hands a value across threads in the parallel cone"
+    }
+
+    fn default_severity(&self) -> Severity {
+        Severity::Deny
+    }
+
+    fn check(&self, model: &Model, out: &mut Vec<Finding>) {
+        // Pass 1: collect every plain load/store access on a named
+        // atomic receiver, anywhere in the workspace.
+        let mut accesses: Vec<Access> = Vec::new();
+        for_each_own_token(model, |node, at| {
+            let toks = &model.files[model.nodes[node].file].lexed.tokens;
+            if let Some(acc) = classify_access(toks, at, node) {
+                accesses.push(acc);
+            }
+        });
+
+        // Pass 2: a Relaxed access in the par cone whose counterpart
+        // lives in a *different* function is a cross-thread handoff.
+        for acc in &accesses {
+            if !acc.relaxed || !model.par.reached(acc.node) {
+                continue;
+            }
+            let counterpart = accesses.iter().find(|other| {
+                other.node != acc.node && other.receiver == acc.receiver && other.store != acc.store
+            });
+            let Some(other) = counterpart else { continue };
+            let mut path =
+                model.par.path_to(acc.node).map(|p| model.render_path(&p)).unwrap_or_default();
+            let toks = &model.files[model.nodes[acc.node].file].lexed.tokens;
+            for &(site, tok) in &[(acc.node, acc.tok), (other.node, other.tok)] {
+                if let Some(flow) = model.flows[site].as_ref() {
+                    if let Some(stmt) = flow.stmt_at(tok) {
+                        path.push(model.stmt_hop(site, flow.stmt(stmt)));
+                    }
+                }
+            }
+            model.emit(self, model.nodes[acc.node].file, toks[acc.tok].line, path, out);
+        }
+    }
+}
+
+/// One atomic access site.
+struct Access {
+    /// Node owning the access.
+    node: usize,
+    /// Token index of the method name.
+    tok: usize,
+    /// Atomic variable/field name (nearest ident before the dot chain).
+    receiver: String,
+    /// `store` (write side) vs `load` (read side); RMWs count as writes.
+    store: bool,
+    /// Whether the ordering argument mentions `Relaxed`.
+    relaxed: bool,
+}
+
+/// Classifies the token at `at` as an atomic access when it is a
+/// `.load(` / `.store(` / `.fetch_*(` / `.swap(` / `.compare_exchange*(`
+/// whose argument list names a memory ordering.
+fn classify_access(toks: &[Token], at: usize, node: usize) -> Option<Access> {
+    let Tok::Ident(method) = &toks[at].tok else { return None };
+    let store = match method.as_str() {
+        "load" => false,
+        "store" | "swap" => true,
+        m if m.starts_with("fetch_") || m.starts_with("compare_exchange") => true,
+        _ => return None,
+    };
+    if at == 0 || !toks[at - 1].tok.is_punct('.') {
+        return None;
+    }
+    if !matches!(toks.get(at + 1).map(|t| &t.tok), Some(t) if t.is_punct('(')) {
+        return None;
+    }
+    // The argument list must name a memory ordering — that is what
+    // separates `AtomicU64::load` from `HashMap`-style `load` helpers.
+    let args = group_range(toks, at + 1)?;
+    let mut relaxed = false;
+    let mut any_ordering = false;
+    for tok in &toks[args.0..args.1] {
+        if let Tok::Ident(s) = &tok.tok {
+            match s.as_str() {
+                "Relaxed" => {
+                    relaxed = true;
+                    any_ordering = true;
+                }
+                "Acquire" | "Release" | "AcqRel" | "SeqCst" | "Ordering" => any_ordering = true,
+                _ => {}
+            }
+        }
+    }
+    if !any_ordering {
+        return None;
+    }
+    // RMWs stay recorded as counterpart write sides (a Relaxed `load`
+    // paired with a `fetch_or` still flags) but are never themselves the
+    // flagged access.
+    let relaxed = relaxed && matches!(method.as_str(), "load" | "store");
+    Some(Access { node, tok: at, receiver: receiver_of(toks, at - 1)?, store, relaxed })
+}
+
+/// The nearest named segment of the receiver chain ending at the `.`
+/// token `dot`: `ready.load` → `ready`, `self.enabled.load` →
+/// `enabled`, `cells[i].count.fetch_add` → `count`.
+fn receiver_of(toks: &[Token], dot: usize) -> Option<String> {
+    let mut at = dot;
+    while at > 0 {
+        at -= 1;
+        match &toks[at].tok {
+            Tok::Ident(s) if s != "self" && !crate::parser::is_keyword(s) => {
+                return Some(s.clone())
+            }
+            Tok::Ident(_) | Tok::Punct('.') => {}
+            Tok::Punct(')' | ']') => {
+                // Jump backwards over the balanced group.
+                let mut depth = 1usize;
+                while at > 0 && depth > 0 {
+                    at -= 1;
+                    match &toks[at].tok {
+                        Tok::Punct(')' | ']') => depth += 1,
+                        Tok::Punct('(' | '[') => depth -= 1,
+                        _ => {}
+                    }
+                }
+            }
+            _ => return None,
+        }
+    }
+    None
+}
+
+/// Half-open token range inside the group opened at `open`.
+fn group_range(toks: &[Token], open: usize) -> Option<(usize, usize)> {
+    let mut depth = 0usize;
+    for (at, t) in toks.iter().enumerate().skip(open) {
+        match &t.tok {
+            Tok::Punct('(' | '[') => depth += 1,
+            Tok::Punct(')' | ']') => {
+                depth = depth.checked_sub(1)?;
+                if depth == 0 {
+                    return Some((open + 1, at));
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use crate::source::SourceFile;
+
+    fn findings(src: &str) -> Vec<Finding> {
+        let files = vec![SourceFile::parse("crates/core/src/x.rs", src)];
+        let model = Model::build(&files, &Config::default());
+        let mut out = Vec::new();
+        AtomicRelaxedHandoff.check(&model, &mut out);
+        out
+    }
+
+    #[test]
+    fn relaxed_store_with_cross_fn_load_is_flagged() {
+        let src = "pub fn build(xs: &[u64], ready: &AtomicBool) {\n\
+                       par_map(xs, |x| {\n\
+                           ready.store(true, Ordering::Relaxed);\n\
+                           *x\n\
+                       });\n\
+                   }\n\
+                   pub fn reader(ready: &AtomicBool) -> bool {\n\
+                       ready.load(Ordering::Acquire)\n\
+                   }\n";
+        let out = findings(src);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].line, 3);
+        assert!(out[0].path.len() >= 3, "{:?}", out[0].path);
+        assert!(out[0].path.iter().any(|h| h.contains("store(true")));
+        assert!(out[0].path.last().expect("path").contains("load(Ordering::Acquire)"));
+    }
+
+    #[test]
+    fn fetch_add_counters_are_exempt() {
+        let src = "pub fn build(xs: &[u64], hits: &AtomicU64) -> u64 {\n\
+                       par_map(xs, |_| hits.fetch_add(1, Ordering::Relaxed));\n\
+                       hits.load(Ordering::Relaxed)\n\
+                   }\n";
+        // The `load` here is in `build`, outside the par cone? No —
+        // `build` is not par-reached (only the closure is), and the
+        // closure's access is an RMW, so nothing flags.
+        assert!(findings(src).is_empty(), "{:?}", findings(src));
+    }
+
+    #[test]
+    fn acquire_release_pairs_are_fine() {
+        let src = "pub fn build(xs: &[u64], ready: &AtomicBool) {\n\
+                       par_map(xs, |x| {\n\
+                           ready.store(true, Ordering::Release);\n\
+                           *x\n\
+                       });\n\
+                   }\n\
+                   pub fn reader(ready: &AtomicBool) -> bool {\n\
+                       ready.load(Ordering::Acquire)\n\
+                   }\n";
+        assert!(findings(src).is_empty(), "{:?}", findings(src));
+    }
+
+    #[test]
+    fn relaxed_without_counterpart_is_fine() {
+        let src = "pub fn build(xs: &[u64], gen: &AtomicU64) {\n\
+                       par_map(xs, |_| gen.load(Ordering::Relaxed));\n\
+                   }\n";
+        assert!(findings(src).is_empty(), "{:?}", findings(src));
+    }
+}

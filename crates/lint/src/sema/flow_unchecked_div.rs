@@ -1,0 +1,277 @@
+//! `flow-unchecked-div` — a division in the determinism cone whose
+//! divisor has no zero guard on some path.
+//!
+//! The measures pipeline normalizes constantly — exposure shares,
+//! histogram bins, rank correlations — and an unguarded `x / n` is
+//! either an integer-division panic or a silent `NaN`/`inf` that
+//! poisons every downstream cube cell. This rule walks each division's
+//! divisor through the function's dataflow: it is fine when a zero test
+//! dominates the division (must-TESTED on every CFG path), when every
+//! reaching definition is intrinsically nonzero (`.max(1)`, `len() + 1`,
+//! a nonzero literal), or when a definition derives from a variable that
+//! is itself tested (`let n = xs.len();` under `if xs.is_empty() {
+//! return }`). Captured divisors resolve through the enclosing
+//! functions' flows. Everything else gets flagged with the path root →
+//! defining statement → dividing statement.
+
+use crate::flow::{defuse, FnFlow};
+use crate::lexer::{Tok, Token};
+use crate::rules::{Finding, Severity};
+use crate::sema::{for_each_own_token, Model, SemaRule};
+
+/// See the module docs.
+pub struct FlowUncheckedDiv;
+
+impl SemaRule for FlowUncheckedDiv {
+    fn id(&self) -> &'static str {
+        "flow-unchecked-div"
+    }
+
+    fn summary(&self) -> &'static str {
+        "division in the determinism cone with no zero guard on the divisor's def-use paths"
+    }
+
+    fn default_severity(&self) -> Severity {
+        Severity::Deny
+    }
+
+    fn check(&self, model: &Model, out: &mut Vec<Finding>) {
+        for_each_own_token(model, |node, at| {
+            if !model.det.reached(node) {
+                return;
+            }
+            let toks = &model.files[model.nodes[node].file].lexed.tokens;
+            let Some(divisor) = division_site(toks, at) else { return };
+            let Some(flow) = model.flows[node].as_ref() else { return };
+            let Some(stmt_id) = flow.stmt_at(at) else { return };
+
+            // The divisor's own chain clamps it (`x / d.max(EPS)`).
+            let chain_end = chain_end(toks, at + 1);
+            if defuse::def_is_nonzero_safe(toks, at + 1, chain_end) {
+                return;
+            }
+            // A zero test dominates the division (or guards it in the
+            // same statement head / match arm).
+            if flow.is_tested_at(toks, stmt_id, &divisor) {
+                return;
+            }
+            // Every reaching definition is safe — intrinsically nonzero
+            // or derived from a variable tested at the division point.
+            let (def_node, def_flow, def_at) = if flow.defines(&divisor) {
+                (node, flow, stmt_id)
+            } else {
+                // Captured divisor: resolve through the ancestor flows;
+                // the guard must dominate the *closure expression*, whose
+                // statement we find via the closure's first body token.
+                match ancestor_flow(model, node, &divisor) {
+                    Some(hit) => hit,
+                    None => return, // field/global/unresolved: out of scope
+                }
+            };
+            let def_toks = &model.files[model.nodes[def_node].file].lexed.tokens;
+            if def_node != node && def_flow.is_tested_at(def_toks, def_at, &divisor) {
+                return;
+            }
+            let defs = def_flow.reaching_defs(def_at, &divisor);
+            let unsafe_def = defs.iter().copied().find(|&d| {
+                let ds = def_flow.stmt(d);
+                !defuse::def_is_nonzero_safe(def_toks, ds.tokens.0, ds.tokens.1)
+                    && !ds
+                        .uses
+                        .iter()
+                        .any(|u| u != &divisor && def_flow.is_tested_at(def_toks, def_at, u))
+            });
+            // Every reaching def safe, or no visible def at all
+            // (shadowed/macro-generated): stay quiet.
+            let Some(unsafe_def) = unsafe_def else { return };
+
+            let mut path =
+                model.det.path_to(node).map(|p| model.render_path(&p)).unwrap_or_default();
+            path.push(model.stmt_hop(def_node, def_flow.stmt(unsafe_def)));
+            path.push(model.stmt_hop(node, flow.stmt(stmt_id)));
+            model.emit(self, model.nodes[node].file, toks[at].line, path, out);
+        });
+    }
+}
+
+/// If the token at `at` is a division with a trackable divisor, the
+/// divisor's base variable name. Numerator side must look like a value
+/// (ident/literal/closer); divisor side must be a lowercase local —
+/// literal divisors, path constants, and parenthesized expressions are
+/// out of scope.
+fn division_site(toks: &[Token], at: usize) -> Option<String> {
+    if !toks[at].tok.is_punct('/') {
+        return None;
+    }
+    let value_before = matches!(
+        (at > 0).then(|| &toks[at - 1].tok)?,
+        Tok::Ident(_) | Tok::Int(_) | Tok::Float(_) | Tok::Punct(')') | Tok::Punct(']')
+    );
+    if !value_before {
+        return None;
+    }
+    match toks.get(at + 1).map(|t| &t.tok)? {
+        Tok::Ident(name)
+            if name.starts_with(|c: char| c.is_ascii_lowercase())
+                && name != "self"
+                && !crate::parser::is_keyword(name)
+                // `d::CONST` is a path, not a variable.
+                && !matches!(toks.get(at + 2).map(|t| &t.tok), Some(t) if t.is_op("::")) =>
+        {
+            Some(name.clone())
+        }
+        _ => None,
+    }
+}
+
+/// End of the divisor's postfix chain starting right after the base
+/// ident: `.method(args)`, `.field`, `[index]`, `as ty` segments.
+fn chain_end(toks: &[Token], base: usize) -> usize {
+    let mut at = base + 1;
+    loop {
+        match toks.get(at).map(|t| &t.tok) {
+            Some(Tok::Punct('.')) => at += 1,
+            Some(Tok::Punct('(' | '[')) => {
+                let mut depth = 0usize;
+                while let Some(t) = toks.get(at) {
+                    match &t.tok {
+                        Tok::Punct('(' | '[') => depth += 1,
+                        Tok::Punct(')' | ']') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    at += 1;
+                }
+                at += 1;
+            }
+            Some(Tok::Ident(s)) if s == "as" => at += 2,
+            Some(Tok::Ident(_) | Tok::Int(_)) => at += 1,
+            _ => return at,
+        }
+    }
+}
+
+/// Resolves a captured divisor: the nearest ancestor whose flow defines
+/// `name`, plus the ancestor statement containing the capturing closure
+/// (where the guard must hold).
+fn ancestor_flow<'m>(
+    model: &'m Model,
+    node: usize,
+    name: &str,
+) -> Option<(usize, &'m FnFlow, usize)> {
+    let mut child = node;
+    let mut at = model.nodes[node].parent;
+    while let Some(parent) = at {
+        if let Some(flow) = model.flows[parent].as_ref() {
+            if flow.defines(name) {
+                let closure_tok = model.nodes[child].tokens.0;
+                let stmt = flow
+                    .stmt_at(closure_tok)
+                    .unwrap_or(flow.cfg.exit.min(flow.tree.stmts.len() - 1));
+                return Some((parent, flow, stmt));
+            }
+        }
+        child = parent;
+        at = model.nodes[parent].parent;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use crate::source::SourceFile;
+
+    fn findings(src: &str) -> Vec<Finding> {
+        let files = vec![SourceFile::parse("crates/core/src/x.rs", src)];
+        let cfg = Config { sema_roots: vec!["run_study".into()], ..Default::default() };
+        let model = Model::build(&files, &cfg);
+        let mut out = Vec::new();
+        FlowUncheckedDiv.check(&model, &mut out);
+        out
+    }
+
+    #[test]
+    fn unguarded_divisor_is_flagged_with_def_and_div_hops() {
+        let src = "pub fn run_study(xs: &[f64]) -> f64 {\n\
+                       let n = xs.len();\n\
+                       let total: f64 = xs.iter().sum();\n\
+                       total / n as f64\n\
+                   }\n";
+        let out = findings(src);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].line, 4);
+        assert!(out[0].path.len() >= 3, "{:?}", out[0].path);
+        assert!(out[0].path.iter().any(|h| h.contains("let n = xs.len()")));
+        assert!(out[0].path.last().expect("path").contains("total / n"));
+    }
+
+    #[test]
+    fn dominating_guard_clears_the_division() {
+        let src = "pub fn run_study(xs: &[f64]) -> f64 {\n\
+                       let n = xs.len();\n\
+                       if n == 0 { return 0.0; }\n\
+                       let total: f64 = xs.iter().sum();\n\
+                       total / n as f64\n\
+                   }\n";
+        assert!(findings(src).is_empty(), "{:?}", findings(src));
+    }
+
+    #[test]
+    fn emptiness_guard_blesses_a_derived_divisor() {
+        let src = "pub fn run_study(xs: &[f64]) -> f64 {\n\
+                       if xs.is_empty() { return 0.0; }\n\
+                       let n = xs.len();\n\
+                       let total: f64 = xs.iter().sum();\n\
+                       total / n as f64\n\
+                   }\n";
+        assert!(findings(src).is_empty(), "{:?}", findings(src));
+    }
+
+    #[test]
+    fn clamped_defs_and_site_clamps_are_safe() {
+        let src = "pub fn run_study(xs: &[f64], span: f64) -> f64 {\n\
+                       let n = xs.len().max(1);\n\
+                       let a = xs[0] / n as f64;\n\
+                       a / span.max(1e-9)\n\
+                   }\n";
+        assert!(findings(src).is_empty(), "{:?}", findings(src));
+    }
+
+    #[test]
+    fn branch_only_guard_still_flags() {
+        let src = "pub fn run_study(xs: &[f64], sel: bool) -> f64 {\n\
+                       let n = xs.len();\n\
+                       if sel { assert!(n > 0); } else { skip(); }\n\
+                       xs[0] / n as f64\n\
+                   }\n";
+        let out = findings(src);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].line, 4);
+    }
+
+    #[test]
+    fn divisions_outside_the_det_cone_are_ignored() {
+        let src = "pub fn helper(xs: &[f64]) -> f64 {\n\
+                       let n = xs.len();\n\
+                       xs[0] / n as f64\n\
+                   }\n";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn captured_divisor_resolves_through_the_parent_flow() {
+        let src = "pub fn run_study(xs: &[f64]) -> Vec<f64> {\n\
+                       let n = xs.len();\n\
+                       xs.iter().map(|x| x / n as f64).collect()\n\
+                   }\n";
+        let out = findings(src);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].line, 3);
+    }
+}

@@ -20,21 +20,30 @@
 use std::collections::BTreeMap;
 
 use crate::config::Config;
+use crate::flow::{self, FnFlow};
 use crate::lexer::Tok;
 use crate::parser::{is_keyword, Item, ItemKind};
 use crate::rules::{Finding, Severity};
 use crate::source::SourceFile;
 
+mod atomic_relaxed_handoff;
 mod det_env_read;
 mod det_hash_iter;
 mod det_wall_clock;
+mod flow_unchecked_div;
+mod par_float_reduce;
 mod par_panic;
+mod par_shared_capture;
 mod race_static_mut;
 
+pub use atomic_relaxed_handoff::AtomicRelaxedHandoff;
 pub use det_env_read::DetEnvRead;
 pub use det_hash_iter::DetHashIter;
 pub use det_wall_clock::DetWallClock;
+pub use flow_unchecked_div::FlowUncheckedDiv;
+pub use par_float_reduce::ParFloatReduceOrder;
 pub use par_panic::ParPanicReachable;
+pub use par_shared_capture::ParSharedCapture;
 pub use race_static_mut::RaceStaticMut;
 
 /// The `fbox-par` fan-out entry points whose closure arguments become
@@ -86,6 +95,10 @@ pub fn all_sema_rules() -> Vec<Box<dyn SemaRule>> {
         Box::new(DetWallClock),
         Box::new(ParPanicReachable),
         Box::new(RaceStaticMut),
+        Box::new(ParSharedCapture),
+        Box::new(ParFloatReduceOrder),
+        Box::new(AtomicRelaxedHandoff),
+        Box::new(FlowUncheckedDiv),
     ]
 }
 
@@ -113,6 +126,8 @@ pub struct FnNode {
     pub file: usize,
     /// 1-based declaration line.
     pub line: u32,
+    /// Token range of the whole item (signature + body).
+    pub tokens: (usize, usize),
     /// Token range of the body, when present.
     pub body: Option<(usize, usize)>,
     /// Enclosing function node for closures and nested fns.
@@ -203,6 +218,8 @@ pub struct Model<'a> {
     pub det_roots: Vec<usize>,
     /// Resolved parallel-closure root node ids.
     pub par_roots: Vec<usize>,
+    /// Per-node body flow analysis (`None` for bodiless declarations).
+    pub flows: Vec<Option<FnFlow>>,
     /// Per-file `(body_start, body_end, node)` intervals for
     /// innermost-node lookup.
     intervals: Vec<Vec<(usize, usize, usize)>>,
@@ -288,7 +305,33 @@ impl<'a> Model<'a> {
             list.sort_unstable();
         }
 
-        Model { files, nodes, graph, det, par, det_roots, par_roots, intervals }
+        // Body-level flow analysis for every node with a body. Nested
+        // *named* fns are separate nodes and are skipped inside their
+        // parent; closures stay inline (captured uses must remain
+        // visible) *and* get their own flow.
+        let flows: Vec<Option<FnFlow>> = nodes
+            .iter()
+            .map(|node| {
+                let body = node.body?;
+                let toks = &files[node.file].lexed.tokens;
+                let skip: Vec<(usize, usize)> = node
+                    .children
+                    .iter()
+                    .filter(|&&c| !nodes[c].is_closure)
+                    .map(|&c| nodes[c].tokens)
+                    .collect();
+                Some(flow::analyze(
+                    toks,
+                    (node.tokens.0, body.0),
+                    body,
+                    node.is_closure,
+                    &skip,
+                    node.line,
+                ))
+            })
+            .collect();
+
+        Model { files, nodes, graph, det, par, det_roots, par_roots, flows, intervals }
     }
 
     /// Total number of call-graph edges (for telemetry).
@@ -309,6 +352,16 @@ impl<'a> Model<'a> {
             }
         }
         best.map(|(_, id)| id)
+    }
+
+    /// Renders a statement-level path hop for a statement of `node`:
+    /// the source line's code (trailing comment stripped) plus its
+    /// `file:line` position, e.g. `` `total += part;` (crates/…:42)``.
+    pub fn stmt_hop(&self, node: usize, stmt: &flow::stmt::Stmt) -> String {
+        let file = &self.files[self.nodes[node].file];
+        let snippet = file.snippet(stmt.line);
+        let code = snippet.split("//").next().unwrap_or_default().trim();
+        format!("`{}` ({}:{})", code, file.path, stmt.line)
     }
 
     /// Renders a reachability path as `qname (file:line)` hops.
@@ -680,6 +733,7 @@ impl Builder {
             simple,
             file: file_idx,
             line: item.line,
+            tokens: item.tokens,
             body: item.body,
             parent,
             children: Vec::new(),

@@ -1,0 +1,275 @@
+//! `par-shared-capture` — a parallel worker closure mutating state it
+//! captured from its environment.
+//!
+//! `fbox-par` promises serial/parallel equivalence; that promise only
+//! holds when workers are pure functions of their input slice. A closure
+//! handed to `par_map` / `par_chunks` / `scope` that *assigns through a
+//! capture* (`shared = …`, `counts[i] += 1`) or captures a `Cell` /
+//! `RefCell` wrapped binding races with its siblings: the winning write
+//! depends on scheduling, and the cube stops being reproducible. Writes
+//! through a `Mutex`/`RwLock` guard or an atomic are synchronized and
+//! exempt here — their *ordering* problems belong to
+//! `par-float-reduce-order` and `atomic-relaxed-handoff`.
+//!
+//! Findings carry the path root closure → capture definition → mutating
+//! statement, down to the statement level.
+
+use crate::lexer::{Tok, Token};
+use crate::rules::{Finding, Severity};
+use crate::sema::{Model, SemaRule};
+
+/// See the module docs.
+pub struct ParSharedCapture;
+
+/// Interior-mutability wrappers that make a shared capture writable
+/// without `mut`.
+const CELL_TYPES: &[&str] = &["Cell", "RefCell", "OnceCell", "UnsafeCell"];
+
+/// Wrappers/types that synchronize access and clear the capture.
+const SYNC_TYPES: &[&str] = &["Mutex", "RwLock"];
+
+impl SemaRule for ParSharedCapture {
+    fn id(&self) -> &'static str {
+        "par-shared-capture"
+    }
+
+    fn summary(&self) -> &'static str {
+        "parallel closure writes a captured binding (or captures Cell/RefCell) without synchronization"
+    }
+
+    fn default_severity(&self) -> Severity {
+        Severity::Deny
+    }
+
+    fn check(&self, model: &Model, out: &mut Vec<Finding>) {
+        for &root in &model.par_roots {
+            if model.nodes[root].in_test {
+                continue;
+            }
+            // The root closure and any closures nested inside it run on
+            // worker threads; walk them all.
+            let mut stack = vec![root];
+            while let Some(id) = stack.pop() {
+                stack.extend(
+                    model.nodes[id].children.iter().copied().filter(|&c| model.nodes[c].is_closure),
+                );
+                self.check_worker(model, root, id, out);
+            }
+        }
+    }
+}
+
+impl ParSharedCapture {
+    /// Checks one worker closure `id` rooted at par-closure `root`.
+    fn check_worker(&self, model: &Model, root: usize, id: usize, out: &mut Vec<Finding>) {
+        let Some(flow) = &model.flows[id] else { return };
+        let node = &model.nodes[id];
+        let toks = &model.files[node.file].lexed.tokens;
+        // Names bound inside the worker (params, lets, patterns) — up to
+        // and including the par root closure, whose locals are
+        // per-invocation and therefore private to the worker.
+        let mut local: Vec<&str> = flow.bound_locals();
+        let mut at = id;
+        while at != root {
+            let Some(parent) = model.nodes[at].parent else { break };
+            if let Some(pf) = &model.flows[parent] {
+                local.extend(pf.bound_locals());
+            }
+            at = parent;
+            if at == root {
+                if let Some(rf) = &model.flows[root] {
+                    local.extend(rf.bound_locals());
+                }
+            }
+        }
+
+        for stmt in &flow.tree.stmts {
+            // Direct write through a capture: an assignment whose base
+            // target is not bound anywhere inside the worker.
+            if let crate::flow::stmt::StmtKind::Assign { target, .. } = &stmt.kind {
+                if !local.contains(&target.as_str()) && !is_synchronized(toks, stmt.tokens) {
+                    self.emit_capture(model, root, id, target, stmt, out);
+                    continue;
+                }
+            }
+            // Interior-mutability capture: a used name whose defining
+            // `let` wraps it in Cell/RefCell without a lock.
+            if let Some(used) = stmt.uses.iter().find(|used| {
+                !local.contains(&used.as_str())
+                    && cell_method_called_on(toks, stmt.tokens, used)
+                    && ancestor_def_is_cell(model, id, used).is_some()
+            }) {
+                self.emit_capture(model, root, id, used, stmt, out);
+            }
+        }
+    }
+
+    /// Emits one finding with the root → definition → write path.
+    fn emit_capture(
+        &self,
+        model: &Model,
+        root: usize,
+        id: usize,
+        name: &str,
+        stmt: &crate::flow::stmt::Stmt,
+        out: &mut Vec<Finding>,
+    ) {
+        let mut path = model.par.path_to(root).map(|p| model.render_path(&p)).unwrap_or_default();
+        if id != root {
+            path.push(model.nodes[id].qname.clone());
+        }
+        if let Some((def_node, def_stmt)) = ancestor_def(model, id, name) {
+            if let Some(df) = model.flows[def_node].as_ref() {
+                path.push(model.stmt_hop(def_node, df.stmt(def_stmt)));
+            }
+        }
+        path.push(model.stmt_hop(id, stmt));
+        model.emit(self, model.nodes[id].file, stmt.line, path, out);
+    }
+}
+
+/// The nearest ancestor (above `id`) whose flow binds `name` via a
+/// non-assignment definition, plus the defining statement id.
+fn ancestor_def(model: &Model, id: usize, name: &str) -> Option<(usize, usize)> {
+    let mut at = model.nodes[id].parent;
+    while let Some(node) = at {
+        if let Some(flow) = &model.flows[node] {
+            let def = flow.tree.stmts.iter().position(|s| {
+                !matches!(s.kind, crate::flow::stmt::StmtKind::Assign { .. })
+                    && s.defs.iter().any(|d| d == name)
+            });
+            if let Some(def) = def {
+                return Some((node, def));
+            }
+        }
+        at = model.nodes[node].parent;
+    }
+    None
+}
+
+/// Whether `name`'s nearest ancestor definition wraps it in an
+/// interior-mutability cell with no synchronizing wrapper.
+fn ancestor_def_is_cell(model: &Model, id: usize, name: &str) -> Option<(usize, usize)> {
+    let (def_node, def_stmt) = ancestor_def(model, id, name)?;
+    let flow = model.flows[def_node].as_ref()?;
+    let stmt = flow.stmt(def_stmt);
+    let toks = &model.files[model.nodes[def_node].file].lexed.tokens;
+    let mut saw_cell = false;
+    for tok in &toks[stmt.tokens.0..stmt.tokens.1.min(toks.len())] {
+        if let Tok::Ident(s) = &tok.tok {
+            if CELL_TYPES.contains(&s.as_str()) {
+                saw_cell = true;
+            }
+            if SYNC_TYPES.contains(&s.as_str()) || s.starts_with("Atomic") {
+                return None;
+            }
+        }
+    }
+    saw_cell.then_some((def_node, def_stmt))
+}
+
+/// Whether a statement range calls a `Cell`-family mutator (`set`,
+/// `replace`, `borrow_mut`, `get_or_init`) on `name`.
+fn cell_method_called_on(toks: &[Token], range: (usize, usize), name: &str) -> bool {
+    let (lo, hi) = (range.0, range.1.min(toks.len()));
+    for at in lo..hi {
+        if !toks[at].tok.is_ident(name) {
+            continue;
+        }
+        if matches!(toks.get(at + 1).map(|t| &t.tok), Some(t) if t.is_punct('.'))
+            && matches!(
+                toks.get(at + 2).map(|t| &t.tok),
+                Some(Tok::Ident(m)) if matches!(
+                    m.as_str(),
+                    "set" | "replace" | "borrow_mut" | "get_or_init" | "get_mut"
+                )
+            )
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// Whether the statement's write goes through a lock guard (`.lock(`,
+/// `.write(`) or an atomic store — synchronized, so not this rule's
+/// business.
+fn is_synchronized(toks: &[Token], range: (usize, usize)) -> bool {
+    let (lo, hi) = (range.0, range.1.min(toks.len()));
+    (lo..hi).any(|at| {
+        matches!(
+            &toks[at].tok,
+            Tok::Ident(m) if matches!(m.as_str(), "lock" | "write" | "store")
+                || m.starts_with("fetch_")
+        ) && at >= 1
+            && toks[at - 1].tok.is_punct('.')
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use crate::source::SourceFile;
+
+    fn findings(src: &str) -> Vec<Finding> {
+        let files = vec![SourceFile::parse("crates/core/src/x.rs", src)];
+        let model = Model::build(&files, &Config::default());
+        let mut out = Vec::new();
+        ParSharedCapture.check(&model, &mut out);
+        out
+    }
+
+    #[test]
+    fn captured_write_is_flagged_with_statement_path() {
+        let src = "pub fn build(xs: &[f64]) -> f64 {\n\
+                       let mut hits = 0usize;\n\
+                       par_map(xs, |x| {\n\
+                           hits += 1;\n\
+                           x * 2.0\n\
+                       });\n\
+                       hits as f64\n\
+                   }\n";
+        let out = findings(src);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].line, 4);
+        assert!(out[0].path.len() >= 3, "{:?}", out[0].path);
+        assert!(out[0].path[0].contains("{closure@3}"));
+        assert!(out[0].path.iter().any(|h| h.contains("let mut hits")));
+        assert!(out[0].path.last().expect("path").contains("hits += 1"));
+    }
+
+    #[test]
+    fn refcell_capture_is_flagged() {
+        let src = "pub fn build(xs: &[f64]) {\n\
+                       let seen = RefCell::new(Vec::new());\n\
+                       par_map(xs, |x| seen.borrow_mut().push(*x));\n\
+                   }\n";
+        let out = findings(src);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].line, 3);
+    }
+
+    #[test]
+    fn locals_and_locked_writes_are_fine() {
+        let src = "pub fn build(xs: &[f64], total: &Mutex<f64>) {\n\
+                       par_map(xs, |x| {\n\
+                           let mut acc = 0.0;\n\
+                           acc += *x;\n\
+                           *total.lock().unwrap() += acc;\n\
+                           acc\n\
+                       });\n\
+                   }\n";
+        assert!(findings(src).is_empty(), "{:?}", findings(src));
+    }
+
+    #[test]
+    fn serial_closures_are_ignored() {
+        let src = "pub fn build(xs: &[f64]) -> usize {\n\
+                       let mut hits = 0usize;\n\
+                       xs.iter().for_each(|_| hits += 1);\n\
+                       hits\n\
+                   }\n";
+        assert!(findings(src).is_empty());
+    }
+}

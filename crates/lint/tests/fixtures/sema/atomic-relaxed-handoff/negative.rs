@@ -1,0 +1,14 @@
+//! Negative: Release/Acquire publication is correct, and Relaxed RMW
+//! claim counters have no ordering requirement.
+
+pub fn shard(pool: &Pool, xs: &[u64], ready: &AtomicBool, hits: &AtomicU64) {
+    pool.par_map(xs, |x| {
+        hits.fetch_add(1, Ordering::Relaxed);
+        ready.store(true, Ordering::Release);
+        *x
+    });
+}
+
+pub fn reader(ready: &AtomicBool) -> bool {
+    ready.load(Ordering::Acquire)
+}

@@ -1,0 +1,13 @@
+//! Positive: a worker publishes a flag with `Relaxed` while a reader in
+//! another function loads it — the handoff needs Release/Acquire.
+
+pub fn shard(pool: &Pool, xs: &[u64], ready: &AtomicBool) {
+    pool.par_map(xs, |x| {
+        ready.store(true, Ordering::Relaxed); //~ atomic-relaxed-handoff
+        *x
+    });
+}
+
+pub fn reader(ready: &AtomicBool) -> bool {
+    ready.load(Ordering::Acquire)
+}

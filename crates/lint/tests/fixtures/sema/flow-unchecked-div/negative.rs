@@ -1,0 +1,13 @@
+//! Negative: every division either sits under a dominating zero test,
+//! divides by a clamped value, or derives its divisor from a variable
+//! the guard blesses.
+
+pub fn run_study(xs: &[f64], span: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let n = xs.len();
+    let total: f64 = xs.iter().sum();
+    let avg = total / n as f64;
+    avg / span.max(1e-9)
+}

@@ -1,0 +1,17 @@
+//! Positive: the mean helper divides by a count that no zero test
+//! dominates — reachable transitively from the determinism root
+//! (`run_study` → `normalize` → `mean`).
+
+pub fn run_study(xs: &[f64]) -> f64 {
+    normalize(xs)
+}
+
+fn normalize(xs: &[f64]) -> f64 {
+    mean(xs)
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    let n = xs.len();
+    let total: f64 = xs.iter().sum();
+    total / n as f64 //~ flow-unchecked-div
+}

@@ -1,0 +1,14 @@
+//! Negative: reducing the *return value* of `par_map` is input-order
+//! merged and safe; integer counters are not float reductions.
+
+pub fn shard(pool: &Pool, xs: &[f64]) -> f64 {
+    let doubled = pool.par_map(xs, |x| x * 2.0);
+    let total: f64 = doubled.iter().sum::<f64>();
+    total
+}
+
+pub fn count(pool: &Pool, xs: &[u64]) -> usize {
+    let hits = Mutex::new(Vec::new());
+    pool.par_map(xs, |x| hits.lock().expect("poisoned").push(*x));
+    hits.into_inner().expect("poisoned").len()
+}

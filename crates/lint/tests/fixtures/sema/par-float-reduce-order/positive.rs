@@ -1,0 +1,9 @@
+//! Positive: workers push partial products into a captured, locked
+//! vector in completion order; the parent then sums the floats.
+
+pub fn shard(pool: &Pool, xs: &[f64]) -> f64 {
+    let partials = Mutex::new(Vec::new());
+    pool.par_map(xs, |x| partials.lock().expect("poisoned").push(x * 2.0));
+    let total: f64 = partials.into_inner().expect("poisoned").iter().sum::<f64>(); //~ par-float-reduce-order
+    total
+}

@@ -1,0 +1,19 @@
+//! Negative: worker-local accumulation and lock-synchronized writes are
+//! both fine; a serial iterator closure is not a parallel worker.
+
+pub fn shard(pool: &Pool, xs: &[f64], total: &Mutex<f64>) {
+    pool.par_map(xs, |x| {
+        let mut acc = 0.0;
+        acc += *x;
+        *total.lock().expect("poisoned") += acc;
+        acc
+    });
+}
+
+/// Serial helper: its closure captures and mutates, but never runs on a
+/// worker thread.
+pub fn serial_count(xs: &[f64]) -> usize {
+    let mut hits = 0usize;
+    xs.iter().for_each(|_| hits += 1);
+    hits
+}

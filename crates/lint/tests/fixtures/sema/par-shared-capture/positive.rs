@@ -1,0 +1,11 @@
+//! Positive: a parallel worker increments a counter captured from the
+//! enclosing function — the winning write depends on scheduling.
+
+pub fn shard(pool: &Pool, xs: &[f64]) -> f64 {
+    let mut hits = 0usize;
+    pool.par_map(xs, |x| {
+        hits += 1; //~ par-shared-capture
+        x * 2.0
+    });
+    hits as f64
+}

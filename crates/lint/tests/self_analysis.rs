@@ -6,9 +6,11 @@
 
 use std::path::{Path, PathBuf};
 
+use fbox_lint::baseline::Baseline;
 use fbox_lint::config::Config;
 use fbox_lint::engine;
 use fbox_lint::parser::Item;
+use fbox_lint::sema::Model;
 use fbox_lint::source;
 
 fn workspace_root() -> PathBuf {
@@ -73,4 +75,54 @@ fn whole_workspace_parses_with_zero_errors_and_monotonic_spans() {
         parsed_items += count;
     }
     assert!(parsed_items > 1000, "suspiciously few items parsed: {parsed_items}");
+}
+
+/// The flow layer's reality check, mirroring the item-parser test above:
+/// every function body in the workspace — shims and fixtures included —
+/// must statement-parse with zero [`fbox_lint::flow`] errors, and every
+/// CFG must be connected (no statement unreachable from entry, which
+/// would silently hide defs/uses from the dataflow rules).
+#[test]
+fn every_workspace_body_flows_with_zero_errors_and_connected_cfgs() {
+    let root = workspace_root();
+    let config = Config::default();
+    let sources: Vec<source::SourceFile> = engine::walk(&root, &config)
+        .iter()
+        .map(|rel| source::load(&root, rel).unwrap_or_else(|| panic!("unreadable file: {rel}")))
+        .collect();
+    let model = Model::build(&sources, &config);
+    let mut bodies = 0usize;
+    let mut stmts = 0usize;
+    for (id, flow) in model.flows.iter().enumerate() {
+        let Some(flow) = flow else { continue };
+        let node = &model.nodes[id];
+        let at = format!("{} ({}:{})", node.qname, sources[node.file].path, node.line);
+        assert!(flow.tree.errors.is_empty(), "{at}: flow parse errors: {:?}", flow.tree.errors);
+        let orphans = flow.cfg.orphans();
+        assert!(orphans.is_empty(), "{at}: orphan CFG blocks {orphans:?}");
+        bodies += 1;
+        stmts += flow.tree.stmts.len();
+    }
+    assert!(bodies > 1000, "suspiciously few bodies analyzed: {bodies}");
+    assert!(stmts > 10_000, "suspiciously few statements parsed: {stmts}");
+}
+
+/// The engine fans the lexical pass out over `fbox_par`; the report must
+/// be identical at any worker count (input-order flattening, no shared
+/// mutable state in rules).
+#[test]
+fn lint_run_is_deterministic_across_thread_counts() {
+    let root = workspace_root();
+    let text = std::fs::read_to_string(root.join("Lint.toml")).expect("Lint.toml is readable");
+    let config = Config::parse(&text).expect("Lint.toml parses");
+    let run = || {
+        let registry = fbox_telemetry::Registry::new();
+        engine::run(&root, &config, &Baseline::default(), &registry)
+    };
+    let serial = fbox_par::with_threads(1, run);
+    let wide = fbox_par::with_threads(7, run);
+    assert_eq!(serial.findings, wide.findings);
+    assert_eq!(serial.stale_baseline, wide.stale_baseline);
+    assert_eq!(serial.files_scanned, wide.files_scanned);
+    assert_eq!(serial.lines_scanned, wide.lines_scanned);
 }

@@ -167,6 +167,78 @@ fn par_panic_reachable_roots_at_the_parallel_closure() {
 }
 
 #[test]
+fn par_shared_capture_paths_root_to_definition_to_write() {
+    let rule = rule_by_id("par-shared-capture");
+    let file = load_fixture("par-shared-capture", "positive.rs");
+    let out = run_rule(rule.as_ref(), &file);
+    assert_eq!(out.len(), 1, "{out:?}");
+    assert_eq!(out[0].line, 7);
+    assert_eq!(
+        out[0].path,
+        [
+            "fixture::positive::shard::{closure@6} (crates/fixture/src/positive.rs:6)",
+            "`let mut hits = 0usize;` (crates/fixture/src/positive.rs:5)",
+            "`hits += 1;` (crates/fixture/src/positive.rs:7)",
+        ]
+    );
+}
+
+#[test]
+fn par_float_reduce_order_paths_write_to_reduction() {
+    let rule = rule_by_id("par-float-reduce-order");
+    let file = load_fixture("par-float-reduce-order", "positive.rs");
+    let out = run_rule(rule.as_ref(), &file);
+    assert_eq!(out.len(), 1, "{out:?}");
+    assert_eq!(out[0].line, 7);
+    assert_eq!(
+        out[0].path,
+        [
+            "fixture::positive::shard::{closure@6} (crates/fixture/src/positive.rs:6)",
+            "`pool.par_map(xs, |x| partials.lock().expect(\"poisoned\").push(x * 2.0));` \
+             (crates/fixture/src/positive.rs:6)",
+            "`let total: f64 = partials.into_inner().expect(\"poisoned\").iter().sum::<f64>();` \
+             (crates/fixture/src/positive.rs:7)",
+        ]
+    );
+}
+
+#[test]
+fn atomic_relaxed_handoff_paths_both_sides_of_the_handoff() {
+    let rule = rule_by_id("atomic-relaxed-handoff");
+    let file = load_fixture("atomic-relaxed-handoff", "positive.rs");
+    let out = run_rule(rule.as_ref(), &file);
+    assert_eq!(out.len(), 1, "{out:?}");
+    assert_eq!(out[0].line, 6);
+    assert_eq!(
+        out[0].path,
+        [
+            "fixture::positive::shard::{closure@5} (crates/fixture/src/positive.rs:5)",
+            "`ready.store(true, Ordering::Relaxed);` (crates/fixture/src/positive.rs:6)",
+            "`ready.load(Ordering::Acquire)` (crates/fixture/src/positive.rs:12)",
+        ]
+    );
+}
+
+#[test]
+fn flow_unchecked_div_paths_root_to_def_to_division() {
+    let rule = rule_by_id("flow-unchecked-div");
+    let file = load_fixture("flow-unchecked-div", "positive.rs");
+    let out = run_rule(rule.as_ref(), &file);
+    assert_eq!(out.len(), 1, "{out:?}");
+    assert_eq!(out[0].line, 16);
+    assert_eq!(
+        out[0].path,
+        [
+            "fixture::positive::run_study (crates/fixture/src/positive.rs:5)",
+            "fixture::positive::normalize (crates/fixture/src/positive.rs:9)",
+            "fixture::positive::mean (crates/fixture/src/positive.rs:13)",
+            "`let n = xs.len();` (crates/fixture/src/positive.rs:14)",
+            "`total / n as f64` (crates/fixture/src/positive.rs:16)",
+        ]
+    );
+}
+
+#[test]
 fn race_static_mut_reports_declaration_and_pathed_usage() {
     let rule = rule_by_id("race-static-mut");
     let file = load_fixture("race-static-mut", "positive.rs");

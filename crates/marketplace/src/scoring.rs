@@ -61,7 +61,10 @@ impl ScoringModel {
         let jobs = (w.jobs_completed as f64 / 500.0).min(1.0);
         let tenure = (w.tenure_days as f64 / 2000.0).min(1.0);
         let badge = if w.badge { 1.0 } else { 0.0 };
-        let weight_sum = self.w_rating + self.w_jobs + self.w_tenure + self.w_badge;
+        // Clamped away from zero: weights are positive for every shipped
+        // config, so the clamp never moves a real score by a single bit,
+        // but an all-zero weight row degrades to merit 0 instead of NaN.
+        let weight_sum = (self.w_rating + self.w_jobs + self.w_tenure + self.w_badge).max(1e-12);
         let merit = (self.w_rating * rating
             + self.w_jobs * jobs
             + self.w_tenure * tenure

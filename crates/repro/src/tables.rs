@@ -72,6 +72,9 @@ pub fn ordering_agreement(paper: &[&str], measured: &[String]) -> f64 {
             }
         }
     }
+    if total == 0 {
+        return 1.0;
+    }
     concordant as f64 / total as f64
 }
 

@@ -30,19 +30,19 @@ impl Registry {
     /// Creates a scoped registry, enabled from the start.
     pub fn new() -> Self {
         let r = Self::default();
-        r.enabled.store(true, Ordering::Relaxed);
+        r.enabled.store(true, Ordering::Release);
         r
     }
 
     /// Whether instrumentation gated on this registry should run.
     #[inline]
     pub fn enabled(&self) -> bool {
-        self.enabled.load(Ordering::Relaxed)
+        self.enabled.load(Ordering::Acquire)
     }
 
     /// Turns gated instrumentation on or off.
     pub fn set_enabled(&self, on: bool) {
-        self.enabled.store(on, Ordering::Relaxed);
+        self.enabled.store(on, Ordering::Release);
     }
 
     /// Returns the counter named `name`, registering it on first use.

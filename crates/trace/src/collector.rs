@@ -1,8 +1,10 @@
 //! The collector: per-thread event buffers, span frames, and the fork
 //! handshake that carries span context across `fbox-par` fan-outs.
 //!
-//! Hot-path contract: recording an event is one relaxed atomic load
-//! (enabled check) plus a push onto a thread-local `Vec`. The only
+//! Hot-path contract: recording an event is one acquire atomic load
+//! (enabled check — acquire so the session state published by `start()`
+//! is visible before any event is recorded) plus a push onto a
+//! thread-local `Vec`. The only
 //! mutexes live off the hot path — taken once per thread at
 //! registration, once per thread at exit (spill), and at flush.
 //!
@@ -171,7 +173,7 @@ thread_local! {
 /// `None` (and runs nothing) when the tracer is off — the common case.
 fn with_local<R>(f: impl FnOnce(&mut LocalState) -> R) -> Option<R> {
     let shared = SHARED.get()?;
-    if !shared.enabled.load(Ordering::Relaxed) {
+    if !shared.enabled.load(Ordering::Acquire) {
         return None;
     }
     LOCAL
@@ -183,10 +185,10 @@ fn with_local<R>(f: impl FnOnce(&mut LocalState) -> R) -> Option<R> {
         .ok()
 }
 
-/// True while a tracing session is live. One relaxed load; safe to call
+/// True while a tracing session is live. One acquire load; safe to call
 /// on the hottest path.
 pub fn enabled() -> bool {
-    SHARED.get().is_some_and(|s| s.enabled.load(Ordering::Relaxed))
+    SHARED.get().is_some_and(|s| s.enabled.load(Ordering::Acquire))
 }
 
 /// Begin a tracing session, discarding any buffered events from a

@@ -1,0 +1,30 @@
+//! Serial vs parallel fairness-intervention sweep, writing the
+//! `BENCH_mitigate.json` trajectory file at the workspace root. The
+//! measurement itself lives in [`fbox_bench::suites::mitigate_suite`] so
+//! the `fbox-bench --check` trend gate reruns exactly this workload.
+
+use std::path::Path;
+
+use fbox_bench::suites::{mitigate_suite, ITERATIONS, THREADS};
+use fbox_bench::write_snapshot;
+
+fn main() {
+    let outcome = mitigate_suite();
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let path = write_snapshot(&root, "mitigate", &outcome.snapshot).expect("snapshot written");
+    println!(
+        "mitigation sweep over {ITERATIONS} iterations: serial {:.1} ms, parallel {:.1} ms \
+         (FBOX_THREADS={THREADS}) — {:.2}x, worst NDCG loss {:.4}; wrote {}",
+        outcome.serial_ms,
+        outcome.parallel_ms,
+        outcome.speedup,
+        outcome.worst_ndcg_loss,
+        path.display()
+    );
+    assert!(outcome.parity, "re-ranked observations must be identical at 1 and {THREADS} workers");
+    assert!(
+        outcome.worst_ndcg_loss < 0.35,
+        "no intervention may burn more than 0.35 NDCG, measured {:.4}",
+        outcome.worst_ndcg_loss
+    );
+}

@@ -11,6 +11,7 @@ use fbox_core::{FBox, MarketMeasure, SearchMeasure, Universe};
 use fbox_marketplace::{
     crawl, crawl_resilient, BiasProfile, CrawlJournal, Marketplace, Population, ScoringModel,
 };
+use fbox_mitigate::{rerank_market, rerank_search, Intervention, RerankConfig};
 use fbox_par::with_threads;
 use fbox_resilience::{FaultPlan, FaultProfile, Resilience};
 use fbox_search::extension::ExtensionRunner;
@@ -69,6 +70,25 @@ pub struct LintOutcome {
     pub speedup: f64,
     /// Findings reported (identical across worker counts).
     pub findings: usize,
+}
+
+/// Outcome of [`mitigate_suite`]: serial vs parallel re-ranking of the
+/// full marketplace crawl and search study under every intervention.
+#[derive(Debug, Clone)]
+pub struct MitigateOutcome {
+    /// The suite's metrics (`mitigate.*`).
+    pub snapshot: Snapshot,
+    /// Mean single-worker sweep time, milliseconds.
+    pub serial_ms: f64,
+    /// Mean multi-worker sweep time, milliseconds.
+    pub parallel_ms: f64,
+    /// serial / parallel mean ratio.
+    pub speedup: f64,
+    /// Whether the serial and parallel sweeps produced identical
+    /// observations and stats for every intervention.
+    pub parity: bool,
+    /// Largest NDCG loss any intervention inflicted on either platform.
+    pub worst_ndcg_loss: f64,
 }
 
 fn market_fixture() -> (Universe, MarketObservations) {
@@ -255,15 +275,105 @@ pub fn lint_suite() -> LintOutcome {
     }
 }
 
+/// Fairness-intervention throughput: every [`Intervention`] re-ranks the
+/// full marketplace crawl and the full search study, single-worker vs
+/// [`THREADS`] workers. The per-cell fan-out in `rerank_market` /
+/// `rerank_search` is the parallel surface; a parity gauge pins the
+/// mitigation determinism contract (identical observations and stats at
+/// any worker count), and the worst NDCG loss across the sweep gates
+/// exactly — it only moves when intervention semantics move.
+pub fn mitigate_suite() -> MitigateOutcome {
+    let registry = fbox_telemetry::Registry::new();
+    let serial_h = registry.histogram("mitigate.serial");
+    let parallel_h = registry.histogram("mitigate.parallel");
+
+    let (market_universe, market_obs) = market_fixture();
+    let (search_universe, search_obs) = search_fixture();
+    let config = RerankConfig::default();
+
+    let sweep = || {
+        Intervention::ALL
+            .iter()
+            .map(|&iv| {
+                (
+                    rerank_market(&market_universe, &market_obs, iv, &config),
+                    rerank_search(&search_universe, &search_obs, iv, &config),
+                )
+            })
+            .collect::<Vec<_>>()
+    };
+
+    // Warm-up doubles as the parity probe: the single-worker and
+    // fanned-out sweeps must agree on every cell of every intervention.
+    let narrow = with_threads(1, sweep);
+    let wide = with_threads(THREADS, sweep);
+    let parity = narrow.iter().zip(&wide).all(|((ma, sa), (mb, sb))| {
+        ma.stats == mb.stats
+            && sa.stats == sb.stats
+            && market_obs_eq(&ma.observations, &mb.observations)
+            && search_obs_eq(&sa.observations, &sb.observations)
+    });
+    let worst_ndcg_loss = narrow
+        .iter()
+        .flat_map(|(m, s)| [m.stats.ndcg_loss(), s.stats.ndcg_loss()])
+        .fold(0.0f64, f64::max);
+    let (market_cells, search_lists) = (narrow[0].0.stats.cells, narrow[0].1.stats.lists);
+
+    for _ in 0..ITERATIONS {
+        let t = serial_h.timer();
+        black_box(with_threads(1, sweep));
+        t.observe();
+
+        let t = parallel_h.timer();
+        black_box(with_threads(THREADS, sweep));
+        t.observe();
+    }
+
+    let speedup = mean_ns(&serial_h) / mean_ns(&parallel_h);
+    // Gauges are integers; store ratios ×100 and the loss ×10000.
+    registry.gauge("mitigate.speedup_x100").set((speedup * 100.0) as i64);
+    registry.gauge("mitigate.threads").set(THREADS as i64);
+    registry.gauge("mitigate.parity").set(i64::from(parity));
+    registry.gauge("mitigate.market.cells").set(market_cells as i64);
+    registry.gauge("mitigate.search.lists").set(search_lists as i64);
+    registry.gauge("mitigate.worst_ndcg_loss_x10000").set((worst_ndcg_loss * 10_000.0) as i64);
+
+    MitigateOutcome {
+        snapshot: registry.snapshot(),
+        serial_ms: mean_ns(&serial_h) / 1e6,
+        parallel_ms: mean_ns(&parallel_h) / 1e6,
+        speedup,
+        parity,
+        worst_ndcg_loss,
+    }
+}
+
+fn market_obs_eq(a: &MarketObservations, b: &MarketObservations) -> bool {
+    let mut ca: Vec<_> = a.cells().collect();
+    let mut cb: Vec<_> = b.cells().collect();
+    ca.sort_unstable_by_key(|&((q, l), _)| (q.0, l.0));
+    cb.sort_unstable_by_key(|&((q, l), _)| (q.0, l.0));
+    ca == cb
+}
+
+fn search_obs_eq(a: &SearchObservations, b: &SearchObservations) -> bool {
+    let mut ca: Vec<_> = a.cells().collect();
+    let mut cb: Vec<_> = b.cells().collect();
+    ca.sort_unstable_by_key(|&((q, l), _)| (q.0, l.0));
+    cb.sort_unstable_by_key(|&((q, l), _)| (q.0, l.0));
+    ca == cb
+}
+
 /// The suite registered under `label`, or `None` for unknown labels.
 pub fn run_suite(label: &str) -> Option<Snapshot> {
     match label {
         "parallel" => Some(parallel_suite().snapshot),
         "resilience" => Some(resilience_suite().snapshot),
         "lint" => Some(lint_suite().snapshot),
+        "mitigate" => Some(mitigate_suite().snapshot),
         _ => None,
     }
 }
 
 /// Labels `run_suite` understands, in canonical order.
-pub const SUITE_LABELS: [&str; 3] = ["parallel", "resilience", "lint"];
+pub const SUITE_LABELS: [&str; 4] = ["parallel", "resilience", "lint", "mitigate"];

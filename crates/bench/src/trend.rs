@@ -79,12 +79,30 @@ pub const LINT_TOLERANCES: [Tolerance; 5] = [
     tol("lint.parallel", Direction::LowerBetter, 600),
 ];
 
+/// The gate's metric policy for `BENCH_mitigate.json`. The re-ranking
+/// sweep is deterministic in the fixture seeds: cell/list counts, the
+/// serial/parallel parity bit, and the worst NDCG loss only move when
+/// intervention semantics move, so they gate exactly. Wall clocks get the
+/// usual loose band; the speedup band matches lint's — per-cell re-ranks
+/// are short, so the fan-out is scheduling-sensitive.
+pub const MITIGATE_TOLERANCES: [Tolerance; 8] = [
+    tol("mitigate.parity", Direction::Exact, 0),
+    tol("mitigate.threads", Direction::Exact, 0),
+    tol("mitigate.market.cells", Direction::Exact, 0),
+    tol("mitigate.search.lists", Direction::Exact, 0),
+    tol("mitigate.worst_ndcg_loss_x10000", Direction::Exact, 0),
+    tol("mitigate.speedup_x100", Direction::HigherBetter, 400),
+    tol("mitigate.serial", Direction::LowerBetter, 600),
+    tol("mitigate.parallel", Direction::LowerBetter, 600),
+];
+
 /// The tolerance set for a suite label, or `None` for unknown labels.
 pub fn tolerances_for(label: &str) -> Option<&'static [Tolerance]> {
     match label {
         "parallel" => Some(&PARALLEL_TOLERANCES),
         "resilience" => Some(&RESILIENCE_TOLERANCES),
         "lint" => Some(&LINT_TOLERANCES),
+        "mitigate" => Some(&MITIGATE_TOLERANCES),
         _ => None,
     }
 }

@@ -87,7 +87,7 @@ pub fn emd_general(
         }
     }
 
-    let total_cost = transport(&s, &d, &costs, m);
+    let total_cost = transport(&s, &d, &costs, m).cost;
     Some(total_cost / SCALE as f64)
 }
 
@@ -102,7 +102,16 @@ pub fn emd_general_1d(a: &Histogram, b: &Histogram) -> Option<f64> {
 
 const SCALE: u64 = 1 << 32;
 
-/// Normalizes non-negative masses to integers summing exactly to [`SCALE`].
+/// Normalizes non-negative masses to integers summing exactly to [`SCALE`],
+/// by largest-remainder apportionment: floor every scaled mass, then hand
+/// the missing units to the bins with the largest fractional remainders
+/// (ties broken by lower index).
+///
+/// The drift is never dumped on a single bin: with thousands of near-equal
+/// tiny masses the combined rounding drift can exceed any one bin's units,
+/// and the old "fix the largest bin" correction underflowed there (panic in
+/// debug, wrap in release). Largest-remainder spreads at most one unit per
+/// bin per pass, so every intermediate value stays in range.
 fn normalize_to_units(masses: &[f64]) -> Option<Vec<u64>> {
     for &x in masses {
         assert!(x >= 0.0 && x.is_finite(), "mass must be non-negative and finite");
@@ -111,22 +120,96 @@ fn normalize_to_units(masses: &[f64]) -> Option<Vec<u64>> {
     if total <= 0.0 {
         return None;
     }
-    let mut units: Vec<u64> =
-        masses.iter().map(|&x| super::float::round_units((x / total) * SCALE as f64)).collect();
-    // Fix rounding drift on the largest bin so the total is exact.
+    let scaled: Vec<f64> = masses.iter().map(|&x| (x / total) * SCALE as f64).collect();
+    let mut units: Vec<u64> = scaled.iter().map(|&x| super::float::floor_units(x)).collect();
     let sum: u64 = units.iter().sum();
-    let largest = units
-        .iter()
-        .enumerate()
-        .max_by_key(|&(_, &u)| u)
-        .map(|(i, _)| i)
-        .expect("masses is non-empty when total > 0");
-    if sum > SCALE {
-        units[largest] -= sum - SCALE;
+    if sum == SCALE {
+        return Some(units);
+    }
+    // Bins ordered by descending fractional remainder, ties by lower index
+    // (`sort_by` is stable), so the apportionment is deterministic.
+    let mut order: Vec<usize> = (0..units.len()).collect();
+    order.sort_by(|&a, &b| {
+        let ra = scaled[a] - units[a] as f64;
+        let rb = scaled[b] - units[b] as f64;
+        rb.total_cmp(&ra)
+    });
+    if sum < SCALE {
+        // Flooring loses < 1 unit per bin, so the deficit fits in one
+        // cyclic pass in practice; the cycle guards against float-sum
+        // drift ever pushing it past one unit per bin.
+        let mut deficit = SCALE - sum;
+        for &i in order.iter().cycle() {
+            if deficit == 0 {
+                break;
+            }
+            units[i] += 1;
+            deficit -= 1;
+        }
     } else {
-        units[largest] += SCALE - sum;
+        // Unreachable with flooring up to float-sum drift (each floor is
+        // ≤ its exact share, so the integer sum cannot exceed SCALE by a
+        // whole unit), but handled symmetrically: drain the excess from
+        // the smallest remainders that still hold units.
+        let mut excess = sum - SCALE;
+        for &i in order.iter().rev().cycle() {
+            if excess == 0 {
+                break;
+            }
+            if units[i] > 0 {
+                units[i] -= 1;
+                excess -= 1;
+            }
+        }
     }
     Some(units)
+}
+
+/// An exact integer transportation plan: the minimum-cost routing of
+/// `supply` units onto `demand` slots under a non-negative ground cost.
+///
+/// `flow[i][j]` is the number of units moved from supply bin `i` to demand
+/// bin `j`; row sums equal `supply`, column sums equal `demand`, and the
+/// total cost `Σ flow[i][j] · cost(i, j)` is minimal. Built for the
+/// mitigation layer's exposure-optimal re-ranker (groups → rank positions),
+/// which needs the *assignment*, not just the optimal cost that
+/// [`emd_general`] reports.
+///
+/// # Panics
+///
+/// Panics if the supply and demand totals differ (the transportation
+/// problem must be balanced) or any cost is negative or non-finite.
+#[must_use]
+pub fn transport_plan(
+    supply: &[u64],
+    demand: &[u64],
+    cost: impl Fn(usize, usize) -> f64,
+) -> Vec<Vec<u64>> {
+    let supply_total: u64 = supply.iter().sum();
+    let demand_total: u64 = demand.iter().sum();
+    assert!(
+        supply_total == demand_total,
+        "transport_plan requires balanced totals: supply {supply_total} vs demand {demand_total}"
+    );
+    let n = supply.len();
+    let m = demand.len();
+    let mut costs = vec![0.0f64; n * m];
+    for i in 0..n {
+        for j in 0..m {
+            let c = cost(i, j);
+            assert!(c >= 0.0 && c.is_finite(), "ground cost must be non-negative and finite");
+            costs[i * m + j] = c;
+        }
+    }
+    transport(supply, demand, &costs, m).flow
+}
+
+/// What [`transport`] solves for: the optimal cost and the realizing flow.
+struct TransportSolution {
+    /// Total cost of the optimal plan (in cost × unit terms).
+    cost: f64,
+    /// `flow[i][j]`: units routed from supply bin `i` to demand bin `j`.
+    flow: Vec<Vec<u64>>,
 }
 
 /// Solves the balanced transportation problem exactly.
@@ -134,7 +217,11 @@ fn normalize_to_units(masses: &[f64]) -> Option<Vec<u64>> {
 /// Successive shortest augmenting paths with Dijkstra over reduced costs
 /// (Johnson potentials). Node layout: `0` source, `1..=n` supplies,
 /// `n+1..=n+m` demands, `n+m+1` sink.
-fn transport(supply: &[u64], demand: &[u64], costs: &[f64], m: usize) -> f64 {
+/// Capacity of a supply→demand arc: effectively unbounded, while leaving
+/// headroom so residual updates cannot overflow.
+const EDGE_CAP: u64 = u64::MAX / 4;
+
+fn transport(supply: &[u64], demand: &[u64], costs: &[f64], m: usize) -> TransportSolution {
     let n = supply.len();
     let nodes = n + m + 2;
     let source = 0usize;
@@ -175,7 +262,7 @@ fn transport(supply: &[u64], demand: &[u64], costs: &[f64], m: usize) -> f64 {
             if demand[j] == 0 {
                 continue;
             }
-            add_edge(&mut graph, 1 + i, 1 + n + j, u64::MAX / 4, costs[i * m + j]);
+            add_edge(&mut graph, 1 + i, 1 + n + j, EDGE_CAP, costs[i * m + j]);
         }
     }
 
@@ -236,7 +323,19 @@ fn transport(supply: &[u64], demand: &[u64], costs: &[f64], m: usize) -> f64 {
         }
         remaining -= bottleneck;
     }
-    total_cost
+
+    // Read the optimal plan back out of the residual graph: a
+    // supply→demand edge started at `EDGE_CAP`, so its spent capacity is
+    // the flow routed across it.
+    let mut flow = vec![vec![0u64; m]; n];
+    for (i, row) in flow.iter_mut().enumerate() {
+        for e in &graph[1 + i] {
+            if (1 + n..1 + n + m).contains(&e.to) {
+                row[e.to - 1 - n] = EDGE_CAP - e.cap;
+            }
+        }
+    }
+    TransportSolution { cost: total_cost, flow }
 }
 
 /// Max-heap entry ordered by *smallest* distance (reversed comparison).
@@ -364,6 +463,100 @@ mod tests {
     fn general_solver_zero_mass_side() {
         assert_eq!(emd_general(&[0.0, 0.0], &[1.0], |_, _| 1.0), None);
         assert_eq!(emd_general(&[1.0], &[0.0], |_, _| 1.0), None);
+    }
+
+    #[test]
+    fn normalize_survives_drift_larger_than_any_bin() {
+        // 300 000 equal masses: each bin's share is SCALE / 300 000 ≈
+        // 14 316.56, so flooring loses ≈ 0.56 units per bin — a combined
+        // drift of ≈ 167 000 units, an order of magnitude more than any
+        // single bin holds. The old "subtract the drift from the largest
+        // bin" correction underflowed here (debug panic, release wrap).
+        let masses = vec![1.0; 300_000];
+        let units = normalize_to_units(&masses).unwrap();
+        assert_eq!(units.iter().sum::<u64>(), SCALE);
+        // Largest-remainder keeps every bin within one unit of its share.
+        let share = SCALE / 300_000;
+        assert!(units.iter().all(|&u| u == share || u == share + 1));
+    }
+
+    #[test]
+    fn normalize_handles_hundreds_of_equal_masses() {
+        for n in [100usize, 300, 997] {
+            let units = normalize_to_units(&vec![0.25; n]).unwrap();
+            assert_eq!(units.iter().sum::<u64>(), SCALE, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn normalize_is_exact_on_zero_and_tiny_mixes() {
+        let units = normalize_to_units(&[0.0, 1e-300, 1.0, 0.0, 1e-12]).unwrap();
+        assert_eq!(units.iter().sum::<u64>(), SCALE);
+        assert_eq!(units[0], 0, "a zero mass stays a zero bin up to drift units");
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn normalize_sums_to_scale(
+            masses in proptest::collection::vec(0.0f64..1e12, 1..400),
+        ) {
+            if let Some(units) = normalize_to_units(&masses) {
+                proptest::prop_assert_eq!(units.iter().sum::<u64>(), SCALE);
+                proptest::prop_assert_eq!(units.len(), masses.len());
+            } else {
+                proptest::prop_assert!(masses.iter().sum::<f64>() <= 0.0);
+            }
+        }
+
+        #[test]
+        fn normalize_sums_to_scale_on_equal_masses(
+            mass in 1e-9f64..1e9,
+            n in 1usize..3000,
+        ) {
+            let units = normalize_to_units(&vec![mass; n]).unwrap();
+            proptest::prop_assert_eq!(units.iter().sum::<u64>(), SCALE);
+        }
+    }
+
+    #[test]
+    fn transport_plan_routes_identity_for_free() {
+        // Matching supply and demand with zero diagonal cost: everything
+        // stays put.
+        let plan = transport_plan(&[3, 5], &[3, 5], |i, j| if i == j { 0.0 } else { 1.0 });
+        assert_eq!(plan, vec![vec![3, 0], vec![0, 5]]);
+    }
+
+    #[test]
+    fn transport_plan_is_a_balanced_minimal_plan() {
+        let supply = [4u64, 2, 3];
+        let demand = [1u64, 1, 1, 1, 1, 1, 1, 1, 1];
+        let cost = |i: usize, j: usize| (i as f64 - j as f64 / 3.0).abs();
+        let plan = transport_plan(&supply, &demand, cost);
+        for (i, row) in plan.iter().enumerate() {
+            assert_eq!(row.iter().sum::<u64>(), supply[i], "row {i} sum");
+        }
+        for j in 0..demand.len() {
+            assert_eq!(plan.iter().map(|r| r[j]).sum::<u64>(), demand[j], "col {j} sum");
+        }
+        // Cross-check the plan's cost against the cost-only solver on the
+        // same (normalized) problem.
+        let plan_cost: f64 = plan
+            .iter()
+            .enumerate()
+            .flat_map(|(i, row)| row.iter().enumerate().map(move |(j, &f)| f as f64 * cost(i, j)))
+            .sum();
+        let supply_f: Vec<f64> = supply.iter().map(|&s| s as f64).collect();
+        let demand_f: Vec<f64> = demand.iter().map(|&d| d as f64).collect();
+        let optimum = emd_general(&supply_f, &demand_f, cost).unwrap() * 9.0;
+        assert!((plan_cost - optimum).abs() < 1e-5, "plan {plan_cost} vs optimum {optimum}");
+    }
+
+    #[test]
+    #[should_panic(expected = "balanced")]
+    fn transport_plan_rejects_unbalanced_totals() {
+        let _ = transport_plan(&[2], &[1], |_, _| 0.0);
     }
 
     #[test]

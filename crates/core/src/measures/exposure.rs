@@ -50,7 +50,11 @@ pub fn total_exposure(model: DiscountModel, ranks: impl IntoIterator<Item = usiz
 /// `| group_exposure / pool_exposure − group_relevance / pool_relevance |`
 ///
 /// where the pool is `g ∪ comparables(g)`. Returns `None` when either pool
-/// total is zero (no exposure or no relevance mass to apportion).
+/// total is zero (no exposure or no relevance mass to apportion), or when a
+/// group total exceeds its pool total beyond [`EPS`](super::float::EPS) —
+/// a group is a subset of its pool, so such inputs are inconsistent and
+/// any "share" computed from them would be meaningless (> 1). The check is
+/// a real branch, not a `debug_assert`, so debug and release builds agree.
 pub fn exposure_unfairness(
     group_exposure: f64,
     pool_exposure: f64,
@@ -60,8 +64,11 @@ pub fn exposure_unfairness(
     if pool_exposure <= 0.0 || pool_relevance <= 0.0 {
         return None;
     }
-    debug_assert!(group_exposure <= pool_exposure + 1e-9);
-    debug_assert!(group_relevance <= pool_relevance + 1e-9);
+    if group_exposure > pool_exposure + super::float::EPS
+        || group_relevance > pool_relevance + super::float::EPS
+    {
+        return None;
+    }
     Some((group_exposure / pool_exposure - group_relevance / pool_relevance).abs())
 }
 
@@ -131,6 +138,18 @@ mod tests {
     fn unfairness_none_for_empty_pools() {
         assert_eq!(exposure_unfairness(0.0, 0.0, 1.0, 2.0), None);
         assert_eq!(exposure_unfairness(1.0, 2.0, 0.0, 0.0), None);
+    }
+
+    #[test]
+    fn unfairness_none_on_inconsistent_inputs_in_every_build() {
+        // A group total above its pool total is impossible for a subset;
+        // the old code only debug_asserted, so release builds silently
+        // returned shares > 1. Pinned: both build profiles return None.
+        assert_eq!(exposure_unfairness(3.0, 2.0, 1.0, 2.0), None, "exposure exceeds pool");
+        assert_eq!(exposure_unfairness(1.0, 2.0, 5.0, 2.0), None, "relevance exceeds pool");
+        // Accumulated float noise within EPS is still tolerated.
+        let d = exposure_unfairness(2.0 + 1e-10, 2.0, 1.0, 2.0).unwrap();
+        assert!((d - 0.5).abs() < 1e-9);
     }
 
     #[test]

@@ -9,7 +9,7 @@ pub mod jaccard;
 pub mod kendall;
 pub mod relevance;
 
-pub use emd::{emd_1d, emd_1d_normalized, emd_general, emd_general_1d};
+pub use emd::{emd_1d, emd_1d_normalized, emd_general, emd_general_1d, transport_plan};
 pub use exposure::{exposure_unfairness, total_exposure, DiscountModel};
 pub use float::{approx_eq, approx_zero};
 pub use histogram::{BinConfig, Histogram};

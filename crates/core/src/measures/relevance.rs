@@ -18,7 +18,9 @@
 pub fn relevance_from_rank(rank: usize, n: usize) -> f64 {
     assert!(rank >= 1, "ranks are 1-based");
     assert!(rank <= n, "rank {rank} exceeds result-set size {n}");
-    1.0 - rank as f64 / n as f64
+    // `rank ∈ 1..=n` makes `n ≥ 1`; the clamp keeps the divisor visibly
+    // nonzero on every path.
+    1.0 - rank as f64 / n.max(1) as f64
 }
 
 /// Relevance scores for a full result set of size `n`, indexed by rank − 1.

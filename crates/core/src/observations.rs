@@ -202,16 +202,21 @@ impl MarketObservations {
         self.rankings.insert((q, l), ranking);
     }
 
-    /// Records the ranking for a cell that must not have been observed
-    /// yet. A double write indicates an ingestion bug (the crawl visits
-    /// each grid cell exactly once); `debug_assert` catches it in tests
-    /// while release builds degrade to last-write-wins.
-    pub fn insert_new(&mut self, q: QueryId, l: LocationId, ranking: MarketRanking) {
-        let previous = self.rankings.insert((q, l), ranking);
-        debug_assert!(
-            previous.is_none(),
-            "cell ({q:?}, {l:?}) observed twice in a single-pass ingestion"
-        );
+    /// Records the ranking for a cell that single-pass ingestion expects
+    /// to be unobserved, returning the displaced ranking if the cell had
+    /// one. A `Some` return means the caller wrote the same cell twice —
+    /// an ingestion bug (the crawl visits each grid cell exactly once) —
+    /// and it is the *caller's* decision whether that is fatal: earlier
+    /// versions `debug_assert`ed here, which made debug builds panic
+    /// while release builds silently degraded to last-write-wins.
+    #[must_use = "a displaced ranking means the cell was ingested twice; callers must decide whether that is fatal"]
+    pub fn insert_new(
+        &mut self,
+        q: QueryId,
+        l: LocationId,
+        ranking: MarketRanking,
+    ) -> Option<MarketRanking> {
+        self.rankings.insert((q, l), ranking)
     }
 
     /// The ranking observed for `(q, l)`, if any.
@@ -312,12 +317,18 @@ mod tests {
     }
 
     #[test]
-    #[cfg(debug_assertions)]
-    #[should_panic(expected = "observed twice")]
-    fn insert_new_catches_double_writes() {
+    fn insert_new_returns_the_displaced_ranking() {
+        // Identical in debug and release: the first write displaces
+        // nothing, the double write hands the old page back instead of
+        // panicking (debug) or silently dropping it (release).
+        let q = QueryId(0);
+        let l = LocationId(0);
+        let first =
+            MarketRanking::new(vec![RankedWorker { assignment: vec![], rank: 1, score: None }]);
         let mut m = MarketObservations::new();
-        m.insert_new(QueryId(0), LocationId(0), MarketRanking::new(vec![]));
-        m.insert_new(QueryId(0), LocationId(0), MarketRanking::new(vec![]));
+        assert_eq!(m.insert_new(q, l, first.clone()), None);
+        assert_eq!(m.insert_new(q, l, MarketRanking::new(vec![])), Some(first));
+        assert!(m.get(q, l).unwrap().is_empty(), "the new page replaced the old one");
     }
 
     #[test]

@@ -69,6 +69,9 @@ pub const DEFAULT_DET_ROOTS: &[&str] = &[
     "google_compare::run",
     "figures::run",
     "hypotheses::run",
+    "mitigate::run",
+    "rerank::rerank_market",
+    "rerank::rerank_search",
     "Report::diff",
 ];
 

@@ -159,6 +159,75 @@ pub fn crawl(marketplace: &Marketplace) -> (Universe, MarketObservations, CrawlS
     (run.universe, run.observations, run.stats)
 }
 
+/// The **platform's** view of a finished crawl: the same observation
+/// cells with the internal scores `f_q^l` attached to every ranked
+/// worker.
+///
+/// A crawler never sees these ([`Marketplace::run_query`] hides them, as
+/// live marketplaces do), but a platform re-ranking its *own* results
+/// does — mitigation experiments use this view so the F-Box measures can
+/// judge an intervened ranking against true relevance instead of
+/// re-deriving relevance from the very positions the intervention chose.
+///
+/// Truncated pages keep their surviving prefix; the scores re-run is
+/// fault-free by construction (scoring is a pure function of the seed),
+/// so every observed worker gets her score back.
+///
+/// # Panics
+///
+/// Panics if a cell of `observations` names a query or city the
+/// marketplace does not offer, or holds more workers than the platform's
+/// own page — both impossible for observations crawled from the same
+/// marketplace.
+pub fn attach_platform_scores(
+    marketplace: &Marketplace,
+    universe: &Universe,
+    observations: &MarketObservations,
+) -> MarketObservations {
+    let _span = fbox_telemetry::span!("marketplace.attach_scores");
+    let _trace = fbox_trace::span("marketplace.attach_scores");
+    let mut cells: Vec<(
+        (fbox_core::model::QueryId, fbox_core::model::LocationId),
+        &MarketRanking,
+    )> = observations.cells().collect();
+    cells.sort_unstable_by_key(|&((q, l), _)| (q.0, l.0));
+
+    let rescored = fbox_par::par_map(&cells, |&((q, l), ranking)| {
+        let query_name = &universe.query(q).name;
+        let city_name = &universe.location(l).name;
+        let flat_q = jobs::query_index(query_name).expect("crawled query exists in the catalog");
+        let ci = city::CITIES
+            .iter()
+            .position(|c| c.name == city_name)
+            .expect("crawled city exists in the catalog");
+        let scored =
+            marketplace.run_query_with_scores(flat_q, ci).expect("crawled cells are offered cells");
+        assert!(
+            ranking.len() <= scored.len(),
+            "a crawled page cannot outgrow the platform's own page"
+        );
+        MarketRanking::new(
+            ranking
+                .workers()
+                .iter()
+                .zip(&scored)
+                .map(|(w, &(_, score))| fbox_core::observations::RankedWorker {
+                    assignment: w.assignment.clone(),
+                    rank: w.rank,
+                    score: Some(score),
+                })
+                .collect(),
+        )
+    });
+
+    let mut out = MarketObservations::new();
+    for (&((q, l), _), ranking) in cells.iter().zip(rescored) {
+        let displaced = out.insert_new(q, l, ranking);
+        assert!(displaced.is_none(), "source observations hold one ranking per cell");
+    }
+    out
+}
+
 /// One planned grid cell: its coordinates and its precomputed trajectory.
 struct PlannedCell {
     flat_q: usize,
@@ -314,11 +383,19 @@ pub fn crawl_resilient(
             .expect("universe registered all cities");
         match &record.outcome {
             CellOutcome::Clean(ranking) => {
-                observations.insert_new(q, l, ranking.clone());
+                let displaced = observations.insert_new(q, l, ranking.clone());
+                assert!(
+                    displaced.is_none(),
+                    "journal holds one record per grid cell ({q:?}, {l:?})"
+                );
                 n_queries += 1;
             }
             CellOutcome::Truncated(ranking) => {
-                observations.insert_new(q, l, ranking.clone());
+                let displaced = observations.insert_new(q, l, ranking.clone());
+                assert!(
+                    displaced.is_none(),
+                    "journal holds one record per grid cell ({q:?}, {l:?})"
+                );
                 n_queries += 1;
                 n_truncated += 1;
             }
@@ -524,6 +601,34 @@ mod tests {
             .iter()
             .all(|(_, rec)| !matches!(rec.outcome, CellOutcome::SkippedByBreaker)
                 || rec.retries == 0));
+    }
+
+    #[test]
+    fn resumed_fold_never_double_inserts() {
+        // Regression for the resumed-crawl double-write case: the fold
+        // pass rebuilds observations from the *whole* journal on every
+        // run, so a resumed (and even a fully-replayed) journal feeds
+        // each cell through `insert_new` again. That call now returns
+        // the displaced page and the fold hard-asserts it is `None` —
+        // in the old code a double-ingested cell would panic only in
+        // debug builds and silently keep the last write in release.
+        let m = market();
+        let plan = FaultPlan::new(11, FaultProfile::mild());
+        let mut journal = CrawlJournal::new();
+        let first = crawl_resilient(
+            &m,
+            &Resilience { interrupt_after: Some(1000), ..Resilience::with_plan(plan) },
+            &mut journal,
+        );
+        assert!(!first.complete);
+        let resumed = crawl_resilient(&m, &Resilience::with_plan(plan), &mut journal);
+        assert!(resumed.complete);
+        // Replay the finished journal once more: every cell is folded a
+        // second time from the same records, and each must still insert
+        // exactly once into the fresh observation set.
+        let replayed = crawl_resilient(&m, &Resilience::with_plan(plan), &mut journal);
+        assert!(replayed.complete);
+        assert_eq!(replayed.observations.n_cells(), resumed.observations.n_cells());
     }
 
     #[test]

@@ -136,7 +136,10 @@ impl Population {
             };
             for demographic in demographics {
                 let idx = *cell_seen.entry(demographic).and_modify(|c| *c += 1).or_insert(0);
-                let n_cell = cell_total[&demographic];
+                // `demographic` is drawn from the same list `cell_total`
+                // counts, so its count is ≥ 1; the clamp keeps the divisor
+                // visibly nonzero on every path.
+                let n_cell = cell_total[&demographic].max(1);
                 let latent = (idx as f64 + 0.5) / n_cell as f64;
                 let q = |salt: u64| {
                     let jitter = (crate::scoring::mix(id.wrapping_add(1), salt) >> 11) as f64

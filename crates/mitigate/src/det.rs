@@ -1,0 +1,267 @@
+//! Deterministic constrained re-ranking (Geyik, Ambler & Kenthapadi,
+//! *Fairness-Aware Ranking in Search & Recommendation Systems*, KDD 2019).
+//!
+//! All three variants walk positions top-down keeping, for every
+//! demographic class `a` with target proportion `p_a`, the running count
+//! inside `[⌊k·p_a⌋, ⌈k·p_a⌉]`. Whenever some class has fallen below its
+//! floor it must be served first; the variants differ in how they choose
+//! among classes that are merely below their ceiling:
+//!
+//! - **DetGreedy** takes the class whose best remaining candidate has the
+//!   highest relevance — maximal utility, but it can paint itself into a
+//!   corner when several floors arrive at once;
+//! - **DetCons** takes the most *urgent* class — the one whose floor will
+//!   next demand an item soonest (smallest `(placed_a + 1) / p_a`);
+//! - **DetRelaxed** rounds that urgency up to an integer position first,
+//!   then resolves the resulting ties by relevance — conservative where it
+//!   matters, greedy where it does not.
+//!
+//! Target proportions here are always the class shares of the candidate
+//! list itself (`count_a / n`), which keeps every bound computable in
+//! exact integer arithmetic: `⌊k·p_a⌋ = (k·count_a) div n` — no float
+//! rounding, no epsilon, bit-identical everywhere.
+
+use crate::Candidate;
+
+/// Which of the three KDD'19 interleaving policies to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DetVariant {
+    /// Utility-greedy among feasible classes.
+    Greedy,
+    /// Most-constrained-first (exact rational urgency).
+    Cons,
+    /// Integer-relaxed urgency, ties broken by utility.
+    Relaxed,
+}
+
+/// Urgency of class `a`: the first position `k` at which the floor
+/// constraint `⌊k · count_a/n⌋ ≥ placed_a + 1` starts to bind, i.e.
+/// `⌈(placed_a + 1) · n / count_a⌉`. Exposed as an exact rational
+/// `(numerator, divisor) = ((placed_a + 1) · n, count_a)` so DetCons can
+/// compare without rounding while DetRelaxed rounds up first.
+fn urgency(placed: usize, count: usize, n: usize) -> (u64, u64) {
+    ((placed as u64 + 1) * n as u64, count as u64)
+}
+
+/// Deterministic constrained re-ranking. Target proportions are the class
+/// shares of `cands` itself. Returns the new order as indices into
+/// `cands`.
+///
+/// # Panics
+///
+/// Panics if a candidate's class is `≥ n_classes`.
+#[must_use = "the permutation is the entire point of re-ranking"]
+pub fn det_rerank(cands: &[Candidate], n_classes: usize, variant: DetVariant) -> Vec<usize> {
+    let n = cands.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut queues = crate::class_queues(cands, n_classes);
+    let counts: Vec<usize> = queues.iter().map(std::collections::VecDeque::len).collect();
+    let mut placed = vec![0usize; n_classes];
+    let mut out = Vec::with_capacity(n);
+
+    for k in 1..=n {
+        // Integer floor/ceil of k·p_a with p_a = count_a / n.
+        let below = |a: usize, bound: usize| queues[a].front().is_some() && placed[a] < bound;
+        let floor_k = |a: usize| (k * counts[a]) / n;
+        let ceil_k = |a: usize| (k * counts[a]).div_ceil(n);
+
+        let mut pool: Vec<usize> = (0..n_classes).filter(|&a| below(a, floor_k(a))).collect();
+        if pool.is_empty() {
+            pool = (0..n_classes).filter(|&a| below(a, ceil_k(a))).collect();
+        }
+        if pool.is_empty() {
+            // Every in-bounds class is exhausted (rounding slack); fall
+            // back to any class with candidates left.
+            pool = (0..n_classes).filter(|&a| queues[a].front().is_some()).collect();
+        }
+
+        // (head relevance desc, head original index asc) — the utility
+        // order shared by all three variants' tie-breaking.
+        let head_order = |&a: &usize, &b: &usize| {
+            let (ha, hb) = (queues[a][0], queues[b][0]);
+            cands[hb]
+                .relevance
+                .total_cmp(&cands[ha].relevance)
+                .then(cands[ha].index.cmp(&cands[hb].index))
+        };
+        let chosen = match variant {
+            DetVariant::Greedy => pool
+                .iter()
+                .min_by(|a, b| head_order(a, b))
+                .copied()
+                .expect("pool is non-empty while positions remain"),
+            DetVariant::Cons => pool
+                .iter()
+                .min_by(|&&a, &&b| {
+                    let (na, da) = urgency(placed[a], counts[a], n);
+                    let (nb, db) = urgency(placed[b], counts[b], n);
+                    // a/da < b/db  ⇔  a·db < b·da (denominators positive).
+                    (na * db).cmp(&(nb * da)).then_with(|| head_order(&a, &b))
+                })
+                .copied()
+                .expect("pool is non-empty while positions remain"),
+            DetVariant::Relaxed => pool
+                .iter()
+                .min_by(|&&a, &&b| {
+                    let (na, da) = urgency(placed[a], counts[a], n);
+                    let (nb, db) = urgency(placed[b], counts[b], n);
+                    na.div_ceil(da).cmp(&nb.div_ceil(db)).then_with(|| head_order(&a, &b))
+                })
+                .copied()
+                .expect("pool is non-empty while positions remain"),
+        };
+        placed[chosen] += 1;
+        out.push(queues[chosen].pop_front().expect("chosen class has a candidate"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Candidates with relevance decreasing in index; `classes[i]` gives
+    /// the class of candidate `i`.
+    fn roster(classes: &[usize]) -> Vec<Candidate> {
+        classes
+            .iter()
+            .enumerate()
+            .map(|(i, &class)| Candidate {
+                index: i,
+                class,
+                relevance: 1.0 - i as f64 / classes.len() as f64,
+            })
+            .collect()
+    }
+
+    fn check_bounds(order: &[usize], cands: &[Candidate], n_classes: usize) {
+        let n = cands.len();
+        let counts: Vec<usize> =
+            (0..n_classes).map(|a| cands.iter().filter(|c| c.class == a).count()).collect();
+        let mut placed = vec![0usize; n_classes];
+        for (pos, &i) in order.iter().enumerate() {
+            let k = pos + 1;
+            placed[cands[i].class] += 1;
+            for a in 0..n_classes {
+                let floor = (k * counts[a]) / n;
+                let ceil = (k * counts[a]).div_ceil(n);
+                // The floor can lag while another class is also below its
+                // own floor; it may never lag by more than the positions
+                // still owed. The ceiling is a hard bound only when other
+                // classes still have candidates to give.
+                assert!(
+                    placed[a] + (n - k) >= floor,
+                    "class {a} can no longer reach its floor at k={k}"
+                );
+                let others_left = (0..n_classes)
+                    .filter(|&b| b != a)
+                    .map(|b| counts[b] - placed[b])
+                    .sum::<usize>();
+                if others_left > 0 {
+                    assert!(placed[a] <= ceil, "class {a} exceeds ceil {ceil} at k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_variants_respect_floor_and_ceiling() {
+        // Three classes with shares 1/2, 1/3, 1/6 over 12 candidates, the
+        // minority classes buried at the bottom by relevance.
+        let classes = [0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2];
+        let cands = roster(&classes);
+        for v in [DetVariant::Greedy, DetVariant::Cons, DetVariant::Relaxed] {
+            let order = det_rerank(&cands, 3, v);
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..12).collect::<Vec<_>>(), "{v:?} must permute");
+            check_bounds(&order, &cands, 3);
+        }
+    }
+
+    #[test]
+    fn greedy_keeps_merit_order_until_a_floor_binds() {
+        // Shares 2/4 and 2/4; floors: k=2 → ⌊2·½⌋ = 1 each, so the
+        // second position must already switch class.
+        let cands = roster(&[0, 0, 1, 1]);
+        let order = det_rerank(&cands, 2, DetVariant::Greedy);
+        assert_eq!(order, vec![0, 2, 1, 3]);
+    }
+
+    #[test]
+    fn cons_serves_the_most_urgent_class_first() {
+        // Class 1 holds 1 of 5 (p = 0.2, first floor at k = 5); class 0
+        // holds 4 of 5. DetCons places class 0 until its own floor
+        // pressure wins: urgency(0 placed, count 4) = 5/4 < 5/1.
+        let cands = roster(&[0, 0, 0, 0, 1]);
+        let order = det_rerank(&cands, 2, DetVariant::Cons);
+        check_bounds(&order, &cands, 2);
+        // The singleton minority lands exactly at its floor position (5th
+        // place ⌊5·0.2⌋ = 1), not earlier: the majority stays more urgent
+        // the whole way down.
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn variants_disagree_where_urgency_rounding_differs() {
+        // Two classes, 3 + 3 over 6. At k = 1 both are below their
+        // ceilings with urgencies 6/3 = 2 (exact). DetGreedy takes the
+        // best head (class of candidate 0). DetCons compares exact
+        // urgencies — tied — and falls back to the same head order, so
+        // all three agree here; the interesting split needs asymmetric
+        // shares.
+        let sym = roster(&[0, 1, 0, 1, 0, 1]);
+        let g = det_rerank(&sym, 2, DetVariant::Greedy);
+        let c = det_rerank(&sym, 2, DetVariant::Cons);
+        let r = det_rerank(&sym, 2, DetVariant::Relaxed);
+        assert_eq!(g, c);
+        assert_eq!(c, r);
+
+        // Shares 4/6 vs 2/6, minority on top by relevance. At k = 1:
+        // exact urgencies 6/4 = 1.5 (majority) vs 6/2 = 3 (minority), so
+        // DetCons opens with the *majority's* best (index 1) even though
+        // the minority head (index 0) has higher relevance. DetRelaxed
+        // rounds urgencies to ⌈1.5⌉ = 2 and ⌈3⌉ = 3 — still distinct, so
+        // it follows DetCons — while DetGreedy takes pure merit.
+        let asym = roster(&[1, 0, 0, 1, 0, 0]);
+        let g = det_rerank(&asym, 2, DetVariant::Greedy);
+        let c = det_rerank(&asym, 2, DetVariant::Cons);
+        assert_eq!(g[0], 0, "greedy opens with the best candidate");
+        assert_eq!(c[0], 1, "cons opens with the most urgent class");
+        for order in [g, c] {
+            check_bounds(&order, &asym, 2);
+        }
+    }
+
+    #[test]
+    fn relaxed_breaks_rounded_urgency_ties_by_merit() {
+        // Shares 3/6 vs 3/6 but heads interleaved: rounded urgencies tie
+        // at every step, so DetRelaxed must reproduce DetGreedy exactly.
+        let cands = roster(&[1, 0, 1, 0, 1, 0]);
+        assert_eq!(
+            det_rerank(&cands, 2, DetVariant::Relaxed),
+            det_rerank(&cands, 2, DetVariant::Greedy),
+        );
+    }
+
+    #[test]
+    fn single_class_is_pure_merit_order() {
+        let cands = roster(&[0, 0, 0, 0]);
+        for v in [DetVariant::Greedy, DetVariant::Cons, DetVariant::Relaxed] {
+            assert_eq!(det_rerank(&cands, 1, v), vec![0, 1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn empty_and_missing_classes_are_tolerated() {
+        assert!(det_rerank(&[], 3, DetVariant::Greedy).is_empty());
+        // Class 1 of 3 has no members at all.
+        let cands = roster(&[0, 2, 0, 2]);
+        let order = det_rerank(&cands, 3, DetVariant::Cons);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
+    }
+}

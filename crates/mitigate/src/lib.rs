@@ -1,0 +1,211 @@
+//! Fairness interventions: re-ranking mitigations that close the loop the
+//! paper opens.
+//!
+//! The F-Box *quantifies* unfairness (paper §3–4) but stops short of
+//! *acting* on it. This crate implements three families of post-processing
+//! interventions from the fair-ranking literature, re-ranks a platform's
+//! observations with them, and hands the result back to
+//! [`FBox::from_market`] / [`FBox::from_search`] so the same measures that
+//! diagnosed the bias can audit the cure:
+//!
+//! - **FA\*IR** (Zehlike et al., CIKM 2017): per-prefix minimum counts for
+//!   a binary protected group, derived from inverse binomial CDF tables —
+//!   see [`fair_topk`];
+//! - **DetGreedy / DetCons / DetRelaxed** (Geyik et al., KDD 2019):
+//!   deterministic constrained interleaving over any number of demographic
+//!   classes — see [`det`];
+//! - **exposure-optimal re-ranking** (after Singh & Joachims, KDD 2018):
+//!   position exposure apportioned to each class in proportion to its
+//!   relevance mass, solved exactly as a transportation problem on
+//!   [`fbox_core::measures::transport_plan`] — see [`exposure_opt`].
+//!
+//! Everything is hand-rolled on the standard library: the binomial tables,
+//! the constrained interleavers, and the assignment LP all have
+//! closed-form or combinatorial solutions small enough that an external
+//! solver would be pure liability in an offline build.
+//!
+//! Determinism is a hard contract, matching the cube builds: every
+//! intervention breaks relevance ties by original position, the per-cell
+//! fan-out in [`rerank`] runs under [`fbox_par::par_map`] with a
+//! deterministic merge, and the output is byte-identical at any
+//! `FBOX_THREADS`.
+//!
+//! [`FBox::from_market`]: fbox_core::FBox::from_market
+//! [`FBox::from_search`]: fbox_core::FBox::from_search
+
+pub mod det;
+pub mod exposure_opt;
+pub mod fair_topk;
+pub mod ndcg;
+pub mod rerank;
+
+pub use rerank::{
+    rerank_market, rerank_search, MarketRerank, RerankConfig, RerankStats, SearchRerank,
+};
+
+/// One ranked item as the interventions see it: its position in the
+/// original list, its demographic class, and its relevance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    /// Identity: 0-based position in the original ranking. Also the
+    /// deterministic tie-breaker everywhere relevance ties.
+    pub index: usize,
+    /// Demographic class id, `0..n_classes`.
+    pub class: usize,
+    /// Relevance (platform score or rank-derived, §3.3.1). Higher is
+    /// better.
+    pub relevance: f64,
+}
+
+/// The re-ranking interventions this crate implements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Intervention {
+    /// FA\*IR ranked-group-fairness re-ranking (binary protected group).
+    FaStarIr,
+    /// DetGreedy: feasible interleaving, greediest on utility.
+    DetGreedy,
+    /// DetCons: feasible interleaving, favors the most constrained class.
+    DetCons,
+    /// DetRelaxed: DetCons with integer-relaxed urgency, breaking ties on
+    /// utility.
+    DetRelaxed,
+    /// Exposure-optimal assignment via the transportation problem.
+    ExposureOptimal,
+}
+
+impl Intervention {
+    /// Every intervention, in report order.
+    pub const ALL: [Intervention; 5] = [
+        Intervention::FaStarIr,
+        Intervention::DetGreedy,
+        Intervention::DetCons,
+        Intervention::DetRelaxed,
+        Intervention::ExposureOptimal,
+    ];
+
+    /// Stable label used in reports, telemetry names, and trace spans.
+    pub fn label(self) -> &'static str {
+        match self {
+            Intervention::FaStarIr => "fair",
+            Intervention::DetGreedy => "det-greedy",
+            Intervention::DetCons => "det-cons",
+            Intervention::DetRelaxed => "det-relaxed",
+            Intervention::ExposureOptimal => "exposure-opt",
+        }
+    }
+}
+
+impl std::fmt::Display for Intervention {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Re-ranks one candidate list with one intervention, returning the new
+/// order as indices into `cands` (position 0 of the result is the new top
+/// rank).
+///
+/// `protected[c]` flags which classes FA\*IR treats as protected; the
+/// other interventions use all `n_classes` classes with target proportions
+/// equal to each class's share of `cands` itself (the intervention
+/// enforces *representation*, it does not import external quotas).
+///
+/// # Panics
+///
+/// Panics if a candidate's class is out of range or `protected` is not
+/// `n_classes` long.
+#[must_use = "the permutation is the entire point of re-ranking"]
+pub fn rerank_candidates(
+    cands: &[Candidate],
+    n_classes: usize,
+    protected: &[bool],
+    intervention: Intervention,
+    config: &RerankConfig,
+) -> Vec<usize> {
+    assert_eq!(protected.len(), n_classes, "one protected flag per class");
+    assert!(cands.iter().all(|c| c.class < n_classes), "candidate class out of range");
+    match intervention {
+        Intervention::FaStarIr => {
+            let flags: Vec<bool> = cands.iter().map(|c| protected[c.class]).collect();
+            fair_topk::fair_rerank(cands, &flags, config.alpha)
+        }
+        Intervention::DetGreedy => det::det_rerank(cands, n_classes, det::DetVariant::Greedy),
+        Intervention::DetCons => det::det_rerank(cands, n_classes, det::DetVariant::Cons),
+        Intervention::DetRelaxed => det::det_rerank(cands, n_classes, det::DetVariant::Relaxed),
+        Intervention::ExposureOptimal => {
+            exposure_opt::exposure_rerank(cands, n_classes, config.discount)
+        }
+    }
+}
+
+/// Splits candidate indices into per-class queues, each sorted by
+/// descending relevance with the original index as the deterministic
+/// tie-breaker. Queues are stored best-first; consumers pop from the
+/// front.
+pub(crate) fn class_queues(
+    cands: &[Candidate],
+    n_classes: usize,
+) -> Vec<std::collections::VecDeque<usize>> {
+    let mut order: Vec<usize> = (0..cands.len()).collect();
+    order.sort_by(|&a, &b| {
+        cands[b].relevance.total_cmp(&cands[a].relevance).then(cands[a].index.cmp(&cands[b].index))
+    });
+    let mut queues = vec![std::collections::VecDeque::new(); n_classes];
+    for i in order {
+        queues[cands[i].class].push_back(i);
+    }
+    queues
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand(index: usize, class: usize, relevance: f64) -> Candidate {
+        Candidate { index, class, relevance }
+    }
+
+    #[test]
+    fn labels_are_stable_and_distinct() {
+        let labels: Vec<&str> = Intervention::ALL.iter().map(|i| i.label()).collect();
+        assert_eq!(labels, ["fair", "det-greedy", "det-cons", "det-relaxed", "exposure-opt"]);
+        assert_eq!(Intervention::ExposureOptimal.to_string(), "exposure-opt");
+    }
+
+    #[test]
+    fn class_queues_sort_by_relevance_then_index() {
+        let cands = vec![
+            cand(0, 0, 0.5),
+            cand(1, 1, 0.9),
+            cand(2, 0, 0.5), // ties with index 0 → index 0 first
+            cand(3, 0, 0.8),
+        ];
+        let queues = class_queues(&cands, 2);
+        assert_eq!(Vec::from(queues[0].clone()), vec![3, 0, 2]);
+        assert_eq!(Vec::from(queues[1].clone()), vec![1]);
+    }
+
+    #[test]
+    fn every_intervention_returns_a_permutation() {
+        let cands: Vec<Candidate> = (0..9).map(|i| cand(i, i % 3, 1.0 - i as f64 / 10.0)).collect();
+        let config = RerankConfig::default();
+        for iv in Intervention::ALL {
+            let order = rerank_candidates(&cands, 3, &[false, true, false], iv, &config);
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..9).collect::<Vec<_>>(), "{iv} must permute");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one protected flag per class")]
+    fn protected_flags_must_match_classes() {
+        let _ = rerank_candidates(
+            &[cand(0, 0, 1.0)],
+            2,
+            &[true],
+            Intervention::FaStarIr,
+            &RerankConfig::default(),
+        );
+    }
+}

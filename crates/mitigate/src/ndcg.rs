@@ -1,0 +1,112 @@
+//! Normalized discounted cumulative gain — the utility yardstick for
+//! every intervention.
+//!
+//! A re-ranking that fixes exposure by shredding relevance order is not a
+//! mitigation, it is a different kind of damage. Each re-ranked list is
+//! therefore scored with standard NDCG (Järvelin & Kekäläinen 2002):
+//! `DCG = Σ gain_i / log₂(i + 2)` over 0-based positions, normalized by
+//! the DCG of the ideal (descending-gain) arrangement of the same pool.
+
+/// Discounted cumulative gain of gains already in rank order (position 0
+/// = top rank): `Σ gains[i] / log₂(i + 2)`.
+#[must_use]
+pub fn dcg(gains: &[f64]) -> f64 {
+    gains.iter().enumerate().map(|(i, &g)| g / (i as f64 + 2.0).log2()).sum()
+}
+
+/// NDCG of a ranked prefix against the ideal arrangement of `gain_pool`:
+/// `DCG(gains_in_order) / DCG(top |gains_in_order| of pool, descending)`.
+///
+/// The pool may be larger than the ranked prefix (a truncated list judged
+/// against everything it *could* have shown). A pool with no gain mass
+/// has nothing to rank and scores a vacuous `1.0`.
+///
+/// # Panics
+///
+/// Panics if the prefix is longer than the pool.
+#[must_use]
+pub fn ndcg(gains_in_order: &[f64], gain_pool: &[f64]) -> f64 {
+    assert!(
+        gains_in_order.len() <= gain_pool.len(),
+        "ranked prefix cannot exceed its candidate pool"
+    );
+    let mut ideal: Vec<f64> = gain_pool.to_vec();
+    ideal.sort_by(|a, b| b.total_cmp(a));
+    ideal.truncate(gains_in_order.len());
+    let ideal_dcg = dcg(&ideal);
+    if ideal_dcg <= 1e-12 {
+        return 1.0;
+    }
+    dcg(gains_in_order) / ideal_dcg
+}
+
+/// NDCG of a permutation of one list: `perm[pos]` is the index (into
+/// `gains`) placed at rank `pos + 1`. The ideal is the descending sort of
+/// `gains` itself.
+///
+/// # Panics
+///
+/// Panics if `perm` is not index-compatible with `gains`.
+#[must_use]
+pub fn ndcg_of_permutation(gains: &[f64], perm: &[usize]) -> f64 {
+    let reordered: Vec<f64> = perm.iter().map(|&i| gains[i]).collect();
+    ndcg(&reordered, gains)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dcg_matches_hand_computation() {
+        // Gains [3, 2, 1] in rank order:
+        //   3/log₂2 + 2/log₂3 + 1/log₂4
+        // = 3/1 + 2/1.5849625 + 1/2
+        // = 3 + 1.2618595 + 0.5 = 4.7618595.
+        let d = dcg(&[3.0, 2.0, 1.0]);
+        assert!((d - 4.761_859_5).abs() < 1e-6, "got {d}");
+    }
+
+    #[test]
+    fn ideal_order_scores_one() {
+        assert!((ndcg(&[3.0, 2.0, 1.0], &[3.0, 2.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert!((ndcg_of_permutation(&[0.4, 0.3, 0.1], &[0, 1, 2]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn permuted_order_matches_hand_computation() {
+        // Gains [3, 2, 1], permutation [2, 0, 1] puts gain 1 on top:
+        //   DCG = 1/1 + 3/1.5849625 + 2/2 = 1 + 1.8927893 + 1 = 3.8927893
+        //   ideal = 4.7618595 (previous test)
+        //   NDCG = 3.8927893 / 4.7618595 = 0.8174935.
+        let v = ndcg_of_permutation(&[3.0, 2.0, 1.0], &[2, 0, 1]);
+        assert!((v - 0.817_493_5).abs() < 1e-5, "got {v}");
+    }
+
+    #[test]
+    fn truncated_prefix_judged_against_pool_ideal() {
+        // Prefix shows gains [1, 3] out of pool {3, 2, 1, 0}:
+        //   DCG = 1/1 + 3/1.5849625 = 2.8927893
+        //   ideal@2 = 3/1 + 2/1.5849625 = 4.2618595
+        //   NDCG = 2.8927893 / 4.2618595 = 0.6787622.
+        let v = ndcg(&[1.0, 3.0], &[3.0, 2.0, 1.0, 0.0]);
+        assert!((v - 0.678_762_2).abs() < 1e-5, "got {v}");
+    }
+
+    #[test]
+    fn zero_gain_pool_is_vacuously_perfect() {
+        assert!((ndcg(&[0.0, 0.0], &[0.0, 0.0, 0.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worst_order_still_positive_and_below_one() {
+        let v = ndcg_of_permutation(&[5.0, 0.0, 0.0, 4.0], &[1, 2, 0, 3]);
+        assert!(v > 0.0 && v < 1.0, "got {v}");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot exceed")]
+    fn prefix_longer_than_pool_rejected() {
+        let _ = ndcg(&[1.0, 2.0], &[1.0]);
+    }
+}

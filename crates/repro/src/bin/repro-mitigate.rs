@@ -1,0 +1,14 @@
+//! Sweeps every (measure × intervention × bias profile) mitigation cell
+//! on both platforms and reports pre/post unfairness plus NDCG cost.
+//! `--json` emits the grid as machine-readable JSON instead of tables.
+fn main() {
+    fbox_repro::metrics::init_from_args();
+    let cells = fbox_repro::experiments::mitigate::grid();
+    if std::env::args().any(|a| a == "--json") {
+        print!("{}", fbox_repro::experiments::mitigate::to_json(&cells));
+    } else {
+        let r = fbox_repro::experiments::mitigate::report(&cells);
+        print!("{}", r.report);
+    }
+    fbox_repro::metrics::print_section();
+}

@@ -6,6 +6,7 @@ pub mod figures;
 pub mod google_compare;
 pub mod google_quant;
 pub mod hypotheses;
+pub mod mitigate;
 pub mod taskrabbit_compare;
 pub mod taskrabbit_quant;
 

@@ -1,0 +1,49 @@
+//! Incremental cube store: delta-update vs full rebuild, snapshot load vs
+//! rebuild, and segment-log replay throughput, writing the
+//! `BENCH_store.json` trajectory file at the workspace root. The
+//! measurement itself lives in [`fbox_bench::suites::store_suite`] so the
+//! `fbox-bench --check` trend gate reruns exactly this workload.
+
+use std::path::Path;
+
+use fbox_bench::suites::{store_suite, DIRTY_BATCH, ITERATIONS};
+use fbox_bench::write_snapshot;
+
+fn main() {
+    let outcome = store_suite();
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let path = write_snapshot(&root, "store", &outcome.snapshot).expect("snapshot written");
+    println!(
+        "store over {ITERATIONS} iterations: rebuild {:.2} ms, {DIRTY_BATCH}-cell delta \
+         {:.3} ms ({:.1}x), full/quarter delta scaling {:.2}, snapshot load {:.3} ms \
+         ({:.1}x vs rebuild), {} log records replayed; wrote {}",
+        outcome.rebuild_ms,
+        outcome.delta_ms,
+        outcome.delta_speedup,
+        outcome.delta_scaling,
+        outcome.load_ms,
+        outcome.load_speedup,
+        outcome.log_records,
+        path.display()
+    );
+    // The incremental contract: touching DIRTY_BATCH of ~5k cells must
+    // beat rebuilding all of them, and loading a serialized cube must
+    // beat re-deriving it from observations.
+    assert!(
+        outcome.delta_speedup >= 2.0,
+        "delta update must beat full rebuild: {:.2}x",
+        outcome.delta_speedup
+    );
+    assert!(
+        outcome.load_speedup >= 2.0,
+        "snapshot load must beat rebuild: {:.2}x",
+        outcome.load_speedup
+    );
+    // Update cost tracks dirty cells, not cube size: the same batch on a
+    // full cube may not cost multiples of what it costs on a quarter cube.
+    assert!(
+        outcome.delta_scaling <= 3.0,
+        "delta cost must track dirty cells, not cube size: full/quarter {:.2}",
+        outcome.delta_scaling
+    );
+}

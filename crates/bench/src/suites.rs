@@ -19,6 +19,7 @@ use fbox_search::noise::NoiseModel;
 use fbox_search::personalize::PersonalizationProfile;
 use fbox_search::study::{run_study, StudyDesign};
 use fbox_search::SearchEngine;
+use fbox_store::{CubeSnapshot, EpochStore, SegmentLog};
 use fbox_telemetry::Snapshot;
 
 /// Timed iterations per suite (after one untimed warm-up).
@@ -89,6 +90,30 @@ pub struct MitigateOutcome {
     pub parity: bool,
     /// Largest NDCG loss any intervention inflicted on either platform.
     pub worst_ndcg_loss: f64,
+}
+
+/// Outcome of [`store_suite`]: incremental cube maintenance vs rebuild,
+/// and snapshot load vs rebuild.
+#[derive(Debug, Clone)]
+pub struct StoreOutcome {
+    /// The suite's metrics (`store.*`).
+    pub snapshot: Snapshot,
+    /// Mean full `FBox::from_market` rebuild time, milliseconds.
+    pub rebuild_ms: f64,
+    /// Mean time to delta-update [`DIRTY_BATCH`] cells of a fully
+    /// populated store, milliseconds.
+    pub delta_ms: f64,
+    /// rebuild / delta-batch mean ratio.
+    pub delta_speedup: f64,
+    /// delta cost on a full cube / delta cost on a quarter-full cube:
+    /// ≈1 when update cost tracks dirty cells, not cube size.
+    pub delta_scaling: f64,
+    /// Mean `CubeSnapshot::load` time, milliseconds.
+    pub load_ms: f64,
+    /// rebuild / snapshot-load mean ratio.
+    pub load_speedup: f64,
+    /// Records the segment-log replay probe reads back each open.
+    pub log_records: u64,
 }
 
 fn market_fixture() -> (Universe, MarketObservations) {
@@ -348,6 +373,117 @@ pub fn mitigate_suite() -> MitigateOutcome {
     }
 }
 
+/// Dirty cells re-ingested per timed delta batch in [`store_suite`].
+pub const DIRTY_BATCH: usize = 128;
+
+/// Incremental cube maintenance: delta-updating [`DIRTY_BATCH`] cells of
+/// an [`EpochStore`] vs rebuilding the whole cube, the same delta batch
+/// against a quarter-full and a fully populated cube (update cost must
+/// track dirty cells, not cube size), snapshot load vs rebuild, and the
+/// segment log's replay throughput.
+pub fn store_suite() -> StoreOutcome {
+    let registry = fbox_telemetry::Registry::new();
+    let rebuild_h = registry.histogram("store.rebuild");
+    let quarter_h = registry.histogram("store.delta.quarter");
+    let full_h = registry.histogram("store.delta.full");
+    let load_h = registry.histogram("store.snapshot.load");
+    let replay_h = registry.histogram("store.log.replay");
+
+    let (universe, obs) = market_fixture();
+    let cells: Vec<_> = obs.cells().map(|((q, l), r)| (q, l, r.clone())).collect();
+    let dirty: Vec<_> = cells.iter().take(DIRTY_BATCH).cloned().collect();
+    let measure = MarketMeasure::exposure();
+
+    // Two pre-populated stores: the same dirty batch hits both, so the
+    // quarter/full ratio isolates cube-size dependence of one update.
+    let quarter_store = EpochStore::new(universe.clone());
+    for (q, l, r) in &cells[..cells.len() / 4] {
+        quarter_store.ingest_market(*q, *l, Some(r), measure);
+    }
+    let full_store = EpochStore::new(universe.clone());
+    for (q, l, r) in &cells {
+        full_store.ingest_market(*q, *l, Some(r), measure);
+    }
+
+    // On-disk fixtures for the load and replay probes.
+    let dir = std::env::temp_dir().join(format!("fbox-bench-store-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("bench temp dir");
+    let snap_path = dir.join("suite.fbxs");
+    {
+        let fb = FBox::from_market_serial(universe.clone(), &obs, measure);
+        let mut snap = CubeSnapshot::new(universe.clone());
+        snap.insert_cube("market:exposure", fb.cube().clone());
+        snap.save(&snap_path).expect("snapshot saved");
+    }
+    let log_path = dir.join("suite.fbxlog");
+    let log_records = {
+        let (mut log, _, _) = SegmentLog::open(&log_path).expect("log opened");
+        for i in 0..2048u64 {
+            // Deterministic payloads spanning the record sizes ingest sees.
+            let payload = vec![i as u8; 16 + (i % 251) as usize];
+            let _ = log.append(&payload).expect("append");
+        }
+        2048u64
+    };
+
+    // Warm-up: touch every timed path once.
+    black_box(FBox::from_market_serial(universe.clone(), &obs, measure));
+    black_box(CubeSnapshot::load(&snap_path).expect("snapshot loaded"));
+    black_box(SegmentLog::open(&log_path).expect("log opened"));
+
+    for _ in 0..ITERATIONS {
+        let t = rebuild_h.timer();
+        black_box(FBox::from_market_serial(universe.clone(), &obs, measure));
+        t.observe();
+
+        let t = quarter_h.timer();
+        for (q, l, r) in &dirty {
+            quarter_store.ingest_market(*q, *l, Some(r), measure);
+        }
+        t.observe();
+
+        let t = full_h.timer();
+        for (q, l, r) in &dirty {
+            full_store.ingest_market(*q, *l, Some(r), measure);
+        }
+        t.observe();
+
+        let t = load_h.timer();
+        black_box(CubeSnapshot::load(&snap_path).expect("snapshot loaded"));
+        t.observe();
+
+        let t = replay_h.timer();
+        let (_, payloads, stats) = SegmentLog::open(&log_path).expect("log opened");
+        t.observe();
+        assert_eq!(payloads.len() as u64, log_records, "replay must read every record");
+        assert_eq!(stats.quarantined, 0, "clean log must replay clean");
+        black_box(payloads);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+
+    let delta_speedup = mean_ns(&rebuild_h) / mean_ns(&full_h);
+    let delta_scaling = mean_ns(&full_h) / mean_ns(&quarter_h);
+    let load_speedup = mean_ns(&rebuild_h) / mean_ns(&load_h);
+    // Gauges are integers; store ratios ×100.
+    registry.gauge("store.delta.speedup_x100").set((delta_speedup * 100.0) as i64);
+    registry.gauge("store.delta.scaling_x100").set((delta_scaling * 100.0) as i64);
+    registry.gauge("store.snapshot.load_speedup_x100").set((load_speedup * 100.0) as i64);
+    registry.gauge("store.dirty_batch").set(DIRTY_BATCH as i64);
+    registry.gauge("store.cube.cells").set(cells.len() as i64);
+    registry.gauge("store.log.records").set(log_records as i64);
+
+    StoreOutcome {
+        snapshot: registry.snapshot(),
+        rebuild_ms: mean_ns(&rebuild_h) / 1e6,
+        delta_ms: mean_ns(&full_h) / 1e6,
+        delta_speedup,
+        delta_scaling,
+        load_ms: mean_ns(&load_h) / 1e6,
+        load_speedup,
+        log_records,
+    }
+}
+
 fn market_obs_eq(a: &MarketObservations, b: &MarketObservations) -> bool {
     let mut ca: Vec<_> = a.cells().collect();
     let mut cb: Vec<_> = b.cells().collect();
@@ -371,9 +507,10 @@ pub fn run_suite(label: &str) -> Option<Snapshot> {
         "resilience" => Some(resilience_suite().snapshot),
         "lint" => Some(lint_suite().snapshot),
         "mitigate" => Some(mitigate_suite().snapshot),
+        "store" => Some(store_suite().snapshot),
         _ => None,
     }
 }
 
 /// Labels `run_suite` understands, in canonical order.
-pub const SUITE_LABELS: [&str; 4] = ["parallel", "resilience", "lint", "mitigate"];
+pub const SUITE_LABELS: [&str; 5] = ["parallel", "resilience", "lint", "mitigate", "store"];

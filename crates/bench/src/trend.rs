@@ -96,6 +96,28 @@ pub const MITIGATE_TOLERANCES: [Tolerance; 8] = [
     tol("mitigate.parallel", Direction::LowerBetter, 600),
 ];
 
+/// The gate's metric policy for `BENCH_store.json`. Workload shape
+/// (dirty-batch size, cube cells, log records) is configuration and gates
+/// exactly. The two headline ratios — delta-update vs rebuild and
+/// snapshot load vs rebuild — are self-normalizing but compare a
+/// millisecond-scale numerator against a microsecond-scale denominator,
+/// so they get the wide band; `store.delta.scaling_x100` (full-cube vs
+/// quarter-cube delta cost) is the proportionality contract — it must
+/// stay near 100 and may only drift within the band.
+pub const STORE_TOLERANCES: [Tolerance; 11] = [
+    tol("store.dirty_batch", Direction::Exact, 0),
+    tol("store.cube.cells", Direction::Exact, 0),
+    tol("store.log.records", Direction::Exact, 0),
+    tol("store.delta.speedup_x100", Direction::HigherBetter, 400),
+    tol("store.delta.scaling_x100", Direction::LowerBetter, 1500),
+    tol("store.snapshot.load_speedup_x100", Direction::HigherBetter, 400),
+    tol("store.rebuild", Direction::LowerBetter, 600),
+    tol("store.delta.full", Direction::LowerBetter, 600),
+    tol("store.delta.quarter", Direction::LowerBetter, 600),
+    tol("store.snapshot.load", Direction::LowerBetter, 600),
+    tol("store.log.replay", Direction::LowerBetter, 600),
+];
+
 /// The tolerance set for a suite label, or `None` for unknown labels.
 pub fn tolerances_for(label: &str) -> Option<&'static [Tolerance]> {
     match label {
@@ -103,6 +125,7 @@ pub fn tolerances_for(label: &str) -> Option<&'static [Tolerance]> {
         "resilience" => Some(&RESILIENCE_TOLERANCES),
         "lint" => Some(&LINT_TOLERANCES),
         "mitigate" => Some(&MITIGATE_TOLERANCES),
+        "store" => Some(&STORE_TOLERANCES),
         _ => None,
     }
 }

@@ -148,6 +148,14 @@ impl UnfairnessCube {
         }
     }
 
+    /// The raw dense cell array in `(g * n_queries + q) * n_locations + l`
+    /// offset order. This is the layout the `fbox-store` snapshot codec
+    /// serializes and the layout bit-equality tests compare, so it is part
+    /// of the crate's stability surface.
+    pub fn raw_data(&self) -> &[Option<f64>] {
+        &self.data
+    }
+
     /// Iterates over all present cells.
     pub fn cells(&self) -> impl Iterator<Item = (GroupId, QueryId, LocationId, f64)> + '_ {
         self.data.iter().enumerate().filter_map(move |(o, v)| {

@@ -165,6 +165,64 @@ impl FBox {
         Self { universe, cube, indices }
     }
 
+    /// An F-Box over an empty cube: the starting point of incremental
+    /// ingestion (`fbox-store`), where cells arrive one at a time through
+    /// [`update_market_cell`](Self::update_market_cell) /
+    /// [`update_search_cell`](Self::update_search_cell).
+    pub fn empty(universe: Universe) -> Self {
+        let cube = UnfairnessCube::empty(&universe);
+        Self::from_cube(universe, cube)
+    }
+
+    /// Re-derives cell `(q, l)` from a marketplace ranking (or clears it
+    /// with `None`) and delta-updates the affected cube slots and index
+    /// entries in place.
+    ///
+    /// This is the incremental counterpart of
+    /// [`from_market`](Self::from_market): because each cell's measures
+    /// depend only on that cell's observations, and
+    /// [`IndexSet::update_cell`] reproduces the total list order exactly,
+    /// streaming cells through this method yields an F-Box bit-identical
+    /// to a from-scratch build over the same observations — in any arrival
+    /// order, at any `FBOX_THREADS`.
+    pub fn update_market_cell(
+        &mut self,
+        q: QueryId,
+        l: LocationId,
+        ranking: Option<&MarketRanking>,
+        measure: MarketMeasure,
+    ) {
+        let _cell = cell_span(q, l, "market", measure.label());
+        for g in self.universe.group_ids() {
+            let v = ranking.and_then(|r| market_cell_unfairness(&self.universe, r, g, measure));
+            self.cube.set_opt(g, q, l, v);
+        }
+        self.indices.update_cell(&self.cube, q, l);
+    }
+
+    /// Re-derives cell `(q, l)` from search-engine user lists (an empty
+    /// slice clears it) and delta-updates cube and indices in place — the
+    /// incremental counterpart of [`from_search`](Self::from_search); see
+    /// [`update_market_cell`](Self::update_market_cell).
+    pub fn update_search_cell(
+        &mut self,
+        q: QueryId,
+        l: LocationId,
+        lists: &[UserList],
+        measure: SearchMeasure,
+    ) {
+        let _cell = cell_span(q, l, "search", measure.label());
+        for g in self.universe.group_ids() {
+            let v = if lists.is_empty() {
+                None
+            } else {
+                search_cell_unfairness(&self.universe, lists, g, measure)
+            };
+            self.cube.set_opt(g, q, l, v);
+        }
+        self.indices.update_cell(&self.cube, q, l);
+    }
+
     /// The study universe.
     pub fn universe(&self) -> &Universe {
         &self.universe
@@ -439,6 +497,30 @@ mod tests {
         assert_eq!(fb.entity_name(Dimension::Location, 0), "San Francisco, CA");
         let locations = fb.top_k_locations(1, RankOrder::MostUnfair, &Restriction::none());
         assert_eq!(locations[0].0, "San Francisco, CA");
+    }
+
+    #[test]
+    fn incremental_market_cells_match_batch_build() {
+        let (mut universe, ranking) = paper_toy::table3_ranking();
+        let q0 = universe.add_query("Home Cleaning", Some("General Cleaning"));
+        let q1 = universe.add_query("Yard Work", Some("General Cleaning"));
+        let l = universe.add_location("San Francisco, CA", Some("West Coast"));
+        let mut obs = MarketObservations::new();
+        obs.insert(q0, l, ranking.clone());
+        obs.insert(q1, l, ranking);
+        let batch = FBox::from_market(universe.clone(), &obs, MarketMeasure::exposure());
+
+        let mut inc = FBox::empty(universe);
+        // Arrival order deliberately differs from grid order.
+        for (q, l) in [(q1, l), (q0, l)] {
+            inc.update_market_cell(q, l, obs.get(q, l), MarketMeasure::exposure());
+        }
+        let a: Vec<Option<u64>> =
+            inc.cube().raw_data().iter().map(|v| v.map(f64::to_bits)).collect();
+        let b: Vec<Option<u64>> =
+            batch.cube().raw_data().iter().map(|v| v.map(f64::to_bits)).collect();
+        assert_eq!(a, b, "incremental cube must be bit-equal to the batch build");
+        assert_eq!(inc.indices().is_complete(), batch.indices().is_complete());
     }
 
     #[test]

@@ -50,6 +50,9 @@ pub struct IndexSet {
     query_lists: Vec<PostingList>,
     /// `I(g,q)` — locations ranked; indexed by `g * n_queries + q`.
     location_lists: Vec<PostingList>,
+    /// Present `(g,q,l)` values, maintained incrementally by
+    /// [`Self::update_cell`] so completeness stays O(1).
+    n_present: usize,
     complete: bool,
 }
 
@@ -110,6 +113,7 @@ impl IndexSet {
                 .add((group_lists.len() + query_lists.len() + location_lists.len()) as u64);
         }
 
+        let n_present = group_lists.iter().map(PostingList::len).sum();
         Self {
             n_groups: ng,
             n_queries: nq,
@@ -117,8 +121,39 @@ impl IndexSet {
             group_lists,
             query_lists,
             location_lists,
-            complete: cube.is_complete(),
+            n_present,
+            complete: n_present == ng * nq * nl,
         }
+    }
+
+    /// Delta-updates every index entry touched by cell `(q,l)` from the
+    /// cube's current values, leaving the set bit-identical to
+    /// [`Self::build`] over the same cube. One cell touches exactly one
+    /// group list (all `n_groups` entries of `I(q,l)`) plus, per group,
+    /// entry `q` of `I(g,l)` and entry `l` of `I(g,q)` — cost proportional
+    /// to the dirty cell's fan-out, never to the cube.
+    ///
+    /// Bit-equality holds because [`PostingList::update`] reproduces the
+    /// total (value desc, id asc) order exactly, and because cube cells
+    /// are independent: re-deriving one cell never moves entries owned by
+    /// another.
+    pub fn update_cell(&mut self, cube: &UnfairnessCube, q: QueryId, l: LocationId) {
+        assert_eq!(
+            (cube.n_groups(), cube.n_queries(), cube.n_locations()),
+            (self.n_groups, self.n_queries, self.n_locations),
+            "cube dimensions changed under the index"
+        );
+        let slot = q.0 as usize * self.n_locations + l.0 as usize;
+        let before = self.group_lists[slot].len();
+        for g in 0..self.n_groups as u32 {
+            let v = cube.get(GroupId(g), q, l);
+            self.group_lists[slot].update(g, v);
+            self.query_lists[g as usize * self.n_locations + l.0 as usize].update(q.0, v);
+            self.location_lists[g as usize * self.n_queries + q.0 as usize].update(l.0, v);
+        }
+        let after = self.group_lists[slot].len();
+        self.n_present = self.n_present - before + after;
+        self.complete = self.n_present == self.n_groups * self.n_queries * self.n_locations;
     }
 
     /// Number of groups.
@@ -255,6 +290,49 @@ mod tests {
         let idx = IndexSet::build(&c);
         assert!(!idx.is_complete());
         assert_eq!(idx.group_list(QueryId(0), LocationId(1)).len(), 0);
+    }
+
+    fn assert_index_eq(a: &IndexSet, b: &IndexSet) {
+        assert_eq!(a.n_present, b.n_present);
+        assert_eq!(a.complete, b.complete);
+        for (fa, fb) in [
+            (&a.group_lists, &b.group_lists),
+            (&a.query_lists, &b.query_lists),
+            (&a.location_lists, &b.location_lists),
+        ] {
+            assert_eq!(fa.len(), fb.len());
+            for (la, lb) in fa.iter().zip(fb.iter()) {
+                assert_eq!(la.entries(), lb.entries());
+            }
+        }
+    }
+
+    #[test]
+    fn update_cell_matches_full_rebuild() {
+        let mut cube = UnfairnessCube::with_dims(3, 2, 2);
+        let mut idx = IndexSet::build(&cube);
+        assert!(!idx.is_complete());
+
+        // Stream cells in, delta-updating after each; the index must stay
+        // bit-identical to a full rebuild at every step.
+        let mut v = 0.0;
+        for q in 0..2u32 {
+            for l in 0..2u32 {
+                for g in 0..3u32 {
+                    v += 0.05;
+                    cube.set(GroupId(g), QueryId(q), LocationId(l), v);
+                }
+                idx.update_cell(&cube, QueryId(q), LocationId(l));
+                assert_index_eq(&idx, &IndexSet::build(&cube));
+            }
+        }
+        assert!(idx.is_complete());
+
+        // Re-deriving a cell with changed values (a later epoch revises
+        // it) must also match.
+        cube.set(GroupId(1), QueryId(0), LocationId(1), 0.99);
+        idx.update_cell(&cube, QueryId(0), LocationId(1));
+        assert_index_eq(&idx, &IndexSet::build(&cube));
     }
 
     #[test]

@@ -34,6 +34,46 @@ impl PostingList {
         Self { entries, values }
     }
 
+    /// Sets entity `e`'s value to `new` (or clears it with `None`),
+    /// keeping the sorted entries exact. Because ties break by ascending
+    /// entity id, the list order is *total*: the updated list is
+    /// bit-identical to [`Self::from_values`] over the updated value
+    /// table, which is what lets the incremental store delta-update lists
+    /// instead of rebuilding them (see `crates/store`).
+    ///
+    /// Cost is O(log n) to locate plus O(n) to shift — proportional to
+    /// this one list, never to the whole cube.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new` is NaN — NaN cannot be ordered.
+    pub fn update(&mut self, e: u32, new: Option<f64>) {
+        if self.values.len() <= e as usize {
+            self.values.resize(e as usize + 1, None);
+        }
+        let old = self.values[e as usize];
+        if old.map(f64::to_bits) == new.map(f64::to_bits) {
+            return;
+        }
+        // List order: value desc, then entity asc. A probe sorts before
+        // the target when its value is larger, or equal with a smaller id.
+        let slot = |entries: &[(u32, f64)], v: f64| {
+            entries.binary_search_by(|probe| probe.1.total_cmp(&v).reverse().then(probe.0.cmp(&e)))
+        };
+        if let Some(v) = old {
+            let pos = slot(&self.entries, v).expect("entry table and value table out of sync");
+            self.entries.remove(pos);
+        }
+        if let Some(v) = new {
+            assert!(!v.is_nan(), "posting list values must not be NaN");
+            let pos = match slot(&self.entries, v) {
+                Ok(pos) | Err(pos) => pos,
+            };
+            self.entries.insert(pos, (e, v));
+        }
+        self.values[e as usize] = new;
+    }
+
     /// Number of present entries.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -126,5 +166,45 @@ mod tests {
         assert!(l.is_empty());
         assert_eq!(l.sorted_desc(0), None);
         assert_eq!(l.sorted_asc(0), None);
+    }
+
+    #[test]
+    fn update_matches_from_values_rebuild() {
+        // Every single-entity transition (set, change, clear, no-op) must
+        // leave the list bit-identical to a from-scratch build over the
+        // same value table — the invariant the incremental store rests on.
+        let starts = vec![
+            vec![None, None, None, None],
+            vec![Some(0.3), None, Some(0.9), Some(0.3)],
+            vec![Some(0.5), Some(0.5), Some(0.5), Some(0.5)],
+        ];
+        let news = [None, Some(0.0), Some(0.3), Some(0.5), Some(0.9), Some(1.0)];
+        for start in starts {
+            for e in 0..start.len() as u32 {
+                for new in news {
+                    let mut values = start.clone();
+                    let mut incremental = PostingList::from_values(values.clone());
+                    incremental.update(e, new);
+                    values[e as usize] = new;
+                    let rebuilt = PostingList::from_values(values);
+                    assert_eq!(incremental.entries(), rebuilt.entries());
+                    for i in 0..start.len() as u32 {
+                        assert_eq!(
+                            incremental.random_access(i).map(f64::to_bits),
+                            rebuilt.random_access(i).map(f64::to_bits)
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn update_grows_the_value_table() {
+        let mut l = PostingList::from_values(vec![Some(0.2)]);
+        l.update(3, Some(0.7));
+        assert_eq!(l.sorted_desc(0), Some((3, 0.7)));
+        assert_eq!(l.random_access(3), Some(0.7));
+        assert_eq!(l.random_access(2), None);
     }
 }

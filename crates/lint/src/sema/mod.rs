@@ -51,8 +51,9 @@ pub use race_static_mut::RaceStaticMut;
 pub const PAR_ENTRY_POINTS: &[&str] = &["par_map", "par_chunks", "scope", "with_threads"];
 
 /// Default determinism roots: the cube builds, the crawls, the study
-/// drivers, and the report-emitting experiment entry points. Overridable
-/// via `[sema] roots = […]` in `Lint.toml`; patterns are `::`-separated
+/// drivers, the durable-store ingest/publish entry points, and the
+/// report-emitting experiment entry points. Overridable via
+/// `[sema] roots = […]` in `Lint.toml`; patterns are `::`-separated
 /// suffixes matched against qualified function names.
 pub const DEFAULT_DET_ROOTS: &[&str] = &[
     "FBox::from_search",
@@ -63,6 +64,13 @@ pub const DEFAULT_DET_ROOTS: &[&str] = &[
     "crawl::crawl_resilient",
     "study::run_study",
     "study::run_study_resilient",
+    "ingest::crawl_durable",
+    "ingest::crawl_durable_with_plan",
+    "ingest::study_durable",
+    "ingest::study_durable_with_plan",
+    "EpochStore::ingest_market",
+    "EpochStore::ingest_search",
+    "EpochStore::publish",
     "taskrabbit_quant::run",
     "taskrabbit_compare::run",
     "google_quant::run",

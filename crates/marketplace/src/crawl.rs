@@ -249,6 +249,22 @@ pub fn crawl_resilient(
     resilience: &Resilience,
     journal: &mut CrawlJournal,
 ) -> CrawlRun {
+    crawl_with_sink(marketplace, resilience, journal, &mut |_, _| {})
+}
+
+/// [`crawl_resilient`] with a durable sink: `sink(grid_index, record)` is
+/// invoked for every *newly resolved* cell, immediately after its record
+/// is journaled, in the sequential merge pass — so sink calls arrive in
+/// grid order regardless of `FBOX_THREADS`, and a sink that persists
+/// records (the `fbox-store` segment log) assigns every record the same
+/// on-disk index at any thread count. Replayed journal entries are not
+/// re-emitted: they are already durable.
+pub fn crawl_with_sink(
+    marketplace: &Marketplace,
+    resilience: &Resilience,
+    journal: &mut CrawlJournal,
+    sink: &mut dyn FnMut(u64, &CellRecord),
+) -> CrawlRun {
     let _span = fbox_telemetry::span!("marketplace.crawl");
     let _trace = fbox_trace::span("marketplace.crawl");
     let universe = taskrabbit_universe();
@@ -356,7 +372,10 @@ pub fn crawl_resilient(
             if cell.admitted { (cell.plan.retries, cell.plan.backoff_ms) } else { (0, 0) };
         new_retries += u64::from(retries);
         new_backoff_ms += backoff_ms;
-        journal.append(gi as u64, CellRecord { retries, backoff_ms, outcome });
+        let record = CellRecord { retries, backoff_ms, outcome };
+        let rejected = journal.append(gi as u64, record);
+        assert!(rejected.is_none(), "work list never contains journaled cells (grid index {gi})");
+        sink(gi as u64, journal.get(gi as u64).expect("record was just appended"));
     }
 
     // Fold pass: rebuild observations and statistics from the *whole*

@@ -28,8 +28,8 @@ pub mod scoring;
 
 pub use bias::{BiasOverride, BiasProfile, OverrideAction};
 pub use crawl::{
-    attach_platform_scores, crawl, crawl_resilient, taskrabbit_universe, CellOutcome, CellRecord,
-    CrawlJournal, CrawlRun, CrawlStats,
+    attach_platform_scores, crawl, crawl_resilient, crawl_with_sink, taskrabbit_universe,
+    CellOutcome, CellRecord, CrawlJournal, CrawlRun, CrawlStats,
 };
 pub use demographics::{Demographic, Ethnicity, Gender, PopulationMarginals};
 pub use engine::{Marketplace, PAGE_SIZE};

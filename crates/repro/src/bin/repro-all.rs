@@ -2,8 +2,13 @@
 //! shape-check tally — the entry point behind EXPERIMENTS.md.
 fn main() {
     fbox_repro::metrics::init_from_args();
-    let tr = fbox_repro::scenario::taskrabbit();
-    let gg = fbox_repro::scenario::google();
+    let cube = fbox_repro::metrics::resolve_cube_path();
+    let tr = fbox_repro::scenario::taskrabbit_cached(
+        fbox_repro::scenario::cube_variant(cube.as_deref(), "taskrabbit").as_deref(),
+    );
+    let gg = fbox_repro::scenario::google_cached(
+        fbox_repro::scenario::cube_variant(cube.as_deref(), "google").as_deref(),
+    );
     let sections = [
         ("FIGURES & SETUP", fbox_repro::experiments::figures::run(&tr)),
         (

@@ -2,7 +2,8 @@
 //! (Figures 7–8, Tables 6–7).
 fn main() {
     fbox_repro::metrics::init_from_args();
-    let s = fbox_repro::scenario::taskrabbit();
+    let cube = fbox_repro::metrics::resolve_cube_path();
+    let s = fbox_repro::scenario::taskrabbit_cached(cube.as_deref());
     let r = fbox_repro::experiments::figures::run(&s);
     print!("{}", r.report);
     fbox_repro::metrics::print_section();

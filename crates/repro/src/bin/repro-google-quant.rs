@@ -1,7 +1,8 @@
 //! Regenerates the §5.2.2 Google quantification results.
 fn main() {
     fbox_repro::metrics::init_from_args();
-    let s = fbox_repro::scenario::google();
+    let cube = fbox_repro::metrics::resolve_cube_path();
+    let s = fbox_repro::scenario::google_cached(cube.as_deref());
     let r = fbox_repro::experiments::google_quant::run(&s);
     print!("{}", r.report);
     fbox_repro::metrics::print_section();

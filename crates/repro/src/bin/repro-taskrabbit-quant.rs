@@ -1,7 +1,8 @@
 //! Regenerates Tables 8–11 and the §5.2.1 narrative results.
 fn main() {
     fbox_repro::metrics::init_from_args();
-    let s = fbox_repro::scenario::taskrabbit();
+    let cube = fbox_repro::metrics::resolve_cube_path();
+    let s = fbox_repro::scenario::taskrabbit_cached(cube.as_deref());
     let r = fbox_repro::experiments::taskrabbit_quant::run(&s);
     print!("{}", r.report);
     fbox_repro::metrics::print_section();

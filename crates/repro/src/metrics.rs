@@ -33,6 +33,23 @@ fn resolve_trace_path() -> Option<String> {
     fbox_trace::env_trace_path()
 }
 
+/// `--cube <path>` / `--cube=<path>` from the process arguments, falling
+/// back to the `FBOX_CUBE` environment variable: where to load a saved
+/// cube snapshot from (when the file exists) or save one to (after a
+/// fresh build). `None` means snapshot caching is off.
+pub fn resolve_cube_path() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--cube" {
+            return args.next().map(Into::into);
+        }
+        if let Some(rest) = a.strip_prefix("--cube=") {
+            return Some(rest.into());
+        }
+    }
+    std::env::var_os("FBOX_CUBE").filter(|v| !v.is_empty()).map(Into::into)
+}
+
 /// Enables the global telemetry registry when `--metrics` is among the
 /// process arguments (the `FBOX_TELEMETRY` environment variable is honored
 /// by the registry itself), and starts a wall-clock trace session when a

@@ -1,5 +1,11 @@
 //! Fully assembled study scenarios: simulator → crawl/study → F-Box,
 //! under both measures of each platform.
+//!
+//! The `*_cached` variants add cube-snapshot caching behind the repro
+//! binaries' `--cube <path>` flag: when the file exists the scenario is
+//! loaded from it (skipping the simulators entirely); otherwise it is
+//! built as usual and saved for the next run. Load/save status goes to
+//! stderr so stdout stays byte-identical either way.
 
 use crate::calibrate;
 use fbox_core::unfairness::{MarketMeasure, SearchMeasure};
@@ -9,6 +15,9 @@ use fbox_search::{
     run_study, ExtensionRunner, NoiseModel, PersonalizationProfile, SearchEngine, StudyDesign,
     StudyStats,
 };
+use fbox_store::CubeSnapshot;
+use std::io;
+use std::path::Path;
 
 /// The assembled TaskRabbit study.
 pub struct TaskRabbitScenario {
@@ -36,6 +45,78 @@ pub fn taskrabbit_with(bias: BiasProfile, seed: u64) -> TaskRabbitScenario {
     TaskRabbitScenario { emd, exposure, stats }
 }
 
+/// Derives a per-platform sidecar path from one `--cube` argument, for
+/// binaries that assemble both scenarios: `--cube out.fbxs` caches the
+/// TaskRabbit study at `out.fbxs.taskrabbit` and the Google study at
+/// `out.fbxs.google`.
+#[must_use]
+pub fn cube_variant(path: Option<&Path>, tag: &str) -> Option<std::path::PathBuf> {
+    path.map(|p| {
+        let mut name = p.as_os_str().to_os_string();
+        name.push(".");
+        name.push(tag);
+        name.into()
+    })
+}
+
+/// [`taskrabbit`] with cube-snapshot caching: loads the scenario from
+/// `path` when given and present, else builds it and (when a path is
+/// given) saves the snapshot there.
+pub fn taskrabbit_cached(path: Option<&Path>) -> TaskRabbitScenario {
+    let Some(path) = path else { return taskrabbit() };
+    if path.exists() {
+        match load_taskrabbit(path) {
+            Ok(s) => {
+                eprintln!("cube: loaded taskrabbit scenario from {}", path.display());
+                return s;
+            }
+            Err(e) => eprintln!("cube: failed to load {}: {e}; rebuilding", path.display()),
+        }
+    }
+    let s = taskrabbit();
+    match save_taskrabbit(&s, path) {
+        Ok(()) => eprintln!("cube: saved taskrabbit scenario to {}", path.display()),
+        Err(e) => eprintln!("cube: failed to save {}: {e}", path.display()),
+    }
+    s
+}
+
+fn save_taskrabbit(s: &TaskRabbitScenario, path: &Path) -> io::Result<()> {
+    let mut snap = CubeSnapshot::new(s.emd.universe().clone());
+    snap.insert_cube("market:emd", s.emd.cube().clone());
+    snap.insert_cube("market:exposure", s.exposure.cube().clone());
+    snap.set_meta("platform", "taskrabbit");
+    snap.set_meta("stats", serde::json::to_string(&s.stats));
+    snap.save(path)
+}
+
+fn load_taskrabbit(path: &Path) -> io::Result<TaskRabbitScenario> {
+    let snap = CubeSnapshot::load(path)?;
+    if snap.meta("platform") != Some("taskrabbit") {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "snapshot is not a taskrabbit scenario",
+        ));
+    }
+    let expect = |name: &str| {
+        snap.cube(name).cloned().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("snapshot lacks cube {name}"))
+        })
+    };
+    let stats: CrawlStats = snap
+        .meta("stats")
+        .and_then(|s| serde::json::from_str(s).ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "snapshot lacks crawl stats"))?;
+    let emd = expect("market:emd")?;
+    let exposure = expect("market:exposure")?;
+    let universe = snap.universe().clone();
+    Ok(TaskRabbitScenario {
+        emd: FBox::from_cube(universe.clone(), emd),
+        exposure: FBox::from_cube(universe, exposure),
+        stats,
+    })
+}
+
 /// The assembled Google job search study.
 pub struct GoogleScenario {
     /// F-Box under the Kendall-Tau measure.
@@ -61,4 +142,61 @@ pub fn google_with(personalization: PersonalizationProfile, seed: u64) -> Google
     let kendall = FBox::from_search(universe.clone(), &observations, SearchMeasure::kendall());
     let jaccard = FBox::from_search(universe, &observations, SearchMeasure::JaccardDistance);
     GoogleScenario { kendall, jaccard, stats }
+}
+
+/// [`google`] with cube-snapshot caching, mirroring
+/// [`taskrabbit_cached`].
+pub fn google_cached(path: Option<&Path>) -> GoogleScenario {
+    let Some(path) = path else { return google() };
+    if path.exists() {
+        match load_google(path) {
+            Ok(s) => {
+                eprintln!("cube: loaded google scenario from {}", path.display());
+                return s;
+            }
+            Err(e) => eprintln!("cube: failed to load {}: {e}; rebuilding", path.display()),
+        }
+    }
+    let s = google();
+    match save_google(&s, path) {
+        Ok(()) => eprintln!("cube: saved google scenario to {}", path.display()),
+        Err(e) => eprintln!("cube: failed to save {}: {e}", path.display()),
+    }
+    s
+}
+
+fn save_google(s: &GoogleScenario, path: &Path) -> io::Result<()> {
+    let mut snap = CubeSnapshot::new(s.kendall.universe().clone());
+    snap.insert_cube("search:kendall", s.kendall.cube().clone());
+    snap.insert_cube("search:jaccard", s.jaccard.cube().clone());
+    snap.set_meta("platform", "google");
+    snap.set_meta("stats", serde::json::to_string(&s.stats));
+    snap.save(path)
+}
+
+fn load_google(path: &Path) -> io::Result<GoogleScenario> {
+    let snap = CubeSnapshot::load(path)?;
+    if snap.meta("platform") != Some("google") {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "snapshot is not a google scenario",
+        ));
+    }
+    let expect = |name: &str| {
+        snap.cube(name).cloned().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("snapshot lacks cube {name}"))
+        })
+    };
+    let stats: StudyStats = snap
+        .meta("stats")
+        .and_then(|s| serde::json::from_str(s).ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "snapshot lacks study stats"))?;
+    let kendall = expect("search:kendall")?;
+    let jaccard = expect("search:jaccard")?;
+    let universe = snap.universe().clone();
+    Ok(GoogleScenario {
+        kendall: FBox::from_cube(universe.clone(), kendall),
+        jaccard: FBox::from_cube(universe, jaccard),
+        stats,
+    })
 }

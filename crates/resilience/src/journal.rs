@@ -29,21 +29,20 @@ impl<T> Journal<T> {
         Self { entries: Vec::new(), index: HashMap::new() }
     }
 
-    /// Records the final disposition of cell `key`. Keys must be unique: a
-    /// double append means the crawl executed a cell it should have
-    /// replayed, which `debug_assert` catches in tests; release builds
-    /// keep the first record (the write-ahead rule: what was journaled
-    /// happened).
-    pub fn append(&mut self, key: u64, value: T) {
-        debug_assert!(
-            !self.index.contains_key(&key),
-            "journal key {key:#x} appended twice — resumed crawl re-ran a completed cell"
-        );
+    /// Records the final disposition of cell `key`. Keys must be unique:
+    /// the journal keeps the first record (the write-ahead rule: what was
+    /// journaled happened) and hands a duplicate back as `Some(rejected)`.
+    /// A rejected value means the run executed a cell it should have
+    /// replayed — callers must decide whether that is fatal, not drop it
+    /// on the floor.
+    #[must_use = "a rejected value means a completed cell was re-run; callers must audit it"]
+    pub fn append(&mut self, key: u64, value: T) -> Option<T> {
         if self.index.contains_key(&key) {
-            return;
+            return Some(value);
         }
         self.index.insert(key, self.entries.len());
         self.entries.push((key, value));
+        None
     }
 
     /// The journaled disposition of `key`, if completed.
@@ -84,8 +83,8 @@ mod tests {
     fn records_and_replays() {
         let mut j: Journal<&str> = Journal::new();
         assert!(j.is_empty());
-        j.append(1, "one");
-        j.append(2, "two");
+        assert_eq!(j.append(1, "one"), None);
+        assert_eq!(j.append(2, "two"), None);
         assert_eq!(j.len(), 2);
         assert!(j.contains(1));
         assert_eq!(j.get(2), Some(&"two"));
@@ -95,11 +94,11 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "appended twice")]
-    #[cfg(debug_assertions)]
-    fn double_append_caught_in_debug() {
+    fn double_append_keeps_first_and_returns_rejected() {
         let mut j: Journal<u8> = Journal::new();
-        j.append(7, 1);
-        j.append(7, 2);
+        assert_eq!(j.append(7, 1), None);
+        assert_eq!(j.append(7, 2), Some(2), "duplicate must come back to the caller");
+        assert_eq!(j.len(), 1);
+        assert_eq!(j.get(7), Some(&1), "write-ahead rule: the first record wins");
     }
 }

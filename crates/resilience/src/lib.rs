@@ -32,6 +32,9 @@
 //! - [`clock`]: [`VirtualClock`] — simulated backoff time.
 //! - [`journal`]: [`Journal`] — append-only completion log enabling
 //!   interrupt/resume with byte-identical results.
+//! - [`storage`]: [`StoragePlan`], [`StorageProfile`],
+//!   [`StorageFaultKind`] — the same discipline applied to the disk under
+//!   the `fbox-store` segment log (torn writes, bit flips, short reads).
 //! - [`hash`]: stable key derivation (FNV-1a + splitmix64), shared by the
 //!   plan and the jitter.
 //!
@@ -46,12 +49,14 @@ pub mod fault;
 pub mod hash;
 pub mod journal;
 pub mod retry;
+pub mod storage;
 
 pub use breaker::{BreakerConfig, CircuitBreaker};
 pub use clock::VirtualClock;
 pub use fault::{FaultKind, FaultPlan, FaultProfile};
 pub use journal::Journal;
 pub use retry::RetryPolicy;
+pub use storage::{StorageFaultKind, StoragePlan, StorageProfile};
 
 /// Environment variable selecting a fault plan: `FBOX_FAULTS=<seed>:<profile>`
 /// where `<profile>` is one of `none`, `mild`, `heavy`, `bursty` (e.g.

@@ -1,0 +1,305 @@
+//! Seeded, schedule-independent *storage* fault injection.
+//!
+//! The transport faults in [`crate::fault`] model a misbehaving platform;
+//! this module models a misbehaving disk underneath the `fbox-store`
+//! segment log. A [`StoragePlan`] answers: *what goes wrong when record
+//! `index` is written during log generation `generation`?* The answer is a
+//! pure function of `(seed, generation, index)` — never of wall clock,
+//! thread schedule, or actual I/O — so a crash-and-recover sequence is as
+//! reproducible as the crawl it interrupts.
+//!
+//! `generation` is the number of times the log has been opened. Keying the
+//! draw on it is what makes recovery *converge*: a plan keyed on `index`
+//! alone would tear the same record on every reopen, forever; keyed on the
+//! generation too, each recovery attempt draws a fresh stream and the
+//! write eventually lands. Since reopen count is itself deterministic, the
+//! whole crash/recover trajectory still replays bit-identically.
+//!
+//! The three fault kinds mirror how real storage fails underneath an
+//! append-only log:
+//!
+//! - [`StorageFaultKind::TornWrite`]: the process dies mid-`write(2)`; a
+//!   prefix of the record reaches the disk and everything after it in this
+//!   generation is lost. Replay must truncate the torn tail.
+//! - [`StorageFaultKind::BitFlip`]: the record lands whole but one payload
+//!   byte is flipped (media decay, cosmic ray). Replay must detect the
+//!   checksum mismatch and quarantine exactly that record.
+//! - [`StorageFaultKind::ShortRead`]: the *read back* comes up short once
+//!   (interrupted syscall); nothing on disk is damaged and a single retry
+//!   sees the full record. Distinguishes transient read glitches from a
+//!   genuinely torn tail.
+
+use crate::hash::mix;
+use crate::FAULTS_ENV;
+
+/// What the injected storage failure looks like to the segment log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageFaultKind {
+    /// The write crashes partway through: a prefix of the record persists
+    /// and the log is dead for the rest of this generation.
+    TornWrite,
+    /// One payload byte is flipped on the way to disk; the damage is
+    /// permanent and must be caught by the record checksum on replay.
+    BitFlip,
+    /// The first read of this record comes up short; a retry succeeds.
+    ShortRead,
+}
+
+impl StorageFaultKind {
+    /// Stable lowercase label (used in telemetry and test diagnostics).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            StorageFaultKind::TornWrite => "torn_write",
+            StorageFaultKind::BitFlip => "bit_flip",
+            StorageFaultKind::ShortRead => "short_read",
+        }
+    }
+}
+
+/// Per-mille probabilities of each storage fault kind per record. The
+/// remainder up to 1000 is a clean write/read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StorageProfile {
+    /// Probability (per mille) of a torn (crashing) write.
+    pub torn_write_pm: u32,
+    /// Probability (per mille) of a single flipped payload byte.
+    pub bit_flip_pm: u32,
+    /// Probability (per mille) of a transient short read on replay.
+    pub short_read_pm: u32,
+}
+
+impl StorageProfile {
+    /// No storage faults — the log behaves like a perfect disk.
+    #[must_use]
+    pub const fn none() -> Self {
+        Self { torn_write_pm: 0, bit_flip_pm: 0, short_read_pm: 0 }
+    }
+
+    /// Occasional trouble: rare crashes and read glitches, very rare
+    /// silent corruption.
+    #[must_use]
+    pub const fn mild() -> Self {
+        Self { torn_write_pm: 20, bit_flip_pm: 5, short_read_pm: 15 }
+    }
+
+    /// A failing disk: frequent crashes mid-write and visible corruption.
+    #[must_use]
+    pub const fn heavy() -> Self {
+        Self { torn_write_pm: 60, bit_flip_pm: 25, short_read_pm: 40 }
+    }
+
+    /// Glitch-dominated: reads stutter far more often than writes fail,
+    /// the signature of a saturated or flaky I/O path.
+    #[must_use]
+    pub const fn bursty() -> Self {
+        Self { torn_write_pm: 10, bit_flip_pm: 5, short_read_pm: 120 }
+    }
+
+    /// Resolves a profile by name (`none`, `mild`, `heavy`, `bursty`) —
+    /// the same vocabulary as [`crate::FaultProfile`], so one
+    /// `FBOX_FAULTS` spec drives both layers.
+    #[must_use]
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name {
+            "none" => Some(Self::none()),
+            "mild" => Some(Self::mild()),
+            "heavy" => Some(Self::heavy()),
+            "bursty" => Some(Self::bursty()),
+            _ => None,
+        }
+    }
+
+    /// Total per-mille probability of *any* storage fault per record.
+    #[must_use]
+    pub fn total_pm(&self) -> u32 {
+        self.torn_write_pm + self.bit_flip_pm + self.short_read_pm
+    }
+
+    /// Whether this profile can ever inject a fault.
+    #[must_use]
+    pub fn is_inert(&self) -> bool {
+        self.total_pm() == 0
+    }
+}
+
+/// A seeded storage fault plan: the deterministic source of everything
+/// that goes wrong underneath one segment log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoragePlan {
+    seed: u64,
+    profile: StorageProfile,
+}
+
+impl StoragePlan {
+    /// A plan injecting faults per `profile`, streamed from `seed`.
+    #[must_use]
+    pub fn new(seed: u64, profile: StorageProfile) -> Self {
+        assert!(profile.total_pm() <= 1000, "storage fault probabilities exceed 1000 per mille");
+        Self { seed, profile }
+    }
+
+    /// The inert plan: a perfect disk.
+    #[must_use]
+    pub fn none() -> Self {
+        Self::new(0, StorageProfile::none())
+    }
+
+    /// The plan's seed.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The plan's fault profile.
+    #[must_use]
+    pub fn profile(&self) -> &StorageProfile {
+        &self.profile
+    }
+
+    /// Whether the plan can ever inject a fault.
+    #[must_use]
+    pub fn is_inert(&self) -> bool {
+        self.profile.is_inert()
+    }
+
+    /// Reads [`FAULTS_ENV`] (`FBOX_FAULTS=<seed>:<profile>`, same spec the
+    /// transport layer reads). Unset or unparseable values yield the inert
+    /// plan — a malformed flag must never change pipeline output.
+    #[must_use]
+    pub fn from_env() -> Self {
+        match std::env::var(FAULTS_ENV) {
+            Ok(spec) => Self::parse_spec(&spec).unwrap_or_else(Self::none),
+            Err(_) => Self::none(),
+        }
+    }
+
+    /// Parses a `<seed>:<profile>` spec (or a bare `<seed>`, implying
+    /// `mild`). Returns `None` on any syntax error.
+    #[must_use]
+    pub fn parse_spec(spec: &str) -> Option<Self> {
+        let spec = spec.trim();
+        if spec.is_empty() {
+            return None;
+        }
+        let (seed_str, profile) = match spec.split_once(':') {
+            Some((s, p)) => (s, StorageProfile::by_name(p.trim())?),
+            None => (spec, StorageProfile::mild()),
+        };
+        let seed: u64 = seed_str.trim().parse().ok()?;
+        Some(Self::new(seed, profile))
+    }
+
+    /// The fault injected on record `index` of log generation
+    /// `generation`, or `None` for a clean write/read. Pure in
+    /// `(seed, generation, index)`.
+    #[must_use]
+    pub fn fault(&self, generation: u64, index: u64) -> Option<StorageFaultKind> {
+        if self.profile.is_inert() {
+            return None;
+        }
+        let draw = (mix(mix(self.seed, generation ^ 0x5709_4A6E), index) % 1000) as u32;
+        let p = &self.profile;
+        let mut bound = p.torn_write_pm;
+        if draw < bound {
+            return Some(StorageFaultKind::TornWrite);
+        }
+        bound += p.bit_flip_pm;
+        if draw < bound {
+            return Some(StorageFaultKind::BitFlip);
+        }
+        bound += p.short_read_pm;
+        if draw < bound {
+            return Some(StorageFaultKind::ShortRead);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inert_plan_never_faults() {
+        let plan = StoragePlan::none();
+        for generation in 0..4u64 {
+            for index in 0..100u64 {
+                assert_eq!(plan.fault(generation, index), None);
+            }
+        }
+        assert!(plan.is_inert());
+    }
+
+    #[test]
+    fn faults_are_deterministic_and_generation_sensitive() {
+        let plan = StoragePlan::new(42, StorageProfile::heavy());
+        for generation in 0..3u64 {
+            for index in 0..50u64 {
+                assert_eq!(plan.fault(generation, index), plan.fault(generation, index));
+            }
+        }
+        // The same index must be able to draw differently across
+        // generations — that is what lets recovery converge.
+        let differs =
+            (0..500u64).any(|i| plan.fault(0, i).is_some() && plan.fault(0, i) != plan.fault(1, i));
+        assert!(differs, "generation must matter");
+    }
+
+    #[test]
+    fn empirical_rates_match_profile() {
+        let profile = StorageProfile::heavy();
+        let plan = StoragePlan::new(7, profile);
+        let n = 20_000u64;
+        let mut counts = [0u32; 3];
+        for index in 0..n {
+            match plan.fault(0, index) {
+                Some(StorageFaultKind::TornWrite) => counts[0] += 1,
+                Some(StorageFaultKind::BitFlip) => counts[1] += 1,
+                Some(StorageFaultKind::ShortRead) => counts[2] += 1,
+                None => {}
+            }
+        }
+        let expect = [profile.torn_write_pm, profile.bit_flip_pm, profile.short_read_pm];
+        for (got, pm) in counts.iter().zip(expect) {
+            let expected = n as u32 * pm / 1000;
+            let slack = expected / 5 + 50;
+            assert!(
+                got.abs_diff(expected) < slack,
+                "kind rate off: got {got}, expected ~{expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn profiles_resolve_by_name() {
+        assert_eq!(StorageProfile::by_name("none"), Some(StorageProfile::none()));
+        assert_eq!(StorageProfile::by_name("mild"), Some(StorageProfile::mild()));
+        assert_eq!(StorageProfile::by_name("heavy"), Some(StorageProfile::heavy()));
+        assert_eq!(StorageProfile::by_name("bursty"), Some(StorageProfile::bursty()));
+        assert_eq!(StorageProfile::by_name("raid0"), None);
+    }
+
+    #[test]
+    fn spec_parsing_mirrors_transport_layer() {
+        let p = StoragePlan::parse_spec("42:heavy").unwrap();
+        assert_eq!(p.seed(), 42);
+        assert_eq!(*p.profile(), StorageProfile::heavy());
+
+        // Bare seed implies mild, like Resilience::parse_spec.
+        let p = StoragePlan::parse_spec("13").unwrap();
+        assert_eq!(p.seed(), 13);
+        assert_eq!(*p.profile(), StorageProfile::mild());
+
+        assert!(StoragePlan::parse_spec("").is_none());
+        assert!(StoragePlan::parse_spec("x:mild").is_none());
+        assert!(StoragePlan::parse_spec("42:chaotic").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "per mille")]
+    fn overfull_profile_rejected() {
+        let p = StorageProfile { torn_write_pm: 800, bit_flip_pm: 300, short_read_pm: 0 };
+        let _ = StoragePlan::new(0, p);
+    }
+}

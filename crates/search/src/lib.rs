@@ -31,6 +31,7 @@ pub use extension::ExtensionRunner;
 pub use noise::{NoiseModel, RequestContext};
 pub use personalize::{PersonalizationOverride, PersonalizationProfile};
 pub use study::{
-    google_universe, run_study, run_study_resilient, StudyDesign, StudyStats, LOCATIONS, QUERIES,
+    google_universe, run_study, run_study_journaled, run_study_resilient, ParticipantRecord,
+    SessionRecord, StudyDesign, StudyJournal, StudyRun, StudyStats, LOCATIONS, QUERIES,
 };
 pub use user::SearchUser;

@@ -21,7 +21,7 @@ use crate::user::SearchUser;
 use fbox_core::model::{Schema, Universe};
 use fbox_core::observations::SearchObservations;
 use fbox_marketplace::demographics::{Demographic, Ethnicity, Gender};
-use fbox_resilience::{hash, Disposition, PayloadFault, Resilience};
+use fbox_resilience::{hash, Disposition, Journal, PayloadFault, Resilience};
 use serde::{Deserialize, Serialize};
 
 /// The study's locations: the paper's ten plus Washington, DC.
@@ -157,16 +157,53 @@ struct Participant {
 }
 
 /// What one (participant, query) session delivered, with its resilience
-/// accounting.
-struct SessionCell {
-    q: fbox_core::model::QueryId,
+/// accounting. Public because it is the unit the study journal persists:
+/// `fbox-store`'s durable driver encodes one [`ParticipantRecord`] (all 20
+/// sessions) per segment-log record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionRecord {
+    /// The query this session ran.
+    pub q: fbox_core::model::QueryId,
     /// `None` when the list was lost (budget exhausted or corrupted).
-    list: Option<fbox_core::observations::UserList>,
-    truncated: bool,
-    quarantined: bool,
-    failed: bool,
-    retries: u32,
-    backoff_ms: u64,
+    pub list: Option<fbox_core::observations::UserList>,
+    /// The payload arrived truncated; `list` holds its surviving top half.
+    pub truncated: bool,
+    /// The payload arrived corrupted and the list was dropped.
+    pub quarantined: bool,
+    /// Every attempt failed at the transport level.
+    pub failed: bool,
+    /// Retries consumed before resolution.
+    pub retries: u32,
+    /// Virtual backoff accumulated across those retries, in milliseconds.
+    pub backoff_ms: u64,
+}
+
+/// One journal entry: everything one participant's session delivered. The
+/// crash boundary of a durable study is the participant — a crash loses at
+/// most the participants not yet journaled, and recovery re-runs exactly
+/// those (deterministically, so the result is unchanged).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParticipantRecord {
+    /// The participant's 20 query sessions, in protocol order.
+    pub sessions: Vec<SessionRecord>,
+}
+
+/// The study's write-ahead journal, keyed by recruitment-order uid.
+pub type StudyJournal = Journal<ParticipantRecord>;
+
+/// Everything a (possibly degraded, possibly partial) study produced.
+#[derive(Debug, Clone)]
+pub struct StudyRun {
+    /// The Google universe ([`google_universe`]).
+    pub universe: Universe,
+    /// Observations folded from every journaled participant so far.
+    pub observations: SearchObservations,
+    /// Statistics folded over the journal.
+    pub stats: StudyStats,
+    /// Whether every participant has been resolved. `false` after an
+    /// interrupted run — resume by calling [`run_study_journaled`] again
+    /// with the same journal.
+    pub complete: bool,
 }
 
 /// Runs the full study under the resilience configuration from the
@@ -205,6 +242,32 @@ pub fn run_study_resilient(
     runner: &ExtensionRunner,
     resilience: &Resilience,
 ) -> (Universe, SearchObservations, StudyStats) {
+    let mut journal = StudyJournal::new();
+    let run = run_study_journaled(design, engine, runner, resilience, &mut journal, &mut |_, _| {});
+    (run.universe, run.observations, run.stats)
+}
+
+/// [`run_study_resilient`] with a write-ahead journal and a durable sink,
+/// mirroring the crawl's `crawl_with_sink`.
+///
+/// Participants already present in `journal` (keyed by recruitment uid)
+/// are **replayed**, not re-run; `resilience.interrupt_after` stops
+/// *executing* new participants after that many (replays are free), which
+/// is how crash tests interrupt a study at a deterministic participant
+/// boundary. Newly resolved participants are journaled — and handed to
+/// `sink(uid, record)` — in recruitment order during the sequential merge
+/// pass, so a persisting sink assigns every record the same on-disk index
+/// at any `FBOX_THREADS`. Observations and statistics fold from the
+/// *whole* journal in recruitment order, making an interrupted-and-resumed
+/// study byte-identical to an uninterrupted one.
+pub fn run_study_journaled(
+    design: &StudyDesign,
+    engine: &SearchEngine,
+    runner: &ExtensionRunner,
+    resilience: &Resilience,
+    journal: &mut StudyJournal,
+    sink: &mut dyn FnMut(u64, &ParticipantRecord),
+) -> StudyRun {
     let _span = fbox_telemetry::span!("search.run_study");
     let _trace = fbox_trace::span("search.run_study");
     let universe = google_universe();
@@ -228,7 +291,24 @@ pub fn run_study_resilient(
     }
     let n_participants = participants.len();
 
-    let sessions = fbox_par::par_map(&participants, |participant| {
+    // Work list: participants not yet journaled, in recruitment order,
+    // truncated at the configured interrupt point.
+    let mut work: Vec<&Participant> = Vec::new();
+    let mut interrupted = false;
+    for participant in &participants {
+        if journal.contains(participant.uid) {
+            continue;
+        }
+        if let Some(cap) = resilience.interrupt_after {
+            if work.len() >= cap {
+                interrupted = true;
+                break;
+            }
+        }
+        work.push(participant);
+    }
+
+    let sessions = fbox_par::par_map(&work, |&participant| {
         // Each participant's session starts fresh; queries run
         // back-to-back under the protocol's spacing. The protocol clock is
         // deliberately not advanced by retry backoff: fault injection must
@@ -248,7 +328,7 @@ pub fn run_study_resilient(
                     participant.uid,
                 );
                 let plan = resilience.plan_cell_traced(key);
-                let mut cell = SessionCell {
+                let mut cell = SessionRecord {
                     q,
                     list: None,
                     truncated: false,
@@ -292,6 +372,20 @@ pub fn run_study_resilient(
             .collect::<Vec<_>>()
     });
 
+    // Merge pass, sequential in recruitment order: journal each newly
+    // executed participant and hand the record to the durable sink.
+    for (participant, sessions) in work.iter().zip(sessions) {
+        let rejected = journal.append(participant.uid, ParticipantRecord { sessions });
+        assert!(
+            rejected.is_none(),
+            "work list never contains journaled participants (uid {})",
+            participant.uid
+        );
+        sink(participant.uid, journal.get(participant.uid).expect("record was just appended"));
+    }
+
+    // Fold pass: rebuild observations and statistics from the *whole*
+    // journal, in recruitment order.
     let mut observations = SearchObservations::new();
     let mut n_failed = 0usize;
     let mut n_quarantined = 0usize;
@@ -299,15 +393,16 @@ pub fn run_study_resilient(
     let mut n_retries = 0u64;
     let mut backoff_virtual_ms = 0u64;
     let mut delivered = 0usize;
-    for (participant, session) in participants.iter().zip(sessions) {
-        for cell in session {
+    for participant in &participants {
+        let Some(record) = journal.get(participant.uid) else { continue };
+        for cell in &record.sessions {
             n_retries += u64::from(cell.retries);
             backoff_virtual_ms += cell.backoff_ms;
             n_failed += usize::from(cell.failed);
             n_quarantined += usize::from(cell.quarantined);
             n_truncated += usize::from(cell.truncated);
-            if let Some(list) = cell.list {
-                observations.push(cell.q, participant.l, list);
+            if let Some(list) = &cell.list {
+                observations.push(cell.q, participant.l, list.clone());
                 delivered += 1;
             }
         }
@@ -344,7 +439,8 @@ pub fn run_study_resilient(
                 .record(std::time::Duration::from_millis(backoff_virtual_ms));
         }
     }
-    (universe, observations, stats)
+    let complete = !interrupted && journal.len() == n_participants;
+    StudyRun { universe, observations, stats, complete }
 }
 
 #[cfg(test)]

@@ -1,0 +1,295 @@
+//! Hand-rolled little-endian binary primitives for the segment log and
+//! the cube snapshot format.
+//!
+//! The build environment is offline and the on-disk formats must be
+//! byte-stable across machines, so nothing here is derived: every field
+//! is written explicitly, integers are little-endian, strings are
+//! length-prefixed UTF-8, and every optional value carries a one-byte
+//! presence tag. Floats are stored as their IEEE-754 bit patterns
+//! (`f64::to_bits`), which is what makes snapshot round-trips *bit*-equal,
+//! not merely approximately equal.
+
+use std::fmt;
+
+/// Why a buffer failed to decode. Checksums are verified before decoding,
+/// so in practice these indicate a format-version mismatch or a bug — but
+/// the decoder must still never panic on arbitrary bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer ended before a field's bytes.
+    UnexpectedEof {
+        /// Bytes the field needed.
+        wanted: usize,
+        /// Bytes that remained.
+        have: usize,
+    },
+    /// An enum tag byte had no matching variant.
+    BadTag {
+        /// What was being decoded.
+        what: &'static str,
+        /// The offending tag.
+        tag: u8,
+    },
+    /// A length-prefixed string was not valid UTF-8.
+    NonUtf8,
+    /// A decoded value violated a domain invariant (e.g. a rank sequence
+    /// that does not validate).
+    Invalid(&'static str),
+    /// Bytes remained after the last expected field.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnexpectedEof { wanted, have } => {
+                write!(f, "unexpected end of record: wanted {wanted} bytes, have {have}")
+            }
+            Self::BadTag { what, tag } => write!(f, "unknown {what} tag {tag}"),
+            Self::NonUtf8 => write!(f, "string field is not valid UTF-8"),
+            Self::Invalid(what) => write!(f, "decoded value violates invariant: {what}"),
+            Self::TrailingBytes(n) => write!(f, "{n} bytes left after the last field"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+impl From<CodecError> for std::io::Error {
+    fn from(e: CodecError) -> Self {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, e)
+    }
+}
+
+/// Appends a `u8`.
+pub fn put_u8(buf: &mut Vec<u8>, v: u8) {
+    buf.push(v);
+}
+
+/// Appends a `u16`, little-endian.
+pub fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `u32`, little-endian.
+pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `u64`, little-endian.
+pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `usize` as a `u64` (the formats are 64-bit regardless of
+/// host width).
+pub fn put_len(buf: &mut Vec<u8>, v: usize) {
+    put_u64(buf, v as u64);
+}
+
+/// Appends an `f64` as its IEEE-754 bit pattern.
+pub fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    put_u64(buf, v.to_bits());
+}
+
+/// Appends an `Option<f64>`: presence tag, then the bits when present.
+pub fn put_opt_f64(buf: &mut Vec<u8>, v: Option<f64>) {
+    match v {
+        None => put_u8(buf, 0),
+        Some(v) => {
+            put_u8(buf, 1);
+            put_f64(buf, v);
+        }
+    }
+}
+
+/// Appends a length-prefixed UTF-8 string.
+pub fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_len(buf, s.len());
+    buf.extend_from_slice(s.as_bytes());
+}
+
+/// Appends a length-prefixed optional string.
+pub fn put_opt_str(buf: &mut Vec<u8>, s: Option<&str>) {
+    match s {
+        None => put_u8(buf, 0),
+        Some(s) => {
+            put_u8(buf, 1);
+            put_str(buf, s);
+        }
+    }
+}
+
+/// A forward-only reader over a decoded buffer. Every accessor returns
+/// [`CodecError`] instead of panicking, whatever the bytes contain.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader over `buf`, positioned at the start.
+    #[must_use]
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Takes `n` raw bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::UnexpectedEof { wanted: n, have: self.remaining() });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads a `u8`.
+    pub fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, CodecError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, CodecError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    /// Reads a length written by [`put_len`], bounded by the bytes that
+    /// could possibly follow (so a corrupted length cannot trigger a huge
+    /// allocation).
+    pub fn length(&mut self) -> Result<usize, CodecError> {
+        let v = self.u64()?;
+        if v > self.remaining() as u64 {
+            return Err(CodecError::UnexpectedEof {
+                wanted: usize::try_from(v).unwrap_or(usize::MAX),
+                have: self.remaining(),
+            });
+        }
+        Ok(v as usize)
+    }
+
+    /// Reads an `f64` from its bit pattern.
+    pub fn f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads an `Option<f64>` written by [`put_opt_f64`].
+    pub fn opt_f64(&mut self) -> Result<Option<f64>, CodecError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.f64()?)),
+            tag => Err(CodecError::BadTag { what: "Option<f64>", tag }),
+        }
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<&'a str, CodecError> {
+        let n = self.length()?;
+        std::str::from_utf8(self.take(n)?).map_err(|_| CodecError::NonUtf8)
+    }
+
+    /// Reads an optional string written by [`put_opt_str`].
+    pub fn opt_str(&mut self) -> Result<Option<&'a str>, CodecError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.str()?)),
+            tag => Err(CodecError::BadTag { what: "Option<str>", tag }),
+        }
+    }
+
+    /// Asserts the buffer is fully consumed.
+    pub fn finish(&self) -> Result<(), CodecError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(CodecError::TrailingBytes(self.remaining()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_every_primitive() {
+        let mut buf = Vec::new();
+        put_u8(&mut buf, 7);
+        put_u16(&mut buf, 0xBEEF);
+        put_u32(&mut buf, 0xDEAD_BEEF);
+        put_u64(&mut buf, u64::MAX - 1);
+        put_f64(&mut buf, -0.0);
+        put_opt_f64(&mut buf, None);
+        put_opt_f64(&mut buf, Some(f64::MIN_POSITIVE));
+        put_str(&mut buf, "Lawn Mowing");
+        put_opt_str(&mut buf, None);
+        put_opt_str(&mut buf, Some("Yard Work"));
+
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u16().unwrap(), 0xBEEF);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        // Bit-exact: -0.0 must come back as -0.0, not 0.0.
+        assert_eq!(r.f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(r.opt_f64().unwrap(), None);
+        assert_eq!(r.opt_f64().unwrap(), Some(f64::MIN_POSITIVE));
+        assert_eq!(r.str().unwrap(), "Lawn Mowing");
+        assert_eq!(r.opt_str().unwrap(), None);
+        assert_eq!(r.opt_str().unwrap(), Some("Yard Work"));
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncated_buffers_error_instead_of_panicking() {
+        let mut buf = Vec::new();
+        put_u64(&mut buf, 42);
+        let mut r = Reader::new(&buf[..5]);
+        assert!(matches!(r.u64(), Err(CodecError::UnexpectedEof { .. })));
+    }
+
+    #[test]
+    fn corrupt_length_cannot_demand_huge_allocation() {
+        let mut buf = Vec::new();
+        put_u64(&mut buf, u64::MAX); // a "length" no buffer can satisfy
+        let mut r = Reader::new(&buf);
+        assert!(matches!(r.length(), Err(CodecError::UnexpectedEof { .. })));
+    }
+
+    #[test]
+    fn bad_tags_are_reported() {
+        let buf = [9u8];
+        assert!(matches!(
+            Reader::new(&buf).opt_f64(),
+            Err(CodecError::BadTag { what: "Option<f64>", tag: 9 })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_are_reported() {
+        let buf = [0u8, 1];
+        let mut r = Reader::new(&buf);
+        let _ = r.u8().unwrap();
+        assert_eq!(r.finish(), Err(CodecError::TrailingBytes(1)));
+    }
+}

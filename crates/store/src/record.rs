@@ -1,0 +1,311 @@
+//! Payload codecs for the two ingestion record kinds the segment log
+//! carries: crawl cell records and study participant records.
+//!
+//! A payload is everything *inside* one log record — the log's own
+//! framing (magic, length, checksums) lives in [`crate::segment`]. Both
+//! codecs re-validate domain invariants on decode (rank sequences go back
+//! through [`MarketRanking::try_new`]), so even a payload that survives
+//! its checksum cannot smuggle an invalid ranking into the journal.
+
+use crate::codec::{self, CodecError, Reader};
+use fbox_core::model::{QueryId, ValueId};
+use fbox_core::observations::{MarketRanking, RankedWorker, RankingError, UserList};
+use fbox_marketplace::{CellOutcome, CellRecord};
+use fbox_search::{ParticipantRecord, SessionRecord};
+
+/// Encodes one crawl journal entry (grid key plus [`CellRecord`]).
+#[must_use]
+pub fn encode_crawl(key: u64, record: &CellRecord) -> Vec<u8> {
+    let mut buf = Vec::new();
+    codec::put_u64(&mut buf, key);
+    codec::put_u32(&mut buf, record.retries);
+    codec::put_u64(&mut buf, record.backoff_ms);
+    match &record.outcome {
+        CellOutcome::Clean(ranking) => {
+            codec::put_u8(&mut buf, 0);
+            put_ranking(&mut buf, ranking);
+        }
+        CellOutcome::Truncated(ranking) => {
+            codec::put_u8(&mut buf, 1);
+            put_ranking(&mut buf, ranking);
+        }
+        CellOutcome::NotOffered => codec::put_u8(&mut buf, 2),
+        CellOutcome::Exhausted => codec::put_u8(&mut buf, 3),
+        CellOutcome::Quarantined(err) => {
+            codec::put_u8(&mut buf, 4);
+            match *err {
+                RankingError::DuplicateRank { rank } => {
+                    codec::put_u8(&mut buf, 0);
+                    codec::put_len(&mut buf, rank);
+                }
+                RankingError::GapInRanks { expected, found } => {
+                    codec::put_u8(&mut buf, 1);
+                    codec::put_len(&mut buf, expected);
+                    codec::put_len(&mut buf, found);
+                }
+            }
+        }
+        CellOutcome::SkippedByBreaker => codec::put_u8(&mut buf, 5),
+    }
+    buf
+}
+
+/// Decodes one crawl journal entry.
+pub fn decode_crawl(payload: &[u8]) -> Result<(u64, CellRecord), CodecError> {
+    let mut r = Reader::new(payload);
+    let key = r.u64()?;
+    let retries = r.u32()?;
+    let backoff_ms = r.u64()?;
+    let outcome = match r.u8()? {
+        0 => CellOutcome::Clean(take_ranking(&mut r)?),
+        1 => CellOutcome::Truncated(take_ranking(&mut r)?),
+        2 => CellOutcome::NotOffered,
+        3 => CellOutcome::Exhausted,
+        4 => CellOutcome::Quarantined(match r.u8()? {
+            // Ranks are values, not counts: read them as plain u64s
+            // rather than through the buffer-bounded `len()`.
+            0 => RankingError::DuplicateRank { rank: r.u64()? as usize },
+            1 => RankingError::GapInRanks { expected: r.u64()? as usize, found: r.u64()? as usize },
+            tag => return Err(CodecError::BadTag { what: "RankingError", tag }),
+        }),
+        5 => CellOutcome::SkippedByBreaker,
+        tag => return Err(CodecError::BadTag { what: "CellOutcome", tag }),
+    };
+    r.finish()?;
+    Ok((key, CellRecord { retries, backoff_ms, outcome }))
+}
+
+fn put_ranking(buf: &mut Vec<u8>, ranking: &MarketRanking) {
+    codec::put_len(buf, ranking.len());
+    for w in ranking.workers() {
+        codec::put_len(buf, w.assignment.len());
+        for &v in &w.assignment {
+            codec::put_u16(buf, v.0);
+        }
+        codec::put_len(buf, w.rank);
+        codec::put_opt_f64(buf, w.score);
+    }
+}
+
+fn take_ranking(r: &mut Reader<'_>) -> Result<MarketRanking, CodecError> {
+    let n = r.length()?;
+    let mut workers = Vec::with_capacity(n);
+    for _ in 0..n {
+        let arity = r.length()?;
+        let mut assignment = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            assignment.push(ValueId(r.u16()?));
+        }
+        let rank = r.u64()? as usize;
+        let score = r.opt_f64()?;
+        workers.push(RankedWorker { assignment, rank, score });
+    }
+    MarketRanking::try_new(workers)
+        .map_err(|_| CodecError::Invalid("decoded ranking fails rank validation"))
+}
+
+/// Encodes one study journal entry (participant uid plus
+/// [`ParticipantRecord`]).
+#[must_use]
+pub fn encode_study(uid: u64, record: &ParticipantRecord) -> Vec<u8> {
+    let mut buf = Vec::new();
+    codec::put_u64(&mut buf, uid);
+    codec::put_len(&mut buf, record.sessions.len());
+    for s in &record.sessions {
+        codec::put_u32(&mut buf, s.q.0);
+        match &s.list {
+            None => codec::put_u8(&mut buf, 0),
+            Some(list) => {
+                codec::put_u8(&mut buf, 1);
+                codec::put_len(&mut buf, list.assignment.len());
+                for &v in &list.assignment {
+                    codec::put_u16(&mut buf, v.0);
+                }
+                codec::put_len(&mut buf, list.results.len());
+                for &item in &list.results {
+                    codec::put_u64(&mut buf, item);
+                }
+            }
+        }
+        codec::put_u8(&mut buf, u8::from(s.truncated));
+        codec::put_u8(&mut buf, u8::from(s.quarantined));
+        codec::put_u8(&mut buf, u8::from(s.failed));
+        codec::put_u32(&mut buf, s.retries);
+        codec::put_u64(&mut buf, s.backoff_ms);
+    }
+    buf
+}
+
+/// Decodes one study journal entry.
+pub fn decode_study(payload: &[u8]) -> Result<(u64, ParticipantRecord), CodecError> {
+    let mut r = Reader::new(payload);
+    let uid = r.u64()?;
+    let n = r.length()?;
+    let mut sessions = Vec::with_capacity(n);
+    for _ in 0..n {
+        let q = QueryId(r.u32()?);
+        let list = match r.u8()? {
+            0 => None,
+            1 => {
+                let arity = r.length()?;
+                let mut assignment = Vec::with_capacity(arity);
+                for _ in 0..arity {
+                    assignment.push(ValueId(r.u16()?));
+                }
+                let n_results = r.length()?;
+                let mut results = Vec::with_capacity(n_results);
+                for _ in 0..n_results {
+                    results.push(r.u64()?);
+                }
+                Some(UserList { assignment, results })
+            }
+            tag => return Err(CodecError::BadTag { what: "Option<UserList>", tag }),
+        };
+        let truncated = take_bool(&mut r)?;
+        let quarantined = take_bool(&mut r)?;
+        let failed = take_bool(&mut r)?;
+        let retries = r.u32()?;
+        let backoff_ms = r.u64()?;
+        sessions.push(SessionRecord {
+            q,
+            list,
+            truncated,
+            quarantined,
+            failed,
+            retries,
+            backoff_ms,
+        });
+    }
+    r.finish()?;
+    Ok((uid, ParticipantRecord { sessions }))
+}
+
+fn take_bool(r: &mut Reader<'_>) -> Result<bool, CodecError> {
+    match r.u8()? {
+        0 => Ok(false),
+        1 => Ok(true),
+        tag => Err(CodecError::BadTag { what: "bool", tag }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ranking() -> MarketRanking {
+        MarketRanking::new(
+            (1..=4)
+                .map(|rank| RankedWorker {
+                    assignment: vec![ValueId((rank % 2) as u16), ValueId(1)],
+                    rank,
+                    score: if rank == 1 { Some(0.75) } else { None },
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn crawl_records_round_trip() {
+        let cases = [
+            CellRecord { retries: 0, backoff_ms: 0, outcome: CellOutcome::Clean(ranking()) },
+            CellRecord { retries: 2, backoff_ms: 300, outcome: CellOutcome::Truncated(ranking()) },
+            CellRecord { retries: 0, backoff_ms: 0, outcome: CellOutcome::NotOffered },
+            CellRecord { retries: 5, backoff_ms: 3100, outcome: CellOutcome::Exhausted },
+            CellRecord {
+                retries: 1,
+                backoff_ms: 100,
+                outcome: CellOutcome::Quarantined(RankingError::DuplicateRank { rank: 3 }),
+            },
+            CellRecord {
+                retries: 1,
+                backoff_ms: 100,
+                outcome: CellOutcome::Quarantined(RankingError::GapInRanks {
+                    expected: 2,
+                    found: 4,
+                }),
+            },
+            CellRecord { retries: 0, backoff_ms: 0, outcome: CellOutcome::SkippedByBreaker },
+        ];
+        for (i, record) in cases.iter().enumerate() {
+            let bytes = encode_crawl(i as u64 * 7, record);
+            let (key, back) = decode_crawl(&bytes).unwrap();
+            assert_eq!(key, i as u64 * 7);
+            assert_eq!(&back, record);
+        }
+    }
+
+    #[test]
+    fn study_records_round_trip() {
+        let record = ParticipantRecord {
+            sessions: vec![
+                SessionRecord {
+                    q: QueryId(3),
+                    list: Some(UserList {
+                        assignment: vec![ValueId(1), ValueId(2)],
+                        results: vec![10, 20, 30],
+                    }),
+                    truncated: false,
+                    quarantined: false,
+                    failed: false,
+                    retries: 0,
+                    backoff_ms: 0,
+                },
+                SessionRecord {
+                    q: QueryId(7),
+                    list: None,
+                    truncated: true,
+                    quarantined: true,
+                    failed: true,
+                    retries: 4,
+                    backoff_ms: 1500,
+                },
+            ],
+        };
+        let bytes = encode_study(42, &record);
+        let (uid, back) = decode_study(&bytes).unwrap();
+        assert_eq!(uid, 42);
+        assert_eq!(back, record);
+    }
+
+    #[test]
+    fn invalid_rank_sequences_are_rejected_on_decode() {
+        // Hand-build a payload whose ranking has a duplicated rank: the
+        // checksum layer cannot catch this, the codec must.
+        let mut buf = Vec::new();
+        codec::put_u64(&mut buf, 0); // key
+        codec::put_u32(&mut buf, 0); // retries
+        codec::put_u64(&mut buf, 0); // backoff
+        codec::put_u8(&mut buf, 0); // Clean
+        codec::put_len(&mut buf, 2); // two workers
+        for _ in 0..2 {
+            codec::put_len(&mut buf, 0); // empty assignment
+            codec::put_len(&mut buf, 1); // both claim rank 1
+            codec::put_opt_f64(&mut buf, None);
+        }
+        assert!(matches!(
+            decode_crawl(&buf),
+            Err(CodecError::Invalid("decoded ranking fails rank validation"))
+        ));
+    }
+
+    #[test]
+    fn truncated_payloads_error_cleanly() {
+        let bytes = encode_crawl(
+            9,
+            &CellRecord { retries: 0, backoff_ms: 0, outcome: CellOutcome::Clean(ranking()) },
+        );
+        for cut in 0..bytes.len() {
+            assert!(decode_crawl(&bytes[..cut]).is_err(), "prefix of {cut} bytes must not decode");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut bytes = encode_crawl(
+            1,
+            &CellRecord { retries: 0, backoff_ms: 0, outcome: CellOutcome::NotOffered },
+        );
+        bytes.push(0xFF);
+        assert!(matches!(decode_crawl(&bytes), Err(CodecError::TrailingBytes(1))));
+    }
+}

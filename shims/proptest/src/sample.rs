@@ -3,6 +3,31 @@
 
 use crate::{SizeRange, Strategy, TestRng};
 
+/// A strategy yielding one element of `items`, uniformly at random,
+/// mirroring `proptest::sample::select`.
+///
+/// # Panics
+///
+/// Panics (on sampling) if `items` is empty — the real crate rejects an
+/// empty selection at construction.
+pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+    Select { items }
+}
+
+/// See [`select`].
+pub struct Select<T> {
+    items: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        assert!(!self.items.is_empty(), "select requires a non-empty collection");
+        self.items[rng.below(self.items.len() as u64) as usize].clone()
+    }
+}
+
 /// A strategy yielding order-preserving random subsequences of `items`
 /// with a length drawn from `size`.
 ///

@@ -9,6 +9,8 @@
 //! - [`marketplace`]: TaskRabbit-style marketplace simulator;
 //! - [`search`]: Google-job-search-style personalized search simulator;
 //! - [`crowd`]: AMT-style demographic labeling;
+//! - [`store`]: crash-consistent incremental cube store (segment log,
+//!   epoch snapshots, binary cube snapshots);
 //! - [`repro`]: the experiment harness regenerating the paper's tables
 //!   and figures.
 //!
@@ -22,6 +24,7 @@ pub use fbox_par as par;
 pub use fbox_repro as repro;
 pub use fbox_resilience as resilience;
 pub use fbox_search as search;
+pub use fbox_store as store;
 pub use fbox_trace as trace;
 
 pub use fbox_core::{Dimension, FBox, MarketMeasure, Schema, SearchMeasure, Universe};

@@ -1,0 +1,328 @@
+//! Crash-consistency contracts of the durable cube store (`fbox-store`).
+//!
+//! The load-bearing guarantee extends the chaos contracts one layer down
+//! the stack: a crawl or study whose journal lives in a segment log may
+//! be killed at *any* record boundary (process interrupt) and suffer
+//! *any* planned storage fault (torn write, bit flip, short read), and
+//! recovery must still converge to a cube *bit-identical* to an
+//! uninterrupted, fault-free build — at any `FBOX_THREADS`.
+//!
+//! Two mechanisms make this testable deterministically: storage faults
+//! are a pure function of `(seed, log generation, record index)`, and the
+//! run result always folds from the whole journal in grid/recruitment
+//! order, so *which* generation executed a cell is unobservable in the
+//! output.
+
+use fbox::core::UnfairnessCube;
+use fbox::marketplace::{
+    crawl_resilient, BiasProfile, CrawlJournal, Marketplace, Population, ScoringModel,
+};
+use fbox::par::with_threads;
+use fbox::resilience::{Resilience, StoragePlan, StorageProfile};
+use fbox::search::extension::ExtensionRunner;
+use fbox::search::noise::NoiseModel;
+use fbox::search::personalize::PersonalizationProfile;
+use fbox::search::study::{run_study_journaled, run_study_resilient, StudyDesign, StudyJournal};
+use fbox::search::SearchEngine;
+use fbox::store::{
+    crawl_durable_with_plan, study_durable, study_durable_with_plan, CubeSnapshot, Durable,
+};
+use fbox::{FBox, MarketMeasure, SearchMeasure};
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+
+fn assert_cubes_bit_identical(a: &UnfairnessCube, b: &UnfairnessCube, context: &str) {
+    assert_eq!(
+        (a.n_groups(), a.n_queries(), a.n_locations()),
+        (b.n_groups(), b.n_queries(), b.n_locations()),
+        "{context}: dims"
+    );
+    let bits =
+        |c: &UnfairnessCube| c.raw_data().iter().map(|v| v.map(f64::to_bits)).collect::<Vec<_>>();
+    assert_eq!(bits(a), bits(b), "{context}: cube cells diverged");
+}
+
+fn marketplace() -> Marketplace {
+    Marketplace::new(Population::paper(5), ScoringModel::default(), BiasProfile::neutral(), 5)
+}
+
+fn log_path(name: &str, case: u64) -> PathBuf {
+    let dir = std::env::temp_dir().join("fbox-store-recovery-tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(format!("{name}-{case}-{}.fbxlog", std::process::id()));
+    scrub(&path);
+    path
+}
+
+/// Removes a log and its generation sidecar so every case starts fresh.
+fn scrub(path: &Path) {
+    let _ = std::fs::remove_file(path);
+    let mut gen = path.as_os_str().to_os_string();
+    gen.push(".gen");
+    let _ = std::fs::remove_file(PathBuf::from(gen));
+}
+
+/// A storage profile lossy enough to exercise every fault kind, gentle
+/// enough on torn writes that recovery converges in a handful of
+/// generations even over the full 5,376-cell TaskRabbit grid.
+fn crawl_storage_profile() -> StorageProfile {
+    StorageProfile { torn_write_pm: 2, bit_flip_pm: 3, short_read_pm: 10 }
+}
+
+/// Drives durable runs until durable state is complete: a final open
+/// replays every cell, has nothing left to execute, and suffers no crash.
+/// Returns the converged run and how many generations it took.
+fn recover_crawl_to_convergence(
+    m: &Marketplace,
+    resilience: &Resilience,
+    path: &Path,
+    plan: StoragePlan,
+    threads: usize,
+) -> (Durable<fbox::marketplace::CrawlRun>, u64) {
+    for _ in 0..64 {
+        let durable = with_threads(threads, || {
+            crawl_durable_with_plan(m, resilience, path, plan).expect("durable crawl io")
+        });
+        if durable.run.complete && !durable.crashed && durable.appended == 0 {
+            let generations = durable.replay.generation;
+            return (durable, generations);
+        }
+    }
+    panic!("durable crawl failed to converge within 64 generations");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Crash at a random record boundary, under a random storage-fault
+    /// seed, at a random thread count: the recovered cube is bit-equal to
+    /// an uninterrupted, fault-free build.
+    #[test]
+    fn crashed_crawl_recovers_bit_identically(
+        storage_seed in 0u64..u64::MAX,
+        interrupt_after in 1usize..5000,
+        threads in proptest::sample::select(vec![1usize, 2, 8]),
+    ) {
+        let m = marketplace();
+        let resilience = Resilience::none();
+        let reference = crawl_resilient(&m, &resilience, &mut CrawlJournal::new());
+        prop_assert!(reference.complete);
+        let ref_box = FBox::from_market(
+            reference.universe.clone(),
+            &reference.observations,
+            MarketMeasure::exposure(),
+        );
+
+        let plan = StoragePlan::new(storage_seed, crawl_storage_profile());
+        let path = log_path("crawl", storage_seed ^ interrupt_after as u64);
+
+        // The crash: interrupt mid-run at a record boundary (plus any
+        // torn write the plan deals out before that).
+        let mut interrupted = resilience;
+        interrupted.interrupt_after = Some(interrupt_after);
+        let partial = with_threads(threads, || {
+            crawl_durable_with_plan(&m, &interrupted, &path, plan).expect("durable crawl io")
+        });
+        prop_assert!(!partial.run.complete, "interrupted run must report incomplete");
+
+        let (converged, generations) =
+            recover_crawl_to_convergence(&m, &resilience, &path, plan, threads);
+        prop_assert!(generations >= 2, "recovery must span generations, got {generations}");
+
+        let context = format!(
+            "storage_seed={storage_seed} interrupt_after={interrupt_after} threads={threads}"
+        );
+        assert_eq!(converged.run.stats, reference.stats, "{context}: stats");
+        let fb = FBox::from_market(
+            converged.run.universe.clone(),
+            &converged.run.observations,
+            MarketMeasure::exposure(),
+        );
+        assert_cubes_bit_identical(ref_box.cube(), fb.cube(), &context);
+        scrub(&path);
+    }
+
+    /// The same contract for the study pipeline, under the stock `mild`
+    /// storage profile (the participant log is small enough that even
+    /// 20‰ torn writes converge quickly).
+    #[test]
+    fn crashed_study_recovers_bit_identically(
+        storage_seed in 0u64..u64::MAX,
+        interrupt_after in 1usize..120,
+        threads in proptest::sample::select(vec![1usize, 2, 8]),
+    ) {
+        let design = StudyDesign { participants_per_group: 2, seed: 0xF0CA };
+        let engine =
+            SearchEngine::new(PersonalizationProfile::uniform(0.2), NoiseModel::default(), 3);
+        let runner = ExtensionRunner { repeats: 1, max_extra_runs: 0, ..Default::default() };
+        let resilience = Resilience::none();
+
+        let (universe, observations, ref_stats) =
+            run_study_resilient(&design, &engine, &runner, &resilience);
+        let ref_box = FBox::from_search(universe, &observations, SearchMeasure::kendall());
+
+        let plan = StoragePlan::new(storage_seed, StorageProfile::mild());
+        let path = log_path("study", storage_seed ^ interrupt_after as u64);
+
+        let mut interrupted = resilience;
+        interrupted.interrupt_after = Some(interrupt_after);
+        let partial = with_threads(threads, || {
+            study_durable_with_plan(&design, &engine, &runner, &interrupted, &path, plan)
+                .expect("durable study io")
+        });
+        prop_assert!(!partial.run.complete, "interrupted run must report incomplete");
+
+        let mut converged = None;
+        for _ in 0..64 {
+            let durable = with_threads(threads, || {
+                study_durable_with_plan(&design, &engine, &runner, &resilience, &path, plan)
+                    .expect("durable study io")
+            });
+            if durable.run.complete && !durable.crashed && durable.appended == 0 {
+                converged = Some(durable);
+                break;
+            }
+        }
+        let converged = converged.expect("durable study failed to converge within 64 generations");
+
+        let context =
+            format!("storage_seed={storage_seed} interrupt_after={interrupt_after} threads={threads}");
+        assert_eq!(converged.run.stats, ref_stats, "{context}: stats");
+        let fb = FBox::from_search(
+            converged.run.universe.clone(),
+            &converged.run.observations,
+            SearchMeasure::kendall(),
+        );
+        assert_cubes_bit_identical(ref_box.cube(), fb.cube(), &context);
+        scrub(&path);
+    }
+}
+
+/// The journaled study runner honors the write-ahead journal the same way
+/// the crawl does: an interrupted run resumed from its journal lands on
+/// the same bytes as one that never stopped.
+#[test]
+fn interrupted_study_resumes_byte_identically() {
+    let design = StudyDesign { participants_per_group: 2, seed: 0xF0CA };
+    let engine = SearchEngine::new(PersonalizationProfile::uniform(0.2), NoiseModel::default(), 3);
+    let runner = ExtensionRunner { repeats: 1, max_extra_runs: 0, ..Default::default() };
+    let resilience = Resilience::none();
+    let reference = run_study_journaled(
+        &design,
+        &engine,
+        &runner,
+        &resilience,
+        &mut StudyJournal::new(),
+        &mut |_, _| {},
+    );
+    assert!(reference.complete);
+
+    for threads in [1usize, 4] {
+        let mut journal = StudyJournal::new();
+        let mut interrupted = resilience;
+        interrupted.interrupt_after = Some(40);
+        let partial = with_threads(threads, || {
+            run_study_journaled(
+                &design,
+                &engine,
+                &runner,
+                &interrupted,
+                &mut journal,
+                &mut |_, _| {},
+            )
+        });
+        assert!(!partial.complete, "threads={threads}: interrupted run must report incomplete");
+
+        let resumed = with_threads(threads, || {
+            run_study_journaled(
+                &design,
+                &engine,
+                &runner,
+                &resilience,
+                &mut journal,
+                &mut |_, _| {},
+            )
+        });
+        assert!(resumed.complete, "threads={threads}: resumed run must complete");
+        assert_eq!(resumed.stats, reference.stats, "threads={threads}: stats");
+        for ((q, l), lists) in reference.observations.cells() {
+            assert_eq!(
+                resumed.observations.get(q, l),
+                Some(lists),
+                "threads={threads}: cell ({q:?}, {l:?}) diverged"
+            );
+        }
+    }
+}
+
+/// The CI crash-recovery matrix drives this test from the outside: the
+/// storage-fault plan comes from `FBOX_FAULTS=<seed>:<profile>` (via
+/// [`study_durable`]'s env-backed default) and the worker count from the
+/// ambient `FBOX_THREADS` — no pinning here. Whatever that environment
+/// deals out, an interrupted study must recover to the fault-free
+/// reference bit-for-bit.
+#[test]
+fn env_driven_study_recovery_matches_reference() {
+    let design = StudyDesign { participants_per_group: 2, seed: 0xF0CA };
+    let engine = SearchEngine::new(PersonalizationProfile::uniform(0.2), NoiseModel::default(), 3);
+    let runner = ExtensionRunner { repeats: 1, max_extra_runs: 0, ..Default::default() };
+    let resilience = Resilience::none();
+    let (universe, observations, ref_stats) =
+        run_study_resilient(&design, &engine, &runner, &resilience);
+    let ref_box = FBox::from_search(universe, &observations, SearchMeasure::kendall());
+
+    let path = log_path("env-study", 0);
+    let mut interrupted = resilience;
+    interrupted.interrupt_after = Some(60);
+    let partial =
+        study_durable(&design, &engine, &runner, &interrupted, &path).expect("durable study io");
+    assert!(!partial.run.complete, "interrupted run must report incomplete");
+
+    let mut converged = None;
+    for _ in 0..64 {
+        let durable =
+            study_durable(&design, &engine, &runner, &resilience, &path).expect("durable study io");
+        if durable.run.complete && !durable.crashed && durable.appended == 0 {
+            converged = Some(durable);
+            break;
+        }
+    }
+    let converged =
+        converged.expect("env-driven recovery failed to converge within 64 generations");
+
+    assert_eq!(converged.run.stats, ref_stats, "env-driven recovery: stats");
+    let fb = FBox::from_search(
+        converged.run.universe.clone(),
+        &converged.run.observations,
+        SearchMeasure::kendall(),
+    );
+    assert_cubes_bit_identical(ref_box.cube(), fb.cube(), "env-driven recovery");
+    scrub(&path);
+}
+
+/// Saving a built cube and loading it back crosses the snapshot format
+/// without losing a bit, and the loaded universe mints identical ids.
+#[test]
+fn cube_snapshot_round_trips_a_real_crawl() {
+    let m = marketplace();
+    let run = crawl_resilient(&m, &Resilience::none(), &mut CrawlJournal::new());
+    let fb = FBox::from_market(run.universe.clone(), &run.observations, MarketMeasure::emd());
+
+    let mut snap = CubeSnapshot::new(run.universe.clone());
+    snap.insert_cube("market:emd", fb.cube().clone());
+    let path = log_path("snapshot", 0).with_extension("fbxs");
+    snap.save(&path).expect("save snapshot");
+
+    let loaded = CubeSnapshot::load(&path).expect("load snapshot");
+    assert_cubes_bit_identical(fb.cube(), loaded.cube("market:emd").expect("cube"), "snapshot");
+    for q in run.universe.query_ids() {
+        assert_eq!(loaded.universe().query(q), run.universe.query(q));
+    }
+    for l in run.universe.location_ids() {
+        assert_eq!(loaded.universe().location(l), run.universe.location(l));
+    }
+    for g in run.universe.group_ids() {
+        assert_eq!(loaded.universe().group(g), run.universe.group(g));
+    }
+    let _ = std::fs::remove_file(&path);
+}

@@ -15,11 +15,12 @@ fn main() {
     let path = write_snapshot(&root, "lint", &outcome.snapshot).expect("snapshot written");
     println!(
         "lint over {ITERATIONS} iterations: 1 worker {:.1} ms, {THREADS} workers {:.1} ms \
-         ({:.2}x, {} findings); wrote {}",
+         ({:.2}x, {} findings), absint fixpoint {:.1} ms; wrote {}",
         outcome.serial_ms,
         outcome.parallel_ms,
         outcome.speedup,
         outcome.findings,
+        outcome.absint_ms,
         path.display()
     );
     // The report must be worker-count-independent: the engine flattens

@@ -69,6 +69,8 @@ pub struct LintOutcome {
     pub parallel_ms: f64,
     /// serial / parallel mean ratio.
     pub speedup: f64,
+    /// Mean interval-fixpoint (fourth pass) time, milliseconds.
+    pub absint_ms: f64,
     /// Findings reported (identical across worker counts).
     pub findings: usize,
 }
@@ -285,6 +287,31 @@ pub fn lint_suite() -> LintOutcome {
         t.observe();
     }
 
+    // Isolate the fourth pass: the interprocedural interval fixpoint,
+    // re-run on an already-built model so the metric moves with the
+    // abstract interpreter alone, not lexing/parsing/rule time.
+    let absint_h = registry.histogram("lint.absint");
+    let sources: Vec<_> = fbox_lint::engine::walk(&root, &config)
+        .iter()
+        .filter_map(|rel| fbox_lint::source::load(&root, rel))
+        .collect();
+    let model = fbox_lint::sema::Model::build(&sources, &config);
+    let plain: Vec<Vec<usize>> =
+        model.graph.iter().map(|es| es.iter().map(|&(callee, _)| callee).collect()).collect();
+    for _ in 0..ITERATIONS {
+        let t = absint_h.timer();
+        black_box(with_threads(THREADS, || {
+            fbox_lint::absint::analyze(
+                &sources,
+                &model.nodes,
+                &plain,
+                &model.flows,
+                &model.call_sites,
+            )
+        }));
+        t.observe();
+    }
+
     let speedup = mean_ns(&serial_h) / mean_ns(&parallel_h);
     // Gauges are integers; store the ratio ×100 (e.g. 1.84× → 184).
     registry.gauge("lint.speedup_x100").set((speedup * 100.0) as i64);
@@ -296,6 +323,7 @@ pub fn lint_suite() -> LintOutcome {
         serial_ms: mean_ns(&serial_h) / 1e6,
         parallel_ms: mean_ns(&parallel_h) / 1e6,
         speedup,
+        absint_ms: mean_ns(&absint_h) / 1e6,
         findings,
     }
 }

@@ -71,12 +71,13 @@ pub const RESILIENCE_TOLERANCES: [Tolerance; 9] = [
 /// PR — so only configuration (thread count), the serial/parallel parity
 /// bit, and the wall clocks are gated. The speedup band is wider than
 /// the cube suite's: lint runs are short and I/O-warm-up-sensitive.
-pub const LINT_TOLERANCES: [Tolerance; 5] = [
+pub const LINT_TOLERANCES: [Tolerance; 6] = [
     tol("lint.parity", Direction::Exact, 0),
     tol("lint.threads", Direction::Exact, 0),
     tol("lint.speedup_x100", Direction::HigherBetter, 400),
     tol("lint.serial", Direction::LowerBetter, 600),
     tol("lint.parallel", Direction::LowerBetter, 600),
+    tol("lint.absint", Direction::LowerBetter, 600),
 ];
 
 /// The gate's metric policy for `BENCH_mitigate.json`. The re-ranking

@@ -81,7 +81,10 @@ impl Restriction {
                 }
                 out
             }
-            None => (0..total as u32).collect(),
+            None => {
+                debug_assert!(total <= u32::MAX as usize, "dimension size must fit u32 ids");
+                (0..total as u32).collect()
+            }
         }
     }
 }

@@ -76,7 +76,13 @@ impl UnfairnessCube {
     /// Sets or clears a cell from an optional measure result.
     pub fn set_opt(&mut self, g: GroupId, q: QueryId, l: LocationId, value: Option<f64>) {
         match value {
-            Some(v) => self.set(g, q, l, v),
+            Some(v) => {
+                assert!(
+                    v.is_finite() && (0.0..=1.0).contains(&v),
+                    "unfairness value {v} out of [0,1]"
+                );
+                self.set(g, q, l, v);
+            }
             None => {
                 let o = self.offset(g, q, l);
                 self.data[o] = None;

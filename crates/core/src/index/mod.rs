@@ -60,6 +60,10 @@ pub struct IndexSet {
 /// order of one posting-list family.
 fn pair_grid(na: usize, nb: usize) -> Vec<(u32, u32)> {
     let mut pairs = Vec::with_capacity(na * nb);
+    debug_assert!(
+        na <= u32::MAX as usize && nb <= u32::MAX as usize,
+        "dimension sizes must fit the u32 id space"
+    );
     for a in 0..na as u32 {
         for b in 0..nb as u32 {
             pairs.push((a, b));
@@ -152,7 +156,9 @@ impl IndexSet {
             self.location_lists[g as usize * self.n_queries + q.0 as usize].update(l.0, v);
         }
         let after = self.group_lists[slot].len();
-        self.n_present = self.n_present - before + after;
+        let n = self.n_present + after;
+        debug_assert!(before <= n, "posting list shrank below the entries it contributed");
+        self.n_present = n - before;
         self.complete = self.n_present == self.n_groups * self.n_queries * self.n_locations;
     }
 

@@ -316,11 +316,14 @@ fn transport(supply: &[u64], demand: &[u64], costs: &[f64], m: usize) -> Transpo
         let mut v = sink;
         while let Some((u, ei)) = prev[v] {
             total_cost += graph[u][ei].cost * bottleneck as f64;
-            graph[u][ei].cap -= bottleneck;
+            let cap = graph[u][ei].cap;
+            debug_assert!(bottleneck <= cap, "bottleneck exceeds residual capacity");
+            graph[u][ei].cap = cap - bottleneck;
             let rev = graph[u][ei].rev;
             graph[v][rev].cap += bottleneck;
             v = u;
         }
+        debug_assert!(bottleneck <= remaining, "pushed more flow than supply left");
         remaining -= bottleneck;
     }
 
@@ -328,10 +331,15 @@ fn transport(supply: &[u64], demand: &[u64], costs: &[f64], m: usize) -> Transpo
     // supply→demand edge started at `EDGE_CAP`, so its spent capacity is
     // the flow routed across it.
     let mut flow = vec![vec![0u64; m]; n];
+    let base = 1 + n;
     for (i, row) in flow.iter_mut().enumerate() {
         for e in &graph[1 + i] {
-            if (1 + n..1 + n + m).contains(&e.to) {
-                row[e.to - 1 - n] = EDGE_CAP - e.cap;
+            let to = e.to;
+            if (base..base + m).contains(&to) {
+                debug_assert!(base <= to, "contains() bounds the demand-node id");
+                let cap = e.cap;
+                debug_assert!(cap <= EDGE_CAP, "residual capacity grew past the initial cap");
+                row[to - base] = EDGE_CAP - cap;
             }
         }
     }

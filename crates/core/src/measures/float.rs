@@ -54,7 +54,7 @@ pub fn approx_eq(a: f64, b: f64) -> bool {
 #[must_use]
 pub fn floor_index(x: f64) -> usize {
     debug_assert!(x.is_finite() && x >= 0.0, "floor_index needs a non-negative finite value");
-    x.max(0.0).floor() as usize // fbox-lint: allow(float-int-cast) audited conversion point
+    x.max(0.0).floor() as usize
 }
 
 /// Floors a non-negative finite float to `u64` units (time buckets,
@@ -62,7 +62,7 @@ pub fn floor_index(x: f64) -> usize {
 #[must_use]
 pub fn floor_units(x: f64) -> u64 {
     debug_assert!(x.is_finite() && x >= 0.0, "floor_units needs a non-negative finite value");
-    x.max(0.0).floor() as u64 // fbox-lint: allow(float-int-cast) audited conversion point
+    x.max(0.0).floor() as u64
 }
 
 /// Rounds a non-negative finite float to the nearest `u64` unit count
@@ -70,7 +70,7 @@ pub fn floor_units(x: f64) -> u64 {
 #[must_use]
 pub fn round_units(x: f64) -> u64 {
     debug_assert!(x.is_finite() && x >= 0.0, "round_units needs a non-negative finite value");
-    x.max(0.0).round() as u64 // fbox-lint: allow(float-int-cast) audited conversion point
+    x.max(0.0).round() as u64
 }
 
 #[cfg(test)]

@@ -39,7 +39,9 @@ impl BinConfig {
     /// The canonical configuration for scores and relevances in `[0, 1]`
     /// with ten bins — what the framework uses by default.
     pub fn unit(bins: usize) -> Self {
-        Self::new(0.0, 1.0, bins)
+        let n_bins = bins;
+        assert!(n_bins > 0, "histogram needs at least one bin");
+        Self::new(0.0, 1.0, n_bins)
     }
 
     /// Width of each bin.
@@ -53,7 +55,12 @@ impl BinConfig {
     pub fn bin_of(&self, v: f64) -> usize {
         assert!(!v.is_nan(), "cannot bin NaN");
         let clamped = v.clamp(self.lo, self.hi);
-        let raw = ((clamped - self.lo) / self.bin_width()) as usize;
+        let scaled = (clamped - self.lo) / self.bin_width();
+        // `clamped` is finite in `[lo, hi]` and the width is positive, so
+        // the quotient is already finite and non-negative; the guard makes
+        // that invariant local instead of a whole-struct argument.
+        let scaled = if scaled.is_finite() && scaled >= 0.0 { scaled } else { 0.0 };
+        let raw = scaled as usize;
         raw.min(self.bins - 1)
     }
 

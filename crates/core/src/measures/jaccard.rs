@@ -24,7 +24,7 @@ pub fn index<T: Ord>(a: &[T], b: &[T]) -> f64 {
         return 1.0;
     }
     let inter = sa.intersection(&sb).count();
-    let union = sa.len() + sb.len() - inter;
+    let union = sa.union(&sb).count();
     inter as f64 / union as f64
 }
 

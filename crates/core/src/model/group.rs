@@ -104,7 +104,9 @@ impl GroupLabel {
     /// label mentions.
     pub fn variants(&self, schema: &Schema, attr: AttrId) -> Vec<GroupLabel> {
         let current = self.value_of(attr).expect("variants(g, a) requires a ∈ A(g)");
-        let domain = schema.attribute(attr).cardinality() as u16;
+        let domain = schema.attribute(attr).cardinality();
+        debug_assert!(domain <= u16::MAX as usize, "attribute domain must fit u16 value ids");
+        let domain = domain as u16;
         (0..domain)
             .map(ValueId)
             .filter(|&v| v != current)
@@ -173,14 +175,18 @@ pub fn all_groups(schema: &Schema) -> Vec<GroupLabel> {
     for mask in 1u32..(1 << n) {
         let attrs: Vec<AttrId> =
             (0..n).filter(|&i| mask & (1 << i) != 0).map(|i| AttrId(i as u16)).collect();
+        let n_attrs = attrs.len();
+        if n_attrs == 0 {
+            continue; // unreachable: every mask in 1..(1<<n) selects a bit
+        }
         // Odometer over the value domains of the chosen attributes
         // (last attribute varies fastest).
-        let mut counters = vec![0u16; attrs.len()];
+        let mut counters = vec![0u16; n_attrs];
         'odometer: loop {
             out.push(GroupLabel::new(
                 attrs.iter().zip(&counters).map(|(&a, &c)| (a, ValueId(c))).collect(),
             ));
-            let mut i = attrs.len() - 1;
+            let mut i = n_attrs - 1;
             loop {
                 counters[i] += 1;
                 if (counters[i] as usize) < schema.attribute(attrs[i]).cardinality() {

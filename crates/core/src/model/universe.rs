@@ -93,7 +93,9 @@ impl Universe {
         if let Some(&id) = self.group_ids.get(&label) {
             return id;
         }
-        let id = GroupId(self.groups.len() as u32);
+        let n = self.groups.len();
+        assert!(n <= u32::MAX as usize, "group id space exhausted");
+        let id = GroupId(n as u32);
         self.group_ids.insert(label.clone(), id);
         self.groups.push(label);
         id
@@ -106,7 +108,9 @@ impl Universe {
         if let Some(&id) = self.query_ids.get(&name) {
             return id;
         }
-        let id = QueryId(self.queries.len() as u32);
+        let n = self.queries.len();
+        assert!(n <= u32::MAX as usize, "query id space exhausted");
+        let id = QueryId(n as u32);
         self.query_ids.insert(name.clone(), id);
         self.queries.push(QueryDef { name, category: category.map(str::to_string) });
         id
@@ -118,7 +122,9 @@ impl Universe {
         if let Some(&id) = self.location_ids.get(&name) {
             return id;
         }
-        let id = LocationId(self.locations.len() as u32);
+        let n = self.locations.len();
+        assert!(n <= u32::MAX as usize, "location id space exhausted");
+        let id = LocationId(n as u32);
         self.location_ids.insert(name.clone(), id);
         self.locations.push(LocationDef { name, region: region.map(str::to_string) });
         id
@@ -183,17 +189,23 @@ impl Universe {
 
     /// All group ids in registration order.
     pub fn group_ids(&self) -> impl Iterator<Item = GroupId> {
-        (0..self.groups.len() as u32).map(GroupId)
+        let n = self.groups.len();
+        debug_assert!(n <= u32::MAX as usize, "group id space exhausted");
+        (0..n as u32).map(GroupId)
     }
 
     /// All query ids in registration order.
     pub fn query_ids(&self) -> impl Iterator<Item = QueryId> {
-        (0..self.queries.len() as u32).map(QueryId)
+        let n = self.queries.len();
+        debug_assert!(n <= u32::MAX as usize, "query id space exhausted");
+        (0..n as u32).map(QueryId)
     }
 
     /// All location ids in registration order.
     pub fn location_ids(&self) -> impl Iterator<Item = LocationId> {
-        (0..self.locations.len() as u32).map(LocationId)
+        let n = self.locations.len();
+        debug_assert!(n <= u32::MAX as usize, "location id space exhausted");
+        (0..n as u32).map(LocationId)
     }
 
     /// Queries belonging to a category (for breakdowns like Table 15, which

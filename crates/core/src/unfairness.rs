@@ -34,6 +34,10 @@ impl SearchMeasure {
     pub fn distance(&self, a: &[u64], b: &[u64]) -> f64 {
         match *self {
             SearchMeasure::KendallTopK { penalty } => {
+                assert!(
+                    penalty.is_finite() && (0.0..=1.0).contains(&penalty),
+                    "kendall penalty {penalty} out of [0,1]"
+                );
                 measures::kendall::top_k_distance(a, b, penalty)
             }
             SearchMeasure::JaccardDistance => measures::jaccard::distance(a, b),

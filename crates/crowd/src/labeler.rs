@@ -84,6 +84,8 @@ fn validate_row(row: &[f64]) {
 }
 
 fn sample_row(row: &[f64], rng: &mut impl Rng) -> usize {
+    let n = row.len();
+    assert!(n > 0, "confusion row cannot be empty");
     let r: f64 = rng.random_range(0.0..1.0);
     let mut acc = 0.0;
     for (i, &p) in row.iter().enumerate() {
@@ -92,7 +94,7 @@ fn sample_row(row: &[f64], rng: &mut impl Rng) -> usize {
             return i;
         }
     }
-    row.len() - 1 // floating-point slack lands in the last bucket
+    n - 1 // floating-point slack lands in the last bucket
 }
 
 #[cfg(test)]

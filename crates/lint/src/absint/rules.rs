@@ -1,0 +1,354 @@
+//! The four interval-powered rules riding the determinism/parallel
+//! cones. Each one consumes the events the reporting pass collected and
+//! keeps only what the converged intervals *cannot* prove safe — the
+//! finding's final path hop renders the offending intervals, so the
+//! report shows exactly what the analysis knew at the site.
+
+use crate::rules::{Finding, Severity};
+use crate::sema::{Model, SemaRule};
+
+use super::domain::{AbsVal, IntKind};
+use super::eval::Event;
+use super::pair_key;
+
+/// `arith-unchecked-sub` — unsigned subtraction the intervals cannot
+/// prove non-wrapping (the `normalize_to_units` bug class: panics in
+/// debug, wraps to ~2⁶⁴ in release).
+pub struct ArithUncheckedSub;
+
+/// `arith-widening-needed` — a 64-bit `+`/`*` whose operands are both
+/// genuinely bounded yet whose result interval still escapes the type,
+/// so the expression needs an i128 widening, not a shrug.
+pub struct ArithWideningNeeded;
+
+/// `range-invariant-escape` — an argument flowing into a function whose
+/// leading asserts demand a range (`[0, 1]` shares, finite weights) the
+/// caller's interval cannot prove, through a path with no clamp.
+pub struct RangeInvariantEscape;
+
+/// `cast-truncating-unproven` — the interval-refined successor of the
+/// lexical `float-int-cast` rule: an `as` cast is silenced when the
+/// operand's range proves it lossless and flagged with that range
+/// rendered otherwise.
+pub struct CastTruncatingUnproven;
+
+/// Shared per-node iteration: cone gate, event loop, path assembly.
+fn for_each_event(model: &Model, mut visit: impl FnMut(usize, usize, &Event, Vec<String>)) {
+    for id in 0..model.nodes.len() {
+        let node = &model.nodes[id];
+        if node.in_test || !(model.det.reached(id) || model.par.reached(id)) {
+            continue;
+        }
+        let Some(fa) = model.absint.fns[id].as_ref() else { continue };
+        let Some(flow) = model.flows[id].as_ref() else { continue };
+        let file = &model.files[node.file];
+        for &(stmt_id, ref event) in &fa.events {
+            let line = file.lexed.tokens[event.at()].line;
+            if file.in_test_span(line) {
+                continue;
+            }
+            let ids =
+                model.det.path_to(id).or_else(|| model.par.path_to(id)).unwrap_or_else(|| vec![id]);
+            let mut path = model.render_path(&ids);
+            path.push(model.stmt_hop(id, flow.stmt(stmt_id)));
+            visit(id, stmt_id, event, path);
+        }
+    }
+}
+
+impl SemaRule for ArithUncheckedSub {
+    fn id(&self) -> &'static str {
+        "arith-unchecked-sub"
+    }
+
+    fn summary(&self) -> &'static str {
+        "unsigned subtraction whose operand intervals cannot prove lhs >= rhs"
+    }
+
+    fn default_severity(&self) -> Severity {
+        Severity::Deny
+    }
+
+    fn check(&self, model: &Model, out: &mut Vec<Finding>) {
+        for_each_event(model, |id, stmt_id, event, mut path| {
+            let Event::UncheckedSub { at, lhs, rhs, lhs_name, rhs_name } = event else { return };
+            // Interval proof: the smallest lhs is at least the largest rhs.
+            if let (Some(li), Some(ri)) = (lhs.interval(), rhs.interval()) {
+                if li.lo >= ri.hi {
+                    return;
+                }
+            }
+            // Guard proof: a dominating `lhs >= rhs` comparison.
+            if let (Some(l), Some(r)) = (lhs_name, rhs_name) {
+                let proven = model.absint.fns[id]
+                    .as_ref()
+                    .and_then(|fa| fa.envs.get(stmt_id).and_then(Option::as_ref))
+                    .is_some_and(|env| env.contains_key(&pair_key(l, r)));
+                if proven {
+                    return;
+                }
+            }
+            path.push(format!(
+                "cannot prove lhs >= rhs: lhs in {}, rhs in {}",
+                lhs.render(),
+                rhs.render()
+            ));
+            let node = &model.nodes[id];
+            let line = model.files[node.file].lexed.tokens[*at].line;
+            model.emit(self, node.file, line, path, out);
+        });
+    }
+}
+
+impl SemaRule for ArithWideningNeeded {
+    fn id(&self) -> &'static str {
+        "arith-widening-needed"
+    }
+
+    fn summary(&self) -> &'static str {
+        "64-bit add/mul of bounded operands whose result interval escapes the type without i128 widening"
+    }
+
+    fn default_severity(&self) -> Severity {
+        Severity::Deny
+    }
+
+    fn check(&self, model: &Model, out: &mut Vec<Finding>) {
+        for_each_event(model, |id, _stmt_id, event, mut path| {
+            let Event::Overflow { at, op, kind, lhs, rhs, result } = event else { return };
+            // Only the widest native types: narrower ones have an obvious
+            // in-language fix (use the next size up) that the compiler's
+            // own lints already push toward, and usize/isize arithmetic
+            // is dominated by indexing, where i128 widening is noise.
+            if kind.bits() != 64 || matches!(kind, IntKind::Usize | IntKind::Isize) {
+                return;
+            }
+            // Both operands must be *genuinely* bounded below the type
+            // fence — an operand the analysis knows nothing about always
+            // "escapes", and flagging every unknown u64 would be noise,
+            // not analysis.
+            let fence = kind.range();
+            if lhs.hi >= fence.hi || rhs.hi >= fence.hi {
+                return;
+            }
+            path.push(format!(
+                "{} {op} {} gives {result}, escaping {}; widen to i128",
+                lhs,
+                rhs,
+                kind.name()
+            ));
+            let node = &model.nodes[id];
+            let line = model.files[node.file].lexed.tokens[*at].line;
+            model.emit(self, node.file, line, path, out);
+        });
+    }
+}
+
+impl SemaRule for RangeInvariantEscape {
+    fn id(&self) -> &'static str {
+        "range-invariant-escape"
+    }
+
+    fn summary(&self) -> &'static str {
+        "argument cannot prove the documented range a callee's leading asserts require"
+    }
+
+    fn default_severity(&self) -> Severity {
+        Severity::Deny
+    }
+
+    fn check(&self, model: &Model, out: &mut Vec<Finding>) {
+        for_each_event(model, |id, _stmt_id, event, path| {
+            let Event::Call { at, args } = event else { return };
+            let node = &model.nodes[id];
+            let toks = &model.files[node.file].lexed.tokens;
+            // Unique resolution only: over-approximated method candidates
+            // would blame a caller for every same-named method's asserts.
+            let Ok(pos) = model.call_sites[id].binary_search_by_key(at, |e| e.0) else { return };
+            let [callee] = model.call_sites[id][pos].1[..] else { return };
+            let Some(summary) = model.absint.summaries[callee].as_ref() else { return };
+            if summary.requires.is_empty() {
+                return;
+            }
+            // Method calls pass the receiver outside the argument list.
+            let offset = usize::from(summary.params.first().is_some_and(|p| p == "self"));
+            for (idx, name, required) in &summary.requires {
+                let Some(arg_pos) = idx.checked_sub(offset) else { continue };
+                let Some(arg) = args.get(arg_pos) else { continue };
+                let satisfied = match (arg, required) {
+                    (AbsVal::Float(have), AbsVal::Float(want)) => have.implies(want),
+                    (AbsVal::Int { iv: have, .. }, AbsVal::Int { iv: want, .. }) => {
+                        have.within(want)
+                    }
+                    // Type confusion between caller and summary means the
+                    // name-based resolution guessed wrong; stay quiet.
+                    (AbsVal::Top, _) => false,
+                    _ => true,
+                };
+                if satisfied {
+                    continue;
+                }
+                let mut path = path.clone();
+                path.push(format!(
+                    "argument `{name}` in {} cannot prove {} required by {}",
+                    arg.render(),
+                    required.render(),
+                    model.nodes[callee].qname
+                ));
+                model.emit(self, node.file, toks[*at].line, path, out);
+            }
+        });
+    }
+}
+
+impl SemaRule for CastTruncatingUnproven {
+    fn id(&self) -> &'static str {
+        "cast-truncating-unproven"
+    }
+
+    fn summary(&self) -> &'static str {
+        "`as` cast the operand's computed interval does not prove lossless"
+    }
+
+    fn default_severity(&self) -> Severity {
+        Severity::Deny
+    }
+
+    fn check(&self, model: &Model, out: &mut Vec<Finding>) {
+        for_each_event(model, |id, _stmt_id, event, mut path| {
+            let Event::Cast { at, from, to, proven, from_float } = event else { return };
+            if *proven {
+                return;
+            }
+            // Float sources are always in scope (the PR 2 rule's beat);
+            // int sources only when the cast actually narrows — an
+            // unknown u32 "failing" to prove a u32→u64 widening is a
+            // vacuous finding.
+            if !*from_float {
+                let narrows = matches!(
+                    from,
+                    AbsVal::Int { kind: Some(k), .. } if k.bits() > to.bits()
+                );
+                if !narrows {
+                    return;
+                }
+            }
+            path.push(format!("cast of {} to {} not proven lossless", from.render(), to.name()));
+            let node = &model.nodes[id];
+            let line = model.files[node.file].lexed.tokens[*at].line;
+            model.emit(self, node.file, line, path, out);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use crate::source::SourceFile;
+
+    fn findings(rule: &dyn SemaRule, src: &str) -> Vec<Finding> {
+        let files = vec![SourceFile::parse("crates/core/src/x.rs", src)];
+        let cfg = Config { sema_roots: vec!["run_study".into()], ..Default::default() };
+        let model = Model::build(&files, &cfg);
+        let mut out = Vec::new();
+        rule.check(&model, &mut out);
+        out
+    }
+
+    #[test]
+    fn unguarded_unsigned_sub_is_flagged_with_intervals() {
+        let out =
+            findings(&ArithUncheckedSub, "pub fn run_study(a: u64, b: u64) -> u64 { a - b }\n");
+        assert_eq!(out.len(), 1, "{out:?}");
+        let last = out[0].path.last().expect("interval hop");
+        assert!(last.contains("cannot prove lhs >= rhs"), "{last}");
+        assert!(last.contains("u64 [0, 18446744073709551615]"), "{last}");
+    }
+
+    #[test]
+    fn guard_or_interval_proofs_silence_the_sub() {
+        let guarded = "pub fn run_study(a: u64, b: u64) -> u64 {\n\
+                           if a >= b { a - b } else { 0 }\n\
+                       }\n";
+        // The whole `if` is a tail expression — statement-level analysis
+        // sees the guarded subtraction only when it is a statement:
+        let stmt_guarded = "pub fn run_study(a: u64, b: u64) -> u64 {\n\
+                                if a < b { return 0; }\n\
+                                let d = a - b;\n\
+                                d\n\
+                            }\n";
+        let clamped = "pub fn run_study(a: u64, b: u64) -> u64 {\n\
+                           let lo = b.min(10);\n\
+                           let hi = a.max(10);\n\
+                           hi - lo\n\
+                       }\n";
+        assert!(findings(&ArithUncheckedSub, guarded).is_empty());
+        assert!(findings(&ArithUncheckedSub, stmt_guarded).is_empty(), "negated guard proves it");
+        assert!(findings(&ArithUncheckedSub, clamped).is_empty(), "hi in [10,inf], lo in [0,10]");
+    }
+
+    #[test]
+    fn bounded_mul_escaping_u64_wants_widening() {
+        let out = findings(
+            &ArithWideningNeeded,
+            "pub fn run_study(a: u64, b: u64) -> u64 {\n\
+                 let x = a.min(1_000_000_000_000);\n\
+                 let y = b.min(1_000_000_000_000);\n\
+                 x * y\n\
+             }\n",
+        );
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].path.last().expect("hop").contains("widen to i128"));
+        let safe = findings(
+            &ArithWideningNeeded,
+            "pub fn run_study(a: u64, b: u64) -> u64 {\n\
+                 let x = a.min(1_000_000);\n\
+                 let y = b.min(1_000_000);\n\
+                 x * y\n\
+             }\n",
+        );
+        assert!(safe.is_empty(), "{safe:?}");
+    }
+
+    #[test]
+    fn assert_requirements_catch_unproven_arguments() {
+        let src = "fn weigh(share: f64) -> f64 {\n\
+                       debug_assert!(share.is_finite() && share >= 0.0 && share <= 1.0);\n\
+                       share\n\
+                   }\n\
+                   pub fn run_study(x: f64) -> f64 { weigh(x) }\n";
+        let out = findings(&RangeInvariantEscape, src);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].path.last().expect("hop").contains("`share`"));
+        // `clamp` alone cannot prove finiteness (NaN passes through), so
+        // the caller needs the guard too.
+        let clamped = "fn weigh(share: f64) -> f64 {\n\
+                           debug_assert!(share.is_finite() && share >= 0.0 && share <= 1.0);\n\
+                           share\n\
+                       }\n\
+                       pub fn run_study(x: f64) -> f64 {\n\
+                           if !x.is_finite() { return 0.0; }\n\
+                           weigh(x.clamp(0.0, 1.0))\n\
+                       }\n";
+        let out = findings(&RangeInvariantEscape, clamped);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn casts_are_silenced_exactly_when_proven() {
+        let unproven = "pub fn run_study(x: f64) -> u64 { x as u64 }\n";
+        let out = findings(&CastTruncatingUnproven, unproven);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].path.last().expect("hop").contains("not proven lossless"));
+        let proven = "pub fn run_study(x: f64) -> u64 {\n\
+                          debug_assert!(x.is_finite() && x >= 0.0);\n\
+                          x.max(0.0).floor() as u64\n\
+                      }\n";
+        assert!(findings(&CastTruncatingUnproven, proven).is_empty());
+        let narrowing = "pub fn run_study(n: u64) -> u32 { n as u32 }\n";
+        assert_eq!(findings(&CastTruncatingUnproven, narrowing).len(), 1);
+        let bounded = "pub fn run_study(n: u64) -> u32 { n.min(65_535) as u32 }\n";
+        assert!(findings(&CastTruncatingUnproven, bounded).is_empty());
+    }
+}

@@ -100,8 +100,9 @@ pub fn run(root: &Path, config: &Config, baseline: &Baseline, registry: &Registr
         .flatten()
         .collect()
     };
-    report.files_scanned = sources.len() as u32;
-    report.lines_scanned = sources.iter().map(|f| f.lines.len() as u32).sum();
+    report.files_scanned = sources.len().min(u32::MAX as usize) as u32;
+    let total_lines: usize = sources.iter().map(|f| f.lines.len()).sum();
+    report.lines_scanned = total_lines.min(u32::MAX as usize) as u32;
 
     // Semantic pass. Severity and path scoping are resolved per finding
     // (the sink's file), since one rule's findings span many files.
@@ -113,6 +114,17 @@ pub fn run(root: &Path, config: &Config, baseline: &Baseline, registry: &Registr
     registry.counter("lint.sema.edges").add(model.edge_count() as u64);
     registry.counter("lint.sema.det_roots").add(model.det_roots.len() as u64);
     registry.counter("lint.sema.par_roots").add(model.par_roots.len() as u64);
+    registry.counter("lint.absint.sccs").add(model.absint.scc_count as u64);
+    registry.counter("lint.absint.max_scc").add(model.absint.max_scc_len as u64);
+    registry.counter("lint.absint.consts").add(model.absint.consts.len() as u64);
+
+    // Interval-proof refinement of the lexical cast rule: drop
+    // `float-int-cast` findings on lines the abstract interpreter either
+    // proved lossless or re-reports as `cast-truncating-unproven`.
+    let interval_checked = model.interval_checked_cast_lines();
+    raw.retain(|(f, _)| {
+        f.rule != "float-int-cast" || !interval_checked.contains(&(f.file.clone(), f.line))
+    });
     let labels: std::collections::BTreeMap<&str, &str> =
         sources.iter().map(|f| (f.path.as_str(), f.crate_label.as_str())).collect();
     for rule in crate::sema::all_sema_rules() {

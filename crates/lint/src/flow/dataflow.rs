@@ -33,7 +33,7 @@ impl BitSet {
         let tail = self.bits % 64;
         if tail != 0 {
             if let Some(last) = self.words.last_mut() {
-                *last &= (1u64 << tail) - 1;
+                *last &= u64::MAX >> (64 - tail);
             }
         }
     }

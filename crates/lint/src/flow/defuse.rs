@@ -89,19 +89,19 @@ pub fn tests_var(toks: &[Token], lo: usize, hi: usize, var: &str) -> bool {
         if !toks[at].tok.is_ident(var) {
             continue;
         }
-        // `approx_zero(var)` / `assert_nonzero(var)`-style guard calls.
-        if at >= 2
-            && toks[at - 1].tok.is_punct('(')
-            && matches!(&toks[at - 2].tok, Tok::Ident(f) if GUARD_FNS.iter().any(|g| f.contains(g)))
-        {
-            return true;
-        }
-        // `LIT < var` / `0.0 != var`: comparison with the literal first.
-        if at >= 2
-            && is_comparison(&toks[at - 1].tok)
-            && matches!(&toks[at - 2].tok, Tok::Int(_) | Tok::Float(_))
-        {
-            return true;
+        if at >= 2 {
+            // `approx_zero(var)` / `assert_nonzero(var)`-style guard calls.
+            if toks[at - 1].tok.is_punct('(')
+                && matches!(&toks[at - 2].tok, Tok::Ident(f) if GUARD_FNS.iter().any(|g| f.contains(g)))
+            {
+                return true;
+            }
+            // `LIT < var` / `0.0 != var`: comparison with the literal first.
+            if is_comparison(&toks[at - 1].tok)
+                && matches!(&toks[at - 2].tok, Tok::Int(_) | Tok::Float(_))
+            {
+                return true;
+            }
         }
         // Forward: walk the method/field/cast chain off `var`, then look
         // for a guard method or a comparison against a literal/constant.
@@ -161,7 +161,7 @@ fn skip_group(toks: &[Token], open: usize, hi: usize) -> Option<usize> {
         match &t.tok {
             Tok::Punct('(' | '[') => depth += 1,
             Tok::Punct(')' | ']') => {
-                depth -= 1;
+                depth = depth.saturating_sub(1);
                 if depth == 0 {
                     return Some(at + 1);
                 }
@@ -180,13 +180,15 @@ pub fn def_is_nonzero_safe(toks: &[Token], lo: usize, hi: usize) -> bool {
     let hi = hi.min(toks.len());
     for at in lo..hi {
         // `.max(EPS)` / `.max(1)` with a nonzero floor.
-        if toks[at].tok.is_ident("max")
-            && at >= 1
-            && toks[at - 1].tok.is_punct('.')
-            && matches!(toks.get(at + 1).map(|t| &t.tok), Some(Tok::Punct('(')))
-            && nonzero_literal_or_const(toks.get(at + 2).map(|t| &t.tok))
-        {
-            return true;
+        if at >= 1 {
+            let prev = at - 1;
+            if toks[at].tok.is_ident("max")
+                && toks[prev].tok.is_punct('.')
+                && matches!(toks.get(at + 1).map(|t| &t.tok), Some(Tok::Punct('(')))
+                && nonzero_literal_or_const(toks.get(at + 2).map(|t| &t.tok))
+            {
+                return true;
+            }
         }
         // `… .len() + 1` (or any `+ <nonzero int>` after a `len()` call).
         if toks[at].tok.is_ident("len")

@@ -176,7 +176,7 @@ pub fn fn_params(toks: &[Token], sig: (usize, usize), is_closure: bool) -> Vec<S
             match &toks[end].tok {
                 Tok::Punct('(') => depth += 1,
                 Tok::Punct(')') => {
-                    depth -= 1;
+                    depth = depth.saturating_sub(1);
                     if depth == 0 {
                         return split_params(toks, at + 1, end);
                     }

@@ -25,6 +25,12 @@
 //!   `par-*`, `race-static-mut`, `atomic-relaxed-handoff`,
 //!   `flow-unchecked-div`) whose findings carry the full root →
 //!   violation path down to the statement level;
+//! - [`absint`] — the fourth pass: interprocedural abstract
+//!   interpretation over the [`flow`] CFGs (integer intervals with
+//!   widening/narrowing, float range facts, bottom-up function
+//!   summaries over the call graph) powering the `arith-*`,
+//!   `range-invariant-escape`, and `cast-truncating-unproven` rules
+//!   and the interval-proof suppression of lexical cast findings;
 //! - [`engine`] + [`config`] + [`baseline`] — the workspace walker,
 //!   `Lint.toml` severity/scoping configuration, and the
 //!   `lint-baseline.json` allowlist with stale-entry detection.
@@ -32,6 +38,7 @@
 //! Scan metrics are published through `fbox-telemetry`, so `--metrics`
 //! output reuses the same table/JSON sinks as the rest of the pipeline.
 
+pub mod absint;
 pub mod baseline;
 pub mod config;
 pub mod engine;

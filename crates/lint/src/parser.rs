@@ -226,7 +226,7 @@ impl<'a> Parser<'a> {
                 match tok {
                     Tok::Punct('[') => depth += 1,
                     Tok::Punct(']') => {
-                        depth -= 1;
+                        depth = depth.saturating_sub(1);
                         if depth == 0 {
                             break;
                         }
@@ -270,7 +270,7 @@ impl<'a> Parser<'a> {
             match tok {
                 Tok::Punct(c) if *c == open => depth += 1,
                 Tok::Punct(c) if *c == close => {
-                    depth -= 1;
+                    depth = depth.saturating_sub(1);
                     if depth == 0 {
                         self.pos += 1;
                         return;
@@ -451,7 +451,7 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 Tok::Punct('}') => {
-                    depth -= 1;
+                    depth = depth.saturating_sub(1);
                     self.pos += 1;
                     if depth == 0 {
                         break;

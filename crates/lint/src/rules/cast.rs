@@ -85,8 +85,10 @@ fn rounding_call_before(file: &SourceFile, close: usize) -> bool {
         j -= 1;
     }
     // Expect `. method (` just before the open paren.
-    j >= 2
-        && matches!(&toks[j - 1].tok,
-            Tok::Ident(m) if ROUNDING_METHODS.contains(&m.as_str()))
+    if j < 2 {
+        return false;
+    }
+    matches!(&toks[j - 1].tok,
+        Tok::Ident(m) if ROUNDING_METHODS.contains(&m.as_str()))
         && toks[j - 2].tok.is_punct('.')
 }

@@ -43,7 +43,7 @@ impl Rule for MissingMustUse {
                     match &toks[i].tok {
                         Tok::Punct('[') => depth += 1,
                         Tok::Punct(']') => {
-                            depth -= 1;
+                            depth = depth.saturating_sub(1);
                             if depth == 0 {
                                 break;
                             }
@@ -69,7 +69,7 @@ impl Rule for MissingMustUse {
                     match &toks[j].tok {
                         Tok::Punct('(') => depth += 1,
                         Tok::Punct(')') => {
-                            depth -= 1;
+                            depth = depth.saturating_sub(1);
                             if depth == 0 {
                                 break;
                             }

@@ -45,7 +45,7 @@ impl Rule for NanUnsafeSort {
                 match &toks[j].tok {
                     Tok::Punct('(') => depth += 1,
                     Tok::Punct(')') => {
-                        depth -= 1;
+                        depth = depth.saturating_sub(1);
                         if depth == 0 {
                             break;
                         }

@@ -95,7 +95,10 @@ fn classify_access(toks: &[Token], at: usize, node: usize) -> Option<Access> {
         m if m.starts_with("fetch_") || m.starts_with("compare_exchange") => true,
         _ => return None,
     };
-    if at == 0 || !toks[at - 1].tok.is_punct('.') {
+    if at == 0 {
+        return None;
+    }
+    if !toks[at - 1].tok.is_punct('.') {
         return None;
     }
     if !matches!(toks.get(at + 1).map(|t| &t.tok), Some(t) if t.is_punct('(')) {

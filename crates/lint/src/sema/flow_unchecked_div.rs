@@ -137,7 +137,7 @@ fn chain_end(toks: &[Token], base: usize) -> usize {
                     match &t.tok {
                         Tok::Punct('(' | '[') => depth += 1,
                         Tok::Punct(')' | ']') => {
-                            depth -= 1;
+                            depth = depth.saturating_sub(1);
                             if depth == 0 {
                                 break;
                             }
@@ -171,7 +171,7 @@ fn ancestor_flow<'m>(
                 let closure_tok = model.nodes[child].tokens.0;
                 let stmt = flow
                     .stmt_at(closure_tok)
-                    .unwrap_or(flow.cfg.exit.min(flow.tree.stmts.len() - 1));
+                    .unwrap_or(flow.cfg.exit.min(flow.tree.stmts.len().saturating_sub(1)));
                 return Some((parent, flow, stmt));
             }
         }

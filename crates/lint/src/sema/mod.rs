@@ -19,6 +19,7 @@
 
 use std::collections::BTreeMap;
 
+use crate::absint;
 use crate::config::Config;
 use crate::flow::{self, FnFlow};
 use crate::lexer::Tok;
@@ -110,6 +111,10 @@ pub fn all_sema_rules() -> Vec<Box<dyn SemaRule>> {
         Box::new(ParFloatReduceOrder),
         Box::new(AtomicRelaxedHandoff),
         Box::new(FlowUncheckedDiv),
+        Box::new(absint::rules::ArithUncheckedSub),
+        Box::new(absint::rules::ArithWideningNeeded),
+        Box::new(absint::rules::RangeInvariantEscape),
+        Box::new(absint::rules::CastTruncatingUnproven),
     ]
 }
 
@@ -231,6 +236,13 @@ pub struct Model<'a> {
     pub par_roots: Vec<usize>,
     /// Per-node body flow analysis (`None` for bodiless declarations).
     pub flows: Vec<Option<FnFlow>>,
+    /// Per-node resolved call sites: `(callee name token, callee node
+    /// ids)`, sorted by token index. This is the same resolution the
+    /// call graph is built from, but keyed by position so the abstract
+    /// interpreter can look a call event up by its name token.
+    pub call_sites: Vec<Vec<(usize, Vec<usize>)>>,
+    /// The interprocedural abstract interpretation (fourth pass).
+    pub absint: absint::Analysis,
     /// Per-file `(body_start, body_end, node)` intervals for
     /// innermost-node lookup.
     intervals: Vec<Vec<(usize, usize, usize)>>,
@@ -265,17 +277,23 @@ impl<'a> Model<'a> {
         // Extract and resolve call edges; closure-capture edges connect
         // each function to the closures it owns.
         let mut graph: Vec<Vec<(usize, EdgeKind)>> = vec![Vec::new(); nodes.len()];
+        let mut call_sites: Vec<Vec<(usize, Vec<usize>)>> = vec![Vec::new(); nodes.len()];
         for caller in 0..nodes.len() {
             let node = &nodes[caller];
             let file = &files[node.file];
             let mut edges: Vec<(usize, EdgeKind)> = Vec::new();
-            for call in calls_in_node(file, &nodes, caller) {
+            let mut sites: Vec<(usize, Vec<usize>)> = Vec::new();
+            for (at, call) in calls_in_node(file, &nodes, caller) {
                 let kind = match call {
                     CallSite::Method { .. } => EdgeKind::Method,
                     _ => EdgeKind::Call,
                 };
-                for callee in resolve(&call, node, &nodes, files, &free_by_name, &methods_by_name) {
+                let callees = resolve(&call, node, &nodes, files, &free_by_name, &methods_by_name);
+                for &callee in &callees {
                     edges.push((callee, kind));
+                }
+                if !callees.is_empty() {
+                    sites.push((at, callees));
                 }
             }
             for &child in &node.children {
@@ -284,6 +302,8 @@ impl<'a> Model<'a> {
             edges.sort_unstable_by_key(|&(to, _)| to);
             edges.dedup_by_key(|&mut (to, _)| to);
             graph[caller] = edges;
+            sites.sort_unstable_by_key(|&(at, _)| at);
+            call_sites[caller] = sites;
         }
 
         // Determinism roots come from `[sema] roots` or the defaults.
@@ -342,12 +362,55 @@ impl<'a> Model<'a> {
             })
             .collect();
 
-        Model { files, nodes, graph, det, par, det_roots, par_roots, flows, intervals }
+        // Fourth pass: interprocedural abstract interpretation over the
+        // flows and the resolved call sites.
+        let plain_graph: Vec<Vec<usize>> =
+            graph.iter().map(|edges| edges.iter().map(|&(to, _)| to).collect()).collect();
+        let absint = absint::analyze(files, &nodes, &plain_graph, &flows, &call_sites);
+
+        Model {
+            files,
+            nodes,
+            graph,
+            det,
+            par,
+            det_roots,
+            par_roots,
+            flows,
+            call_sites,
+            absint,
+            intervals,
+        }
     }
 
     /// Total number of call-graph edges (for telemetry).
     pub fn edge_count(&self) -> usize {
         self.graph.iter().map(Vec::len).sum()
+    }
+
+    /// `(file path, line)` pairs whose float→int `as` casts the abstract
+    /// interpreter inspected, and which the lexical `float-int-cast`
+    /// rule should therefore skip: *proven* casts are silenced outright
+    /// (the interval demonstrates losslessness), and unproven casts in
+    /// the determinism/parallel cones are superseded by the richer
+    /// `cast-truncating-unproven` finding. Unproven casts *outside* the
+    /// cones stay with the lexical rule, so coverage never shrinks.
+    pub fn interval_checked_cast_lines(&self) -> std::collections::BTreeSet<(String, u32)> {
+        let mut out = std::collections::BTreeSet::new();
+        for (id, fa) in self.absint.fns.iter().enumerate() {
+            let Some(fa) = fa else { continue };
+            let node = &self.nodes[id];
+            let file = &self.files[node.file];
+            let in_cone = !node.in_test && (self.det.reached(id) || self.par.reached(id));
+            for (_, event) in &fa.events {
+                if let absint::eval::Event::Cast { at, proven, from_float: true, .. } = event {
+                    if *proven || in_cone {
+                        out.insert((file.path.clone(), file.lexed.tokens[*at].line));
+                    }
+                }
+            }
+        }
+        out
     }
 
     /// The innermost function-like node whose body contains token `tok`
@@ -442,8 +505,9 @@ fn own_token_ranges(nodes: &[FnNode], id: usize) -> Vec<(usize, usize)> {
     ranges
 }
 
-/// Extracts every call site in `caller`'s own tokens.
-fn calls_in_node(file: &SourceFile, nodes: &[FnNode], caller: usize) -> Vec<CallSite> {
+/// Extracts every call site in `caller`'s own tokens, keyed by the
+/// callee name's token index.
+fn calls_in_node(file: &SourceFile, nodes: &[FnNode], caller: usize) -> Vec<(usize, CallSite)> {
     let toks = &file.lexed.tokens;
     let mut out = Vec::new();
     for (lo, hi) in own_token_ranges(nodes, caller) {
@@ -458,7 +522,7 @@ fn calls_in_node(file: &SourceFile, nodes: &[FnNode], caller: usize) -> Vec<Call
             match (i > 0).then(|| &toks[i - 1].tok) {
                 Some(Tok::Punct('.')) => {
                     let self_recv = i >= 2 && toks[i - 2].tok.is_ident("self");
-                    out.push(CallSite::Method { name: name.clone(), self_recv });
+                    out.push((i, CallSite::Method { name: name.clone(), self_recv }));
                 }
                 Some(Tok::Op("::")) => {
                     // Walk back over `seg::seg::…`.
@@ -474,10 +538,10 @@ fn calls_in_node(file: &SourceFile, nodes: &[FnNode], caller: usize) -> Vec<Call
                         }
                     }
                     segments.reverse();
-                    out.push(CallSite::Path { segments, name: name.clone() });
+                    out.push((i, CallSite::Path { segments, name: name.clone() }));
                 }
                 Some(Tok::Punct('!')) => {} // macro invocation, not a call
-                _ => out.push(CallSite::Free { name: name.clone() }),
+                _ => out.push((i, CallSite::Free { name: name.clone() })),
             }
         }
     }
@@ -508,8 +572,9 @@ fn resolve(
             let file = &files[caller.file];
             for use_path in &file.items.uses {
                 let segs: Vec<&str> = use_path.split("::").collect();
-                if segs.last() == Some(&name.as_str()) && segs.len() >= 2 {
-                    let pattern = normalize_path(&segs[segs.len() - 2..]).join("::");
+                let n_segs = segs.len();
+                if segs.last() == Some(&name.as_str()) && n_segs >= 2 {
+                    let pattern = normalize_path(&segs[n_segs - 2..]).join("::");
                     let narrowed: Vec<usize> = candidates
                         .iter()
                         .copied()
@@ -599,7 +664,11 @@ fn normalize_path(segments: &[&str]) -> Vec<String> {
 pub fn qname_matches(qname: &str, pattern: &str) -> bool {
     let q: Vec<&str> = qname.split("::").collect();
     let p: Vec<&str> = pattern.split("::").collect();
-    p.len() <= q.len() && q[q.len() - p.len()..] == p[..]
+    let (qn, pn) = (q.len(), p.len());
+    if pn > qn {
+        return false;
+    }
+    q[qn - pn..] == p[..]
 }
 
 /// Derives the root module path of a file from its workspace-relative

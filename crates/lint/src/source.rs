@@ -184,7 +184,7 @@ fn scan_attribute(lexed: &Lexed, open: usize) -> (usize, bool) {
         match &toks[i].tok {
             Tok::Punct('[') => depth += 1,
             Tok::Punct(']') => {
-                depth -= 1;
+                depth = depth.saturating_sub(1);
                 if depth == 0 {
                     i += 1;
                     break;
@@ -228,7 +228,7 @@ fn item_span(lexed: &Lexed, mut i: usize, attr_line: u32) -> Option<(u32, u32)> 
         match &toks[j].tok {
             Tok::Punct('{') => depth += 1,
             Tok::Punct('}') => {
-                depth -= 1;
+                depth = depth.saturating_sub(1);
                 if depth == 0 {
                     return Some((attr_line, toks[j].line));
                 }

@@ -1,0 +1,23 @@
+//! Negative: every unsigned subtraction is proven — by an emptiness
+//! guard refining the length, by a dominating `lhs >= rhs` comparison,
+//! or by an explicit saturating fallback.
+
+pub fn run_study(xs: &[u64]) -> u64 {
+    collect(xs)
+}
+
+fn collect(xs: &[u64]) -> u64 {
+    let n = xs.len() as u64;
+    if n == 0 {
+        return 0;
+    }
+    margin(n - 1, n)
+}
+
+fn margin(a: u64, b: u64) -> u64 {
+    if a >= b {
+        a - b
+    } else {
+        b.saturating_sub(a)
+    }
+}

@@ -1,0 +1,15 @@
+//! Positive: an unsigned subtraction two call-graph hops below the
+//! determinism root whose operand intervals cannot prove `lhs >= rhs`
+//! (`run_study` → `collect` → `shrink`).
+
+pub fn run_study(xs: &[u64]) -> u64 {
+    collect(xs)
+}
+
+fn collect(xs: &[u64]) -> u64 {
+    shrink(xs.len() as u64, 3)
+}
+
+fn shrink(n: u64, k: u64) -> u64 {
+    n - k //~ arith-unchecked-sub
+}

@@ -1,0 +1,19 @@
+//! Negative: bounded 64-bit arithmetic that stays inside the type —
+//! the clamped product cannot reach the u64 fence.
+
+pub fn run_study(xs: &[u64]) -> u64 {
+    collect(xs)
+}
+
+fn collect(xs: &[u64]) -> u64 {
+    let mut acc = 0u64;
+    for &x in xs {
+        acc = acc.wrapping_add(scale(x));
+    }
+    acc
+}
+
+fn scale(x: u64) -> u64 {
+    let bounded = x.min(1_000_000);
+    bounded * 4_096
+}

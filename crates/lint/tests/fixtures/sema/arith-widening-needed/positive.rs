@@ -1,0 +1,20 @@
+//! Positive: a u64 multiply of two genuinely bounded operands whose
+//! product interval still escapes the type — reachable transitively
+//! (`run_study` → `collect` → `scale`).
+
+pub fn run_study(xs: &[u64]) -> u64 {
+    collect(xs)
+}
+
+fn collect(xs: &[u64]) -> u64 {
+    let mut acc = 0u64;
+    for &x in xs {
+        acc = acc.wrapping_add(scale(x));
+    }
+    acc
+}
+
+fn scale(x: u64) -> u64 {
+    let bounded = x.min(1_099_511_627_776); // 2^40
+    bounded * 1_073_741_824 //~ arith-widening-needed
+}

@@ -1,0 +1,22 @@
+//! Negative: every narrowing cast is proven lossless — the integer is
+//! clamped under the target's max first, and the float is guarded
+//! finite and non-negative before the conversion.
+
+pub fn run_study(xs: &[f64]) -> u64 {
+    collect(xs)
+}
+
+fn collect(xs: &[f64]) -> u64 {
+    let small = digest(xs.len() as u64);
+    u64::from(small) + floor_ratio(xs.iter().sum())
+}
+
+fn digest(total: u64) -> u32 {
+    let bounded = total.min(u32::MAX as u64);
+    bounded as u32
+}
+
+fn floor_ratio(ratio: f64) -> u64 {
+    let safe = if ratio.is_finite() && ratio >= 0.0 { ratio } else { 0.0 };
+    safe as u64
+}

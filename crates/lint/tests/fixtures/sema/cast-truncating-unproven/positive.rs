@@ -1,0 +1,15 @@
+//! Positive: a narrowing `as` cast whose operand interval spans the
+//! whole source type — reachable transitively
+//! (`run_study` → `collect` → `digest`).
+
+pub fn run_study(xs: &[u64]) -> u32 {
+    collect(xs)
+}
+
+fn collect(xs: &[u64]) -> u32 {
+    digest(xs.iter().sum())
+}
+
+fn digest(total: u64) -> u32 {
+    total as u32 //~ cast-truncating-unproven
+}

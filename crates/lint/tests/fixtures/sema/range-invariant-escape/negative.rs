@@ -1,0 +1,26 @@
+//! Negative: the caller guards into the documented range before the
+//! call, so the interval proof discharges the callee's leading assert.
+
+pub fn run_study(xs: &[f64]) -> f64 {
+    collect(xs)
+}
+
+fn collect(xs: &[f64]) -> f64 {
+    let mut total = 0.0;
+    for &x in xs {
+        total += weighted(x);
+    }
+    total
+}
+
+fn weighted(x: f64) -> f64 {
+    if x.is_finite() && (0.0..=1.0).contains(&x) {
+        return blend(x);
+    }
+    0.5
+}
+
+fn blend(share: f64) -> f64 {
+    assert!(share.is_finite() && (0.0..=1.0).contains(&share), "share must be in [0,1]");
+    1.0 - share
+}

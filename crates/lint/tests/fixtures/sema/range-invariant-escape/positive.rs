@@ -1,0 +1,24 @@
+//! Positive: an unconstrained argument flows into a function whose
+//! leading assert demands the `[0, 1]` range — reachable transitively
+//! (`run_study` → `collect` → `weighted`).
+
+pub fn run_study(xs: &[f64]) -> f64 {
+    collect(xs)
+}
+
+fn collect(xs: &[f64]) -> f64 {
+    let mut total = 0.0;
+    for &x in xs {
+        total += weighted(x);
+    }
+    total
+}
+
+fn weighted(x: f64) -> f64 {
+    blend(x) //~ range-invariant-escape
+}
+
+fn blend(share: f64) -> f64 {
+    assert!(share.is_finite() && (0.0..=1.0).contains(&share), "share must be in [0,1]");
+    1.0 - share
+}

@@ -107,9 +107,11 @@ fn every_workspace_body_flows_with_zero_errors_and_connected_cfgs() {
     assert!(stmts > 10_000, "suspiciously few statements parsed: {stmts}");
 }
 
-/// The engine fans the lexical pass out over `fbox_par`; the report must
-/// be identical at any worker count (input-order flattening, no shared
-/// mutable state in rules).
+/// The engine fans the lexical pass out over `fbox_par`, and the
+/// abstract interpreter fans each call-graph SCC batch out the same
+/// way; the report must be identical at any worker count (input-order
+/// flattening, no shared mutable state in rules, SCC-order fixpoint).
+/// Byte-identical serialized output is the contract CI relies on.
 #[test]
 fn lint_run_is_deterministic_across_thread_counts() {
     let root = workspace_root();
@@ -125,4 +127,45 @@ fn lint_run_is_deterministic_across_thread_counts() {
     assert_eq!(serial.stale_baseline, wide.stale_baseline);
     assert_eq!(serial.files_scanned, wide.files_scanned);
     assert_eq!(serial.lines_scanned, wide.lines_scanned);
+    let serial_bytes = serde::json::to_string_pretty(&serial);
+    let wide_bytes = serde::json::to_string_pretty(&wide);
+    assert_eq!(serial_bytes, wide_bytes, "serialized reports must be byte-identical");
+}
+
+/// The abstract interpreter's reality check: every function body in the
+/// workspace must reach its interval fixpoint (widening guarantees
+/// termination; `diverged` marks the iteration cap instead), and every
+/// statement of every connected CFG must carry an abstract environment —
+/// a `None` env on a reachable statement means the fixpoint silently
+/// skipped code that the rules then never see.
+#[test]
+fn every_workspace_fn_reaches_its_absint_fixpoint() {
+    let root = workspace_root();
+    let config = Config::default();
+    let sources: Vec<source::SourceFile> = engine::walk(&root, &config)
+        .iter()
+        .map(|rel| source::load(&root, rel).unwrap_or_else(|| panic!("unreadable file: {rel}")))
+        .collect();
+    let model = Model::build(&sources, &config);
+    let mut analyzed = 0usize;
+    let mut envs_checked = 0usize;
+    for (id, flow) in model.flows.iter().enumerate() {
+        let Some(flow) = flow else { continue };
+        let node = &model.nodes[id];
+        let at = format!("{} ({}:{})", node.qname, sources[node.file].path, node.line);
+        let fa = model.absint.fns[id]
+            .as_ref()
+            .unwrap_or_else(|| panic!("{at}: body has a flow but no absint result"));
+        assert!(!fa.diverged, "{at}: fixpoint hit the iteration cap after {}", fa.iterations);
+        assert_eq!(fa.envs.len(), flow.tree.stmts.len(), "{at}: env table misaligned");
+        // `orphans()` is empty workspace-wide (asserted above), so every
+        // statement is CFG-reachable and must have been visited.
+        for (s, env) in fa.envs.iter().enumerate() {
+            assert!(env.is_some(), "{at}: reachable statement {s} has no abstract env");
+            envs_checked += 1;
+        }
+        analyzed += 1;
+    }
+    assert!(analyzed > 1000, "suspiciously few bodies interpreted: {analyzed}");
+    assert!(envs_checked > 10_000, "suspiciously few envs computed: {envs_checked}");
 }

@@ -256,3 +256,82 @@ fn race_static_mut_reports_declaration_and_pathed_usage() {
         ]
     );
 }
+
+#[test]
+fn arith_unchecked_sub_renders_the_operand_intervals() {
+    let rule = rule_by_id("arith-unchecked-sub");
+    let file = load_fixture("arith-unchecked-sub", "positive.rs");
+    let out = run_rule(rule.as_ref(), &file);
+    assert_eq!(out.len(), 1, "{out:?}");
+    assert_eq!(out[0].line, 14);
+    assert_eq!(
+        out[0].path,
+        [
+            "fixture::positive::run_study (crates/fixture/src/positive.rs:5)",
+            "fixture::positive::collect (crates/fixture/src/positive.rs:9)",
+            "fixture::positive::shrink (crates/fixture/src/positive.rs:13)",
+            "`n - k` (crates/fixture/src/positive.rs:14)",
+            "cannot prove lhs >= rhs: lhs in u64 [0, 18446744073709551615], \
+             rhs in u64 [0, 18446744073709551615]",
+        ]
+    );
+}
+
+#[test]
+fn arith_widening_needed_renders_the_escaping_product() {
+    let rule = rule_by_id("arith-widening-needed");
+    let file = load_fixture("arith-widening-needed", "positive.rs");
+    let out = run_rule(rule.as_ref(), &file);
+    assert_eq!(out.len(), 1, "{out:?}");
+    assert_eq!(out[0].line, 19);
+    assert_eq!(
+        out[0].path,
+        [
+            "fixture::positive::run_study (crates/fixture/src/positive.rs:5)",
+            "fixture::positive::collect (crates/fixture/src/positive.rs:9)",
+            "fixture::positive::scale (crates/fixture/src/positive.rs:17)",
+            "`bounded * 1_073_741_824` (crates/fixture/src/positive.rs:19)",
+            "[0, 1099511627776] * [1073741824, 1073741824] gives \
+             [0, 1180591620717411303424], escaping u64; widen to i128",
+        ]
+    );
+}
+
+#[test]
+fn range_invariant_escape_names_the_violated_requirement() {
+    let rule = rule_by_id("range-invariant-escape");
+    let file = load_fixture("range-invariant-escape", "positive.rs");
+    let out = run_rule(rule.as_ref(), &file);
+    assert_eq!(out.len(), 1, "{out:?}");
+    assert_eq!(out[0].line, 18);
+    assert_eq!(
+        out[0].path,
+        [
+            "fixture::positive::run_study (crates/fixture/src/positive.rs:5)",
+            "fixture::positive::collect (crates/fixture/src/positive.rs:9)",
+            "fixture::positive::weighted (crates/fixture/src/positive.rs:17)",
+            "`blend(x)` (crates/fixture/src/positive.rs:18)",
+            "argument `share` in f64 {no facts} cannot prove f64 {finite, >=0, <=1} \
+             required by fixture::positive::blend",
+        ]
+    );
+}
+
+#[test]
+fn cast_truncating_unproven_renders_the_operand_interval() {
+    let rule = rule_by_id("cast-truncating-unproven");
+    let file = load_fixture("cast-truncating-unproven", "positive.rs");
+    let out = run_rule(rule.as_ref(), &file);
+    assert_eq!(out.len(), 1, "{out:?}");
+    assert_eq!(out[0].line, 14);
+    assert_eq!(
+        out[0].path,
+        [
+            "fixture::positive::run_study (crates/fixture/src/positive.rs:5)",
+            "fixture::positive::collect (crates/fixture/src/positive.rs:9)",
+            "fixture::positive::digest (crates/fixture/src/positive.rs:13)",
+            "`total as u32` (crates/fixture/src/positive.rs:14)",
+            "cast of u64 [0, 18446744073709551615] to u32 not proven lossless",
+        ]
+    );
+}

@@ -491,11 +491,12 @@ fn apply_payload_fault(ranking: MarketRanking, payload: Option<PayloadFault>) ->
         }
         Some(PayloadFault::Corrupt) => {
             let mut workers = ranking.into_workers();
-            if workers.is_empty() {
+            let n = workers.len();
+            if n == 0 {
                 // Nothing to mangle on an empty page; it reads back clean.
                 return CellOutcome::Clean(MarketRanking::default());
             }
-            let last = workers.len() - 1;
+            let last = n - 1;
             workers[last].rank = if last > 0 { workers[last - 1].rank } else { 2 };
             match MarketRanking::try_new(workers) {
                 Ok(_) => unreachable!("a mangled rank sequence cannot validate"),

@@ -162,7 +162,8 @@ pub const CATEGORIES: [Category; 8] = [
 ];
 
 /// Total number of distinct sub-queries (96).
-pub const N_QUERIES: usize = CATEGORIES.len() * 12;
+pub const N_QUERIES: usize = 96;
+const _: () = assert!(N_QUERIES == CATEGORIES.len() * 12, "category table changed size");
 
 /// City index that does not offer every task (the smallest market).
 const PARTIAL_CITY: usize = 55; // Baton Rouge, LA
@@ -185,8 +186,9 @@ pub fn all_queries() -> impl Iterator<Item = (usize, usize, &'static str)> {
 /// the smallest market, which yields the paper's total of 5,361 crawl
 /// queries.
 pub fn offered(q: usize, city: usize) -> bool {
+    let n_cities = crate::city::CITIES.len();
     assert!(q < N_QUERIES, "query index out of range");
-    assert!(city < crate::city::CITIES.len(), "city index out of range");
+    assert!(city < n_cities, "city index out of range");
     !(city == PARTIAL_CITY && q >= N_QUERIES - MISSING_IN_PARTIAL_CITY)
 }
 

@@ -35,10 +35,11 @@ pub struct Worker {
 /// the floor share and the first `total % n_cities` markets get one more,
 /// so the sum is exact.
 pub fn allocate(total: usize, n_cities: usize) -> Vec<usize> {
-    assert!(n_cities > 0);
-    let base = total / n_cities;
-    let extra = total % n_cities;
-    (0..n_cities).map(|i| base + usize::from(i < extra)).collect()
+    let markets = n_cities;
+    assert!(markets > 0, "allocate needs at least one market");
+    let base = total / markets;
+    let extra = total % markets;
+    (0..markets).map(|i| base + usize::from(i < extra)).collect()
 }
 
 /// The demographic mix of one city of `count` workers: largest-remainder
@@ -62,8 +63,16 @@ pub fn stratified_demographics(count: usize, marginals: &PopulationMarginals) ->
         .collect();
 
     let quotas: Vec<f64> = cells.iter().map(|&(_, p)| p * count as f64).collect();
-    let mut counts: Vec<usize> =
-        quotas.iter().map(|&q| fbox_core::measures::float::floor_index(q)).collect();
+    let mut counts: Vec<usize> = quotas
+        .iter()
+        .map(|&q| {
+            // Quotas are products of validated probabilities and a finite
+            // count; the guard pins that invariant at the conversion.
+            let quota = if q.is_finite() && q >= 0.0 { q } else { 0.0 };
+            debug_assert!(quota.is_finite() && quota >= 0.0, "guard clamps the quota");
+            fbox_core::measures::float::floor_index(quota)
+        })
+        .collect();
     let mut assigned: usize = counts.iter().sum();
     // Hand out the remaining seats by descending fractional remainder
     // (ties by cell order, deterministic).
@@ -147,8 +156,12 @@ impl Population {
                     (latent + 0.25 * (jitter - 0.5)).rem_euclid(1.0)
                 };
                 let rating = 3.0 + 2.0 * q(1);
-                let jobs_completed = (500.0 * q(2)) as u32;
-                let tenure_days = 10 + (1990.0 * q(3)) as u32;
+                let q_jobs = q(2);
+                debug_assert!((0.0..=1.0).contains(&q_jobs), "quantile out of unit range");
+                let jobs_completed = (500.0 * q_jobs) as u32;
+                let q_tenure = q(3);
+                debug_assert!((0.0..=1.0).contains(&q_tenure), "quantile out of unit range");
+                let tenure_days = 10 + (1990.0 * q_tenure) as u32;
                 let hourly_rate = 15.0 + rng.random_range(0.0..85.0);
                 let badge = q(4) < 0.15;
                 by_city[city].push(workers.len());

@@ -327,8 +327,15 @@ fn rerank_one_search_cell(
     let mut consensus: BTreeMap<u64, f64> = BTreeMap::new();
     for list in lists {
         let k = list.results.len();
+        if k == 0 {
+            continue;
+        }
         for (i, &id) in list.results.iter().enumerate() {
-            *consensus.entry(id).or_insert(0.0) += relevance_from_rank(i + 1, k);
+            // `i < k` by construction; the clamp keeps the 1-based rank
+            // visibly inside `1..=k` on every path.
+            let rank = (i + 1).min(k);
+            debug_assert!(rank >= 1 && rank <= k, "rank must be 1-based within the page");
+            *consensus.entry(id).or_insert(0.0) += relevance_from_rank(rank, k);
         }
     }
     let n_users = lists.len();

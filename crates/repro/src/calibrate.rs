@@ -85,7 +85,7 @@ pub fn taskrabbit_bias() -> BiasProfile {
 
     // Categories, unfairest → fairest (Table 9).
     for (category, amp) in [
-        ("Handyman", 1.25),
+        ("Handyman", 1.25f64),
         ("Yard Work", 1.22),
         ("Event Staffing", 1.04),
         ("General Cleaning", 1.00),
@@ -94,6 +94,8 @@ pub fn taskrabbit_bias() -> BiasProfile {
         ("Run Errands", 0.70),
         ("Delivery", 0.64),
     ] {
+        let amp = amp.max(0.0);
+        debug_assert!(amp >= 0.0, "calibrated amplifiers are non-negative");
         p = p.with_category_amp(category, amp);
     }
 
@@ -232,7 +234,7 @@ pub fn google_personalization() -> PersonalizationProfile {
     // Query amplifiers by study query (fbox_search::QUERIES), Yard Work
     // hottest, Furniture Assembly coolest.
     for (query, amp) in [
-        ("yard work", 1.75),
+        ("yard work", 1.75f64),
         ("Lawn Mowing", 1.68),
         ("Leaf Raking", 1.60),
         ("Hedge Trimming", 1.55),
@@ -253,6 +255,8 @@ pub fn google_personalization() -> PersonalizationProfile {
         ("IKEA Assembly", 0.52),
         ("Bed Assembly", 0.50),
     ] {
+        let amp = amp.max(0.0);
+        debug_assert!(amp >= 0.0, "calibrated amplifiers are non-negative");
         p = p.with_query_amp(query, amp);
     }
 

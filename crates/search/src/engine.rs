@@ -99,8 +99,13 @@ impl SearchEngine {
             0
         };
         let ab_key = mix(mix_str(self.seed, "ab-direction"), ab_bucket);
-        let geo_key = (!ctx.proxied)
-            .then(|| mix(mix_str(self.seed, "geo"), (ctx.time_min * 60.0) as u64 ^ user.id));
+        let geo_key = (!ctx.proxied).then(|| {
+            let secs = ctx.time_min * 60.0;
+            // Session timestamps are finite and non-negative; the guard
+            // pins that invariant at the conversion.
+            let secs = if secs.is_finite() && secs >= 0.0 { secs } else { 0.0 };
+            mix(mix_str(self.seed, "geo"), secs as u64 ^ user.id)
+        });
 
         let mut scored: Vec<(u64, f64)> = (0..pool.len())
             .map(|i| {

@@ -116,9 +116,11 @@ pub fn borda_merge(lists: &[Vec<u64>]) -> Vec<u64> {
     let mut points: BTreeMap<u64, usize> = BTreeMap::new();
     let mut page = 0usize;
     for list in lists {
-        page = page.max(list.len());
+        let n = list.len();
+        page = page.max(n);
         for (pos, &id) in list.iter().enumerate() {
-            *points.entry(id).or_default() += list.len() - pos;
+            // `pos < n` by construction, so the subtraction cannot wrap.
+            *points.entry(id).or_default() += n.saturating_sub(pos);
         }
     }
     let mut items: Vec<(u64, usize)> = points.into_iter().collect();

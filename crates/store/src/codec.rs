@@ -138,7 +138,9 @@ impl<'a> Reader<'a> {
     /// Bytes not yet consumed.
     #[must_use]
     pub fn remaining(&self) -> usize {
-        self.buf.len() - self.pos
+        // `pos` never advances past the end, so the subtraction cannot
+        // wrap; saturating keeps that visible on every path.
+        self.buf.len().saturating_sub(self.pos)
     }
 
     /// Takes `n` raw bytes.

@@ -117,7 +117,8 @@ impl SegmentLog {
         let (payloads, keep_len, mut stats) = replay(&buf, &plan, generation);
         stats.generation = generation;
 
-        let mut file = OpenOptions::new().read(true).write(true).create(true).truncate(false).open(path)?;
+        let mut file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(false).open(path)?;
         file.set_len(keep_len)?;
         file.seek(SeekFrom::Start(keep_len))?;
 
@@ -222,9 +223,11 @@ impl SegmentLog {
 /// checksum) followed by the payload.
 #[must_use]
 pub fn encode_record(payload: &[u8]) -> Vec<u8> {
-    let mut buf = Vec::with_capacity(RECORD_HEADER_LEN + payload.len());
+    let len = payload.len();
+    assert!(len <= u32::MAX as usize, "record payload exceeds the u32 length field");
+    let mut buf = Vec::with_capacity(RECORD_HEADER_LEN + len);
     buf.extend_from_slice(&RECORD_MAGIC);
-    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&(len as u32).to_le_bytes());
     buf.extend_from_slice(&fnv1a(payload).to_le_bytes());
     let header_fnv = fnv1a(&buf[..16]);
     buf.extend_from_slice(&header_fnv.to_le_bytes());
@@ -239,8 +242,9 @@ fn replay(buf: &[u8], plan: &StoragePlan, generation: u64) -> (Vec<Vec<u8>>, u64
     let mut payloads = Vec::new();
     let mut pos = 0usize;
     let mut index = 0u64;
-    while pos < buf.len() {
-        let remaining = buf.len() - pos;
+    let n = buf.len();
+    while pos < n {
+        let remaining = n - pos;
         if remaining < RECORD_HEADER_LEN {
             break; // torn tail
         }
@@ -270,7 +274,8 @@ fn replay(buf: &[u8], plan: &StoragePlan, generation: u64) -> (Vec<Vec<u8>>, u64
         pos += RECORD_HEADER_LEN + len;
         index += 1;
     }
-    stats.torn_tail_bytes = (buf.len() - pos) as u64;
+    // `pos` only ever advances to a record boundary at or before `n`.
+    stats.torn_tail_bytes = n.saturating_sub(pos) as u64;
     (payloads, pos as u64, stats)
 }
 

@@ -142,8 +142,9 @@ impl CubeSnapshot {
     /// Deserializes a snapshot, verifying magic, version, and checksum
     /// before decoding the body.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, CodecError> {
-        if bytes.len() < 16 {
-            return Err(CodecError::UnexpectedEof { wanted: 16, have: bytes.len() });
+        let n = bytes.len();
+        if n < 16 {
+            return Err(CodecError::UnexpectedEof { wanted: 16, have: n });
         }
         if bytes[..4] != SNAPSHOT_MAGIC {
             return Err(CodecError::Invalid("snapshot magic mismatch"));
@@ -152,8 +153,8 @@ impl CubeSnapshot {
         if version != SNAPSHOT_VERSION {
             return Err(CodecError::Invalid("unsupported snapshot version"));
         }
-        let body = &bytes[8..bytes.len() - 8];
-        let stored = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().expect("8 bytes"));
+        let body = &bytes[8..n - 8];
+        let stored = u64::from_le_bytes(bytes[n - 8..].try_into().expect("8 bytes"));
         if fnv1a(body) != stored {
             return Err(CodecError::Invalid("snapshot checksum mismatch"));
         }

@@ -68,6 +68,9 @@ impl HistogramSnapshot {
         // Target rank ⌈q·count⌉ in 1..=count, computed without a
         // float rounding-method cast.
         let scaled = q.clamp(0.0, 1.0) * self.count as f64;
+        // A unit fraction of a u64 count is finite and non-negative; the
+        // guard pins that invariant at the conversion.
+        let scaled = if scaled.is_finite() && scaled >= 0.0 { scaled } else { 0.0 };
         let mut target = scaled as u64;
         if (target as f64) < scaled {
             target += 1;
@@ -79,7 +82,9 @@ impl HistogramSnapshot {
             if target <= next {
                 let lo = bucket.lower_ns;
                 let hi = if lo == 0 { 2 } else { lo.saturating_mul(2) };
-                let rank = target - cum; // 1..=bucket.count
+                // `cum < target` on this branch (previous buckets all
+                // ended below `target`), so the rank is in 1..=count.
+                let rank = target.saturating_sub(cum);
                 let est = lo.saturating_add(
                     (rank.saturating_mul(hi - lo).saturating_add(bucket.count - 1)) / bucket.count,
                 );
